@@ -1,0 +1,55 @@
+"""Benchmark fixtures.
+
+Every benchmark regenerates one table or figure of the paper. Experiments
+are expensive simulations, so each runs exactly once via
+``benchmark.pedantic(..., rounds=1, iterations=1)``; the pytest-benchmark
+timing then records the cost of regenerating that figure.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the printed
+tables/series next to the timings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testbed import HPAV500_PRESET, build_testbed
+from repro.testbed.experiments import night_start, working_hours_start
+
+
+def pytest_configure(config):
+    # Benchmarks live outside the default testpaths; make sure running
+    # `pytest benchmarks/` without --benchmark-only still works.
+    pass
+
+
+@pytest.fixture(scope="session")
+def testbed():
+    return build_testbed(seed=7)
+
+
+@pytest.fixture(scope="session")
+def testbed_av500():
+    return build_testbed(seed=7, preset=HPAV500_PRESET)
+
+
+@pytest.fixture(scope="session")
+def t_work():
+    return working_hours_start()
+
+
+@pytest.fixture(scope="session")
+def t_night():
+    return night_start()
+
+
+def run_once(benchmark, func):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)
+
+
+@pytest.fixture()
+def once(benchmark):
+    def _run(func):
+        return run_once(benchmark, func)
+    return _run

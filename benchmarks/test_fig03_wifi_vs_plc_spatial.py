@@ -1,0 +1,69 @@
+"""Fig. 3 + §4.1 headline numbers: WiFi vs PLC spatial survey.
+
+Paper protocol: for every station pair, saturated throughput of both media
+measured back-to-back for 5 min at 100 ms. Paper shapes to reproduce:
+
+* PLC connectivity ⊇ WiFi connectivity (100 % / 81 % in the paper);
+* ~52 % of pairs faster on PLC; max gains ~18× (PLC) / ~12× (WiFi);
+* σ_W up to ~19 Mbps, σ_P mostly < 4 Mbps;
+* beyond 35 m air distance: no WiFi, PLC still delivers.
+
+We thin the protocol to 1 min at 0.5 s per medium (same estimator, ~1/60 of
+the samples) to keep the bench minutes-scale.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.testbed.experiments import survey_pairs
+from repro.units import MINUTE
+
+
+def test_fig03_spatial_survey(testbed, t_work, once):
+    def experiment():
+        return survey_pairs(testbed, t_work, duration=MINUTE,
+                            report_interval=0.5)
+
+    rows = once(experiment)
+    connected = [r for r in rows if r.plc_connected or r.wifi_connected]
+    plc_conn = [r for r in rows if r.plc_connected]
+    wifi_conn = [r for r in rows if r.wifi_connected]
+    both = [r for r in rows if r.plc_connected and r.wifi_connected]
+
+    wifi_also_plc = len(both) / len(wifi_conn)
+    plc_also_wifi = len(both) / len(plc_conn)
+    plc_wins = np.mean([r.plc_mean_mbps > r.wifi_mean_mbps
+                        for r in connected])
+    gains_plc = max(r.plc_mean_mbps / max(r.wifi_mean_mbps, 1.0)
+                    for r in both)
+    gains_wifi = max(r.wifi_mean_mbps / max(r.plc_mean_mbps, 1.0)
+                     for r in both)
+    sigma_w = max(r.wifi_std_mbps for r in wifi_conn)
+    sigma_p_90 = np.percentile([r.plc_std_mbps for r in plc_conn], 90)
+    far = [r for r in rows if r.air_distance_m > 35.0]
+    far_plc_best = max(r.plc_mean_mbps for r in far)
+
+    print()
+    print(format_table(
+        ["statistic", "paper", "measured"],
+        [
+            ["WiFi-connected pairs also on PLC (%)", 100, 100 * wifi_also_plc],
+            ["PLC-connected pairs also on WiFi (%)", 81, 100 * plc_also_wifi],
+            ["pairs faster on PLC (%)", 52, 100 * plc_wins],
+            ["max PLC/WiFi throughput gain (x)", 18, gains_plc],
+            ["max WiFi/PLC throughput gain (x)", 12, gains_wifi],
+            ["max sigma_WiFi (Mbps)", 19.2, sigma_w],
+            ["90th-pct sigma_PLC (Mbps)", "<4", sigma_p_90],
+            ["best PLC beyond 35 m air (Mbps)", 41, far_plc_best],
+        ],
+        title="Fig. 3 / §4.1 — WiFi vs PLC spatial survey"))
+
+    # Shape assertions (who wins, by what order).
+    assert wifi_also_plc > 0.9
+    assert 0.6 < plc_also_wifi <= 1.0
+    assert 0.35 < plc_wins < 0.85
+    assert gains_plc > 5.0 and gains_wifi > 5.0
+    assert sigma_w > 8.0
+    assert sigma_p_90 < 6.0
+    assert all(r.wifi_mean_mbps < 3.0 for r in far)
+    assert far_plc_best > 15.0

@@ -1,0 +1,105 @@
+"""Fig. 4: concurrent temporal variation of WiFi and PLC capacity.
+
+Paper: capacity traces (MCS- and BLE-derived) on a good link (3-8, started
+4:30 pm) and an average link (4-0, started 11:30 am) over ~2-3 hours of
+working time. Shapes: WiFi capacity swings hard on both; PLC is nearly flat
+on the good link — even people leaving at 6 pm barely move it — and varies
+more on the average link.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.sim.clock import MainsClock
+from repro.units import MBPS
+from repro.wifi.phy import DCF_EFFICIENCY
+
+
+def _capacity_traces(testbed, i, j, t0, duration, interval=10.0):
+    plc = testbed.plc_link(i, j)
+    wifi = testbed.wifi_link(i, j)
+    times = np.arange(t0, t0 + duration, interval)
+    plc_cap = np.array([plc.avg_ble_bps(t) for t in times]) / MBPS
+    wifi_cap = np.array([wifi.phy_rate_bps(t) * DCF_EFFICIENCY
+                         for t in times]) / MBPS
+    return times, plc_cap, wifi_cap
+
+
+def _pick_fig4_pairs(testbed, t0):
+    """The paper's links: good PLC + variable WiFi (3-8), and an average
+    pair (4-0). Select equivalents: WiFi must be in its rate-adapting
+    regime (otherwise its MCS trace is a flat ceiling)."""
+    good_candidates = []
+    average = None
+    for i, j in testbed.same_board_pairs():
+        wifi_mean = 0.65 * np.mean(
+            [testbed.wifi_link(i, j).phy_rate_bps(t0 + k * 0.5)
+             for k in range(10)])
+        link = testbed.plc_link(i, j)
+        ble = link.avg_ble_bps(t0)
+        if ble > 118e6 and 15e6 < wifi_mean < 90e6:
+            good_candidates.append((i, j))
+        elif average is None and 40e6 < ble < 90e6 and (
+                15e6 < wifi_mean < 70e6):
+            average = (i, j)
+    assert good_candidates and average, "no suitable Fig. 4 pairs found"
+    # Good: of the fast candidates, the one whose receiver sits in the
+    # quietest neighbourhood (smallest short-window BLE wiggle) — the
+    # paper's 3-8 is a fast *and* calm link.
+    def short_cv(pair):
+        link = testbed.plc_link(*pair)
+        probe = [link.avg_ble_bps(t0 + k * 5.0) for k in range(12)]
+        return np.std(probe) / np.mean(probe)
+
+    good = min(good_candidates, key=short_cv)
+    return good, average
+
+
+def test_fig04_temporal_variation(testbed, once):
+    def experiment():
+        good_t0 = MainsClock.at(day=2, hour=16.5)   # "4:30 pm"
+        avg_t0 = MainsClock.at(day=2, hour=11.5)    # "11:30 am"
+        good, average = _pick_fig4_pairs(testbed, good_t0)
+        return {
+            "good": _capacity_traces(testbed, *good, good_t0, 7000),
+            "average": _capacity_traces(testbed, *average, avg_t0, 10000),
+        }
+
+    traces = once(experiment)
+
+    def detrended_cv(values, window=60):
+        """Short-term variability: residual around a 10-min rolling mean.
+
+        This is the visual content of Fig. 4 — the *wiggle* of each trace —
+        separated from the slow random-scale drift both media share (the
+        evening load change moves the PLC mean too, but smoothly).
+        """
+        kernel = np.ones(window) / window
+        trend = np.convolve(values, kernel, mode="same")
+        residual = values - trend
+        core = slice(window, -window)  # drop the convolution edges
+        return float(np.std(residual[core]) / np.mean(values))
+
+    rows = []
+    stats = {}
+    for name, (times, plc_cap, wifi_cap) in traces.items():
+        stats[name] = {
+            "plc_cv": detrended_cv(plc_cap),
+            "wifi_cv": detrended_cv(wifi_cap),
+            "plc_drift": plc_cap.std() / plc_cap.mean(),
+        }
+        rows.append([name, plc_cap.mean(), plc_cap.std(),
+                     wifi_cap.mean(), wifi_cap.std()])
+    print()
+    print(format_table(
+        ["link", "PLC mean", "PLC std", "WiFi mean", "WiFi std"],
+        rows, title="Fig. 4 — capacity over working hours (Mbps)"))
+
+    # WiFi wiggles much harder than PLC on both links (the figure's
+    # visual), and the good link's PLC trace is nearly flat short-term.
+    for name in ("good", "average"):
+        assert stats[name]["wifi_cv"] > 2 * stats[name]["plc_cv"]
+    assert stats["good"]["plc_cv"] < 0.05
+    # Slow drift (evening load change) stays bounded on the good link —
+    # "almost not affected by people leaving the premises".
+    assert stats["good"]["plc_drift"] < 0.25

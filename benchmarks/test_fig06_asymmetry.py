@@ -1,0 +1,53 @@
+"""Fig. 6 + §5: PLC throughput asymmetry.
+
+Paper: ~30 % of pairs show > 1.5× asymmetry; Fig. 6 lists 11 example links
+whose reverse direction delivers < 60 % of the forward direction.
+"""
+
+import numpy as np
+
+from repro.analysis.asymmetry import asymmetry_report
+from repro.analysis.reporting import format_table
+from repro.units import MBPS
+
+
+def test_fig06_throughput_asymmetry(testbed, t_work, once):
+    def experiment():
+        fwd = {}
+        for i, j in testbed.same_board_pairs():
+            link = testbed.plc_link(i, j)
+            fwd[(i, j)] = float(np.mean(
+                [link.throughput_bps(t_work + k * 2.0, measured=False)
+                 for k in range(10)])) / MBPS
+        return fwd
+
+    fwd = once(experiment)
+    report = asymmetry_report(fwd, threshold=1.5)
+    pair_names = []
+    ratios = {}
+    seen = set()
+    for (i, j) in sorted(fwd):
+        if (j, i) in seen:
+            continue
+        seen.add((i, j))
+        hi = max(fwd[(i, j)], fwd[(j, i)])
+        lo = min(fwd[(i, j)], fwd[(j, i)])
+        if hi >= 0.5:
+            pair_names.append(f"{i}-{j}")
+            ratios[f"{i}-{j}"] = (fwd[(i, j)], fwd[(j, i)],
+                                  hi / max(lo, 0.5))
+
+    worst = sorted(ratios.items(), key=lambda kv: -kv[1][2])[:11]
+    print()
+    print(format_table(
+        ["link x-y", "x->y Mbps", "y->x Mbps", "ratio"],
+        [[name, f, r, ratio] for name, (f, r, ratio) in worst],
+        title="Fig. 6 — most asymmetric PLC links"))
+    print(f"pairs with >1.5x asymmetry: "
+          f"{100 * report.severe_fraction:.0f}% (paper: ~30%)")
+
+    assert 0.15 < report.severe_fraction < 0.55
+    # Fig. 6's examples: reverse < 60 % of forward on the worst links.
+    top = worst[0][1]
+    assert min(top[0], top[1]) < 0.6 * max(top[0], top[1])
+    assert len([1 for _, (_, _, r) in worst if r > 1.5]) >= 8

@@ -1,0 +1,60 @@
+"""Fig. 9: invariance-scale variation of BLE_s from captured PLC frames.
+
+Paper: SoF captures of saturated traffic on an average link (6-1) and a good
+link (0-2) over an 80 ms window. BLE_s changes periodically with a 10 ms
+period (half the 50 Hz mains cycle), because each frame advertises the tone
+map of the slot its transmission starts in. The spread across slots is large
+for noisy links and present even on good ones — which is why §7.1 insists
+capacity estimates average over all 6 slots.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.core.variation import invariance_scale_stats
+from repro.plc.sniffer import capture_saturated
+from repro.units import HALF_MAINS_CYCLE, MBPS
+
+
+def test_fig09_invariance_scale(testbed, t_work, once):
+    # Captured during working hours: the mains-synchronous appliance noise
+    # (lighting, lab gear) is what modulates the slots.
+    def experiment():
+        out = {}
+        for label, (i, j) in {"average link": (0, 4),
+                              "good link": (13, 14)}.items():
+            link = testbed.plc_link(i, j)
+            out[label] = capture_saturated(link, t_work, 0.5,
+                                           src=str(i), dst=str(j))
+        return out
+
+    captures = once(experiment)
+    rows = []
+    stats = {}
+    for label, sofs in captures.items():
+        s = invariance_scale_stats(sofs)
+        stats[label] = s
+        rows.append([label, len(sofs)]
+                    + [m / MBPS for m in s.slot_means_bps])
+    print()
+    print(format_table(
+        ["link", "frames"] + [f"slot {k}" for k in range(6)],
+        rows, title="Fig. 9 — per-slot BLE (Mbps) from SoF capture"))
+
+    for label, s in stats.items():
+        # All six slots observed; 10 ms periodicity by construction.
+        assert (s.slot_means_bps > 0).all()
+        assert s.periodicity_s == HALF_MAINS_CYCLE
+    # The noisy link's slots spread much wider than the good link's.
+    assert stats["average link"].slot_spread_ratio > 1.15
+    assert (stats["average link"].slot_spread_ratio
+            > stats["good link"].slot_spread_ratio)
+
+    # Periodicity check straight from the frame stream: the advertised BLE
+    # repeats when the capture time advances by one half mains cycle.
+    sofs = captures["average link"]
+    by_slot = {}
+    for sof in sofs:
+        by_slot.setdefault(sof.slot, []).append(sof.ble_bps)
+    for slot, values in by_slot.items():
+        assert np.std(values) < 0.2 * np.mean(values)

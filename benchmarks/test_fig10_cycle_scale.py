@@ -1,0 +1,61 @@
+"""Fig. 10: cycle-scale BLE traces for links of various qualities.
+
+Paper protocol: 4-minute runs at night, average BLE polled by MM every
+50 ms. Shapes:
+
+* bad links (11-4, 6-5) update tone maps constantly with large BLE std;
+* average links (18-15, 1-2) hold for seconds, moderate std;
+* good links (15-18, 3-1) hold for many seconds with ≤ ~1 % wiggles;
+* asymmetric pairs (15-18 vs 18-15) differ in *temporal* behaviour too;
+* the AV500 estimator occasionally collapses on bursty errors (vendor
+  quirk) — exercised in the estimator tests; here we compare HPAV traces.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.core.variation import cycle_scale_stats
+from repro.testbed.experiments import poll_ble_series
+from repro.units import MBPS
+
+LINKS = [("bad", 11, 4), ("bad", 6, 5), ("average", 18, 15),
+         ("average", 1, 2), ("good", 15, 18), ("good", 13, 14)]
+
+
+def test_fig10_cycle_scale_traces(testbed, t_night, once):
+    def experiment():
+        out = {}
+        for label, i, j in LINKS:
+            series = poll_ble_series(testbed, i, j, t_night, 240.0)
+            out[(label, i, j)] = cycle_scale_stats(series)
+        return out
+
+    stats = once(experiment)
+    rows = [[f"{i}-{j}", label, s.mean_ble_bps / MBPS,
+             s.std_ble_bps / MBPS, s.mean_alpha_s * 1000, s.n_updates]
+            for (label, i, j), s in stats.items()]
+    print()
+    print(format_table(
+        ["link", "class", "mean BLE", "std BLE", "alpha (ms)", "updates"],
+        rows, title="Fig. 10 — cycle-scale BLE statistics (4 min, night)"))
+
+    by_class = {}
+    for (label, i, j), s in stats.items():
+        by_class.setdefault(label, []).append(s)
+
+    bad_cv = np.mean([s.coefficient_of_variation
+                      for s in by_class["bad"]])
+    good_cv = np.mean([s.coefficient_of_variation
+                       for s in by_class["good"]])
+    assert bad_cv > 4 * good_cv          # bad links far more variable
+    assert good_cv < 0.02                # good links wiggle ≤ ~1-2 %
+
+    bad_alpha = np.mean([s.mean_alpha_s for s in by_class["bad"]])
+    good_alpha = np.mean([s.mean_alpha_s for s in by_class["good"]])
+    assert bad_alpha < 1.0               # sub-second updates
+    assert good_alpha > 2 * bad_alpha    # good links hold much longer
+
+    # Temporal-variation asymmetry (15-18 vs 18-15).
+    fwd = stats[("good", 15, 18)]
+    rev = stats[("average", 18, 15)]
+    assert fwd.std_ble_bps != rev.std_ble_bps

@@ -1,0 +1,57 @@
+"""Fig. 11: tone-map update inter-arrival α and std(BLE) vs link quality.
+
+Paper protocol: every link, 4 min of MM polling at 50 ms (nights/weekends);
+links sorted by average BLE. Shapes: good links update less often (α grows
+with quality) and have smaller BLE std (negative quality-variability
+correlation). We thin to 45 s per link to keep the sweep tractable — the
+estimators are unchanged.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.analysis.stats import pearson
+from repro.core.variation import cycle_scale_stats
+from repro.testbed.experiments import poll_ble_series
+from repro.units import MBPS
+
+
+def test_fig11_alpha_and_std_vs_quality(testbed, t_night, once):
+    def experiment():
+        stats = []
+        for i, j in testbed.same_board_pairs():
+            link = testbed.plc_link(i, j)
+            if not link.is_connected(t_night):
+                continue
+            series = poll_ble_series(testbed, i, j, t_night, 45.0)
+            stats.append(((i, j), cycle_scale_stats(series)))
+        return stats
+
+    stats = once(experiment)
+    means = np.array([s.mean_ble_bps for _, s in stats]) / MBPS
+    stds = np.array([s.std_ble_bps for _, s in stats]) / MBPS
+    alphas = np.array([s.mean_alpha_s for _, s in stats])
+
+    order = np.argsort(means)
+    bins = np.array_split(order, 6)
+    rows = []
+    for b in bins:
+        rows.append([f"{means[b].min():.0f}-{means[b].max():.0f}",
+                     len(b), float(np.mean(alphas[b]) * 1000),
+                     float(np.mean(stds[b]))])
+    print()
+    print(format_table(
+        ["BLE bin (Mbps)", "links", "mean alpha (ms)", "mean std (Mbps)"],
+        rows, title="Fig. 11 — update inter-arrival and BLE std by quality"))
+
+    # Paper shapes: α spans ~1e2..1e4 ms; std falls with quality.
+    assert pearson(means, stds) < -0.4
+    assert pearson(means, np.log10(alphas)) > 0.4
+    assert alphas.min() < 0.5
+    assert alphas.max() > 5.0
+    # Good links' std below ~2 Mbps; bad links' std reaches several Mbps.
+    good = means >= 100.0
+    bad = means < 60.0
+    assert good.any() and bad.any()
+    assert np.median(stds[good]) < 1.5
+    assert np.median(stds[bad]) > np.median(stds[good])

@@ -1,0 +1,50 @@
+"""Fig. 14: random-scale BLE of a *bad* link over 2 consecutive weeks.
+
+Paper: link 2-11 in Nov. 2014. Shapes: a deep working-hours trough on
+weekdays (the y-axis spans 25-50 Mbps — a ~40 % swing), calm weekends, and
+σ growing when µ drops (more appliances on → more noise, §6.3).
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.core.variation import hour_of_day_profile
+from repro.testbed.experiments import long_run_series
+from repro.units import MBPS, WEEK
+
+
+def test_fig14_bad_link_two_weeks(testbed, once):
+    def experiment():
+        return long_run_series(testbed, 2, 11, t_start=0.0,
+                               duration=2 * WEEK, interval=300.0,
+                               metric="ble")
+
+    series = once(experiment)
+    profile = hour_of_day_profile(series)
+    rows = [[int(h), profile.weekday_mean[h] / MBPS,
+             profile.weekday_std[h] / MBPS,
+             profile.weekend_mean[h] / MBPS]
+            for h in range(0, 24, 3)]
+    print()
+    print(format_table(
+        ["hour", "weekday mean", "weekday std", "weekend mean"],
+        rows, title="Fig. 14 — bad link (2-11), 2 weeks of BLE (Mbps)"))
+
+    weekday_day = np.nanmean(profile.weekday_mean[9:18])
+    weekday_night = np.nanmean(
+        np.concatenate([profile.weekday_mean[0:6],
+                        profile.weekday_mean[22:24]]))
+    weekend_day = np.nanmean(profile.weekend_mean[9:18])
+
+    # Deep weekday trough; weekends far milder.
+    assert weekday_night > weekday_day
+    assert (weekday_night - weekday_day) / weekday_night > 0.10
+    assert weekend_day > weekday_day
+    # σ grows when µ drops: busy-hours std exceeds night std.
+    std_day = np.nanmean(profile.weekday_std[9:18])
+    std_night = np.nanmean(
+        np.concatenate([profile.weekday_std[0:6],
+                        profile.weekday_std[22:24]]))
+    assert std_day > std_night
+    # Much more variable than the good link of Fig. 13 overall.
+    assert series.std / series.mean > 0.25

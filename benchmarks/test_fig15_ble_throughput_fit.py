@@ -1,0 +1,50 @@
+"""Fig. 15: BLE is an exact linear estimator of UDP throughput.
+
+Paper: saturated 4-minute tests on all 144 links; fitting BLE against
+average throughput yields ``BLE = 1.7 T − 0.65`` with normally-distributed
+residuals. We reproduce the fit over all formed links with thinned sampling.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.analysis.stats import linear_fit
+from repro.units import MBPS
+
+
+def test_fig15_linear_fit(testbed, t_work, once):
+    def experiment():
+        pairs = []
+        for i, j in testbed.same_board_pairs():
+            link = testbed.plc_link(i, j)
+            samples = [(link.avg_ble_bps(t_work + k * 5.0),
+                        link.throughput_bps(t_work + k * 5.0))
+                       for k in range(12)]
+            ble = np.mean([s[0] for s in samples]) / MBPS
+            thr = np.mean([s[1] for s in samples]) / MBPS
+            if thr > 1.0:
+                pairs.append((thr, ble))
+        return pairs
+
+    pairs = once(experiment)
+    thr = np.array([p[0] for p in pairs])
+    ble = np.array([p[1] for p in pairs])
+    fit = linear_fit(thr, ble)
+
+    print()
+    print(format_table(
+        ["quantity", "paper", "measured"],
+        [
+            ["slope (BLE per Mbps of T)", 1.7, fit.slope],
+            ["intercept (Mbps)", -0.65, fit.intercept],
+            ["R^2", ">0.99", fit.r_squared],
+            ["residuals normal (Shapiro p)", ">0.05",
+             fit.residual_normality_pvalue],
+            ["links fitted", 144, len(pairs)],
+        ],
+        title="Fig. 15 — BLE vs throughput linear fit"))
+
+    assert fit.slope == np.clip(fit.slope, 1.55, 1.85)
+    assert abs(fit.intercept) < 5.0
+    assert fit.r_squared > 0.97
+    assert len(pairs) > 100

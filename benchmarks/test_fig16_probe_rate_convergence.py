@@ -1,0 +1,53 @@
+"""Fig. 16: capacity-estimation convergence vs probe rate.
+
+Paper: devices reset before each run; 1300 B probes at 1/10/50/200 packets
+per second; the estimated capacity converges to the same value for every
+rate, but the convergence *time* shrinks with the probe rate (the estimator
+needs error samples from many PBs).
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.core.capacity import ProbingCapacitySession
+from repro.units import MBPS
+
+RATES = (1, 10, 50, 200)
+
+
+def test_fig16_convergence_vs_rate(testbed, t_work, once):
+    def experiment():
+        out = {}
+        for (i, j) in [(0, 1), (2, 7)]:   # a good and an average link
+            net = testbed.networks["B1"]
+            for rate in RATES:
+                est = net.estimator(str(i), str(j))
+                est.reset()
+                session = ProbingCapacitySession(
+                    est, payload_bytes=1300, packets_per_second=rate)
+                trace = session.run(t_work, 8000.0, sample_interval=400.0)
+                out[(f"{i}-{j}", rate)] = (
+                    [e.capacity_bps / MBPS for e in trace],
+                    est.converged_capacity_bps(t_work + 8000.0) / MBPS)
+        return out
+
+    results = once(experiment)
+    rows = []
+    for (link, rate), (trace, target) in sorted(results.items()):
+        rows.append([link, rate, trace[0], trace[len(trace) // 2],
+                     trace[-1], target])
+    print()
+    print(format_table(
+        ["link", "pkt/s", "t=0", "t=4000s", "t=8000s", "converged"],
+        rows, title="Fig. 16 — estimated capacity (Mbps) vs probing rate"))
+
+    for link in ("0-1", "2-7"):
+        finals = {rate: results[(link, rate)][0][-1] for rate in RATES}
+        target = results[(link, 200)][1]
+        # Faster probing → closer to the converged value at t=8000 s.
+        assert finals[200] >= finals[50] >= finals[10] > finals[1]
+        assert finals[200] > 0.95 * target
+        assert finals[1] < 0.93 * target   # 1 pkt/s visibly unconverged
+        # All rates start from the same depressed post-reset estimate.
+        starts = {rate: results[(link, rate)][0][0] for rate in RATES}
+        assert max(starts.values()) - min(starts.values()) < 0.1 * target

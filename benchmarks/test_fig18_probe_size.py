@@ -1,0 +1,56 @@
+"""Fig. 18: probe-size pathology — one-PB probes pin the estimate at R_1sym.
+
+Paper: 1 probe/s on link 11-6 with payloads 200 B, 520 B, 521 B, 1300 B.
+Probes that fit in a single physical block (the paper's "520 B" counts the
+8 B PB header, i.e. ≤ 512 B of payload) give the rate-adaptation loop no
+gradient beyond one PB per OFDM symbol, so the estimate converges to
+R_1sym = 520·8/Tsym ≈ 89.4 Mbps and stays there; 521 B (2 PBs) escapes.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.core.capacity import ProbingCapacitySession
+from repro.units import MBPS
+
+#: Paper label -> Ethernet payload we send (PB-header accounting).
+SIZES = {"200B": 200, "520B": 512, "521B": 513, "1300B": 1300}
+
+
+def test_fig18_probe_size_pathology(testbed, t_work, once):
+    def experiment():
+        out = {}
+        net = testbed.networks["B2"]
+        src, dst = "13", "14"   # a fast link: capacity well above R_1sym
+        for label, payload in SIZES.items():
+            est = net.estimator(src, dst)
+            est.reset()
+            session = ProbingCapacitySession(est, payload_bytes=payload,
+                                             packets_per_second=1)
+            trace = session.run(t_work, 60000.0, sample_interval=5000.0)
+            out[label] = [e.capacity_bps / MBPS for e in trace]
+        r1sym = net.link(src, dst).spec.one_symbol_rate_bps / MBPS
+        converged = net.estimator(src, dst).converged_capacity_bps(
+            t_work) / MBPS
+        return out, r1sym, converged
+
+    traces, r1sym, converged = once(experiment)
+    rows = [[label, values[0], values[-1]]
+            for label, values in traces.items()]
+    print()
+    print(format_table(
+        ["probe size", "first estimate", "final estimate"],
+        rows, title=f"Fig. 18 — estimate (Mbps) vs probe size "
+                    f"(R_1sym = {r1sym:.1f}, link capacity ≈ "
+                    f"{converged:.0f})"))
+
+    # One-PB probes pin at R_1sym ≈ 89.4 Mbps.
+    for label in ("200B", "520B"):
+        final = traces[label][-1]
+        assert final == np.clip(final, 0.96 * r1sym, 1.04 * r1sym), label
+        # ... and once pinned, the estimate stays flat.
+        tail = traces[label][-4:]
+        assert max(tail) - min(tail) < 0.02 * r1sym
+    # Multi-PB probes escape the pin and keep converging upward.
+    for label in ("521B", "1300B"):
+        assert traces[label][-1] > 1.1 * r1sym, label

@@ -1,0 +1,114 @@
+"""Fig. 20: bandwidth aggregation with capacity-aware load balancing.
+
+Paper, left panel: on one link, four back-to-back runs — WiFi only, PLC
+only, the capacity-proportional hybrid, and round-robin. The hybrid reaches
+~the sum of both capacities; round-robin is pinned near twice the slower
+medium. Right panel: 600 MB download completion times on 13 links, WiFi-only
+vs hybrid — drastic reductions.
+
+The left panel needs a pair where both media are alive but imbalanced (the
+paper's link 0-4 had WiFi ≈ 12 Mbps vs PLC ≈ 35); we select such a pair
+from the testbed the same way the authors picked theirs.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.hybrid import HybridDevice
+from repro.traffic.iperf import completion_time_s
+from repro.units import MBPS
+
+DOWNLOAD_BYTES = 600 * 10 ** 6
+RIGHT_PANEL_LINKS = [(0, 9), (0, 5), (9, 0), (9, 6), (9, 7), (3, 9),
+                     (1, 6), (1, 8), (2, 11), (2, 5), (6, 1), (6, 2),
+                     (7, 9)]
+
+
+class _HybridThroughput:
+    """Adapter: expose the bonded pair as throughput_bps(t) for iperf."""
+
+    def __init__(self, device):
+        self.device = device
+
+    def throughput_bps(self, t):
+        return self.device.hybrid_goodput_bps(t)
+
+
+def _mean_thr(link, t0, n=10, step=0.5):
+    return float(np.mean([link.throughput_bps(t0 + k * step,
+                                              measured=False)
+                          for k in range(n)]))
+
+
+def _pick_imbalanced_pair(testbed, t0):
+    """Both media alive, PLC 2.5-6x faster than WiFi (paper's 0-4 regime)."""
+    for i, j in testbed.same_board_pairs():
+        plc = _mean_thr(testbed.plc_link(i, j), t0)
+        wifi = _mean_thr(testbed.wifi_link(i, j), t0)
+        if wifi > 5e6 and 2.5 * wifi < plc < 6.0 * wifi:
+            return (i, j)
+    raise RuntimeError("no suitably imbalanced pair found")
+
+
+def test_fig20_left_modes(testbed, t_work, once):
+    def experiment():
+        pair = _pick_imbalanced_pair(testbed, t_work)
+        device = HybridDevice(testbed.plc_link(*pair),
+                              testbed.wifi_link(*pair), testbed.streams)
+        out = {mode: device.run_saturated(mode, t_work, 60.0).mean_mbps
+               for mode in ("wifi", "plc", "round-robin", "hybrid")}
+        return pair, out
+
+    pair, results = once(experiment)
+    print()
+    print(format_table(
+        ["mode", "throughput (Mbps)"], sorted(results.items()),
+        title=f"Fig. 20 (left) — link {pair[0]}-{pair[1]}, "
+              f"four back-to-back runs"))
+
+    assert results["hybrid"] > results["plc"]
+    assert results["hybrid"] > results["wifi"]
+    assert results["hybrid"] > 0.8 * (results["plc"] + results["wifi"])
+    # Round-robin pinned near 2x the slower medium, clearly below hybrid.
+    assert results["round-robin"] <= 2.5 * min(results["plc"],
+                                               results["wifi"])
+    assert results["hybrid"] > 1.2 * results["round-robin"]
+
+
+def test_fig20_right_completion_times(testbed, t_work, once):
+    def experiment():
+        rows = []
+        for (i, j) in RIGHT_PANEL_LINKS:
+            wifi = testbed.wifi_link(i, j)
+            device = HybridDevice(testbed.plc_link(i, j), wifi,
+                                  testbed.streams)
+            try:
+                t_wifi = completion_time_s(wifi, t_work, DOWNLOAD_BYTES,
+                                           max_time_s=4000.0)
+            except RuntimeError:
+                t_wifi = float("inf")
+            t_hybrid = completion_time_s(
+                _HybridThroughput(device), t_work, DOWNLOAD_BYTES,
+                max_time_s=4000.0)
+            rows.append((f"{i}-{j}", t_wifi, t_hybrid))
+        return rows
+
+    rows = once(experiment)
+    print()
+    print(format_table(
+        ["link", "WiFi only (s)", "hybrid (s)"],
+        [[n, w if np.isfinite(w) else "stalled", h] for n, w, h in rows],
+        title="Fig. 20 (right) — 600 MB download completion times"))
+
+    finite = [(w, h) for _, w, h in rows if np.isfinite(w)]
+    assert len(finite) >= 5
+    # The hybrid never loses materially (worst case: both media nearly
+    # dead, where split mis-estimates cost a few percent), and the typical
+    # gain is drastic.
+    assert all(h < 1.15 * w for w, h in finite)
+    speedups = [w / h for w, h in finite]
+    assert np.median(speedups) > 1.3
+    assert max(speedups) > 2.0
+    # Links with no WiFi at all complete only thanks to PLC.
+    stalled = [h for _, w, h in rows if not np.isfinite(w)]
+    assert all(np.isfinite(h) for h in stalled)

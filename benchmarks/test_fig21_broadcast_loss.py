@@ -1,0 +1,62 @@
+"""Fig. 21: broadcast-probe loss rate vs link quality — a dead end.
+
+Paper: each station broadcasts 1500 B probes every 100 ms for 500 s (day and
+night); receivers count losses. Shapes: loss rates sit around 1e-4 across a
+wide quality range (ROBO modulation + proxy ACK), only the very worst links
+stand out, and day/night are barely distinguishable — so broadcast ETX
+carries (almost) no link-quality information (§8.1).
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.analysis.stats import pearson
+from repro.core.etx import run_broadcast_probes
+from repro.units import MBPS
+
+
+def test_fig21_broadcast_loss(testbed, t_work, t_night, once):
+    def experiment():
+        rng = np.random.default_rng(11)
+        rows = []
+        for i, j in testbed.same_board_pairs():
+            link = testbed.plc_link(i, j)
+            thr = link.throughput_bps(t_night, measured=False) / MBPS
+            day = run_broadcast_probes(link, t_work, 500.0, 0.1, rng)
+            night = run_broadcast_probes(link, t_night, 500.0, 0.1, rng)
+            rows.append((f"{i}-{j}", thr, link.pb_err(t_night),
+                         day.loss_rate, night.loss_rate))
+        return rows
+
+    rows = once(experiment)
+    thr = np.array([r[1] for r in rows])
+    day_loss = np.array([r[3] for r in rows])
+    night_loss = np.array([r[4] for r in rows])
+
+    bins = [(0, 10), (10, 30), (30, 60), (60, 100)]
+    table = []
+    for lo, hi in bins:
+        m = (thr >= lo) & (thr < hi)
+        if m.any():
+            table.append([f"{lo}-{hi} Mbps", int(m.sum()),
+                          float(np.median(night_loss[m])),
+                          float(np.median(day_loss[m]))])
+    print()
+    print(format_table(
+        ["link quality (thr)", "links", "median loss night",
+         "median loss day"],
+        table, title="Fig. 21 — broadcast loss rate vs link quality"))
+
+    alive = thr > 1.0
+    # A wide range of qualities all sits at ~1e-4 loss.
+    mid = alive & (thr > 10.0)
+    assert np.median(night_loss[mid]) < 1e-3
+    # Quality explains almost nothing about broadcast loss on alive links:
+    corr = abs(pearson(thr[mid], night_loss[mid]))
+    assert corr < 0.45
+    # Only the very worst links show losses above 1e-1 (classifiable).
+    worst = thr < 2.0
+    if worst.any():
+        assert night_loss[worst].max() > night_loss[mid].max()
+    # Day/night barely distinguishable in the mid range.
+    assert abs(np.median(day_loss[mid]) - np.median(night_loss[mid])) < 1e-3

@@ -1,0 +1,89 @@
+"""Fig. 23: sensitivity of link metrics to background traffic.
+
+Paper: a probe flow at 150 kbps; after 200 s a second link starts saturated
+"background" traffic. On *some* link pairs the probe receiver's BLE drops
+sharply and PBerr explodes — the capture effect: during collisions the
+stronger receiver decodes a few PBs, sees the rest as errors, and the
+channel-estimation algorithm (unable to tell collisions from channel noise)
+lowers the rate. Other pairs are insensitive.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.plc.csma import CsmaSimulator, FlowSpec
+from repro.sim.random import RandomStreams
+from repro.units import MBPS
+
+PHASE = 30.0  # probe alone, then probe + saturated background
+
+
+def _run_pair(testbed, probe, bg, seed):
+    net = testbed.networks["B1"]
+    est = net.estimator(*[str(x) for x in probe])
+    est.reset()
+    est.observe_clean_pbs(0.0, 2_000_000)   # converged before the test
+    t0 = 2 * 86400 + 14 * 3600
+    probe_link = net.link(str(probe[0]), str(probe[1]))
+    bg_link = net.link(str(bg[0]), str(bg[1]))
+    # Phase 1: probe flow alone.
+    sim = CsmaSimulator(
+        [FlowSpec("probe", probe_link, rate_bps=150e3, estimator=est)],
+        RandomStreams(seed), name=f"alone-{probe}-{bg}")
+    sim.run(t0, PHASE)
+    before = est.estimated_capacity_bps(t0 + PHASE) / MBPS
+    # Phase 2: background saturated flow joins.
+    sim = CsmaSimulator(
+        [FlowSpec("probe", probe_link, rate_bps=150e3, estimator=est),
+         FlowSpec("bg", bg_link)],
+        RandomStreams(seed + 1), name=f"bg-{probe}-{bg}")
+    stats = sim.run(t0 + PHASE, PHASE)
+    after = est.estimated_capacity_bps(t0 + 2 * PHASE) / MBPS
+    return before, after, stats["probe"].collisions
+
+
+def test_fig23_background_sensitivity(testbed, once):
+    def experiment():
+        return {
+            # Strong probe link + saturated background: capture effect.
+            "sensitive (1-0 vs 6-11)": _run_pair(testbed, (1, 0), (6, 11),
+                                                 31),
+            "sensitive (0-1 vs 9-11)": _run_pair(testbed, (0, 1), (9, 11),
+                                                 33),
+        }
+
+    results = once(experiment)
+    rows = [[name, before, after, coll]
+            for name, (before, after, coll) in results.items()]
+    print()
+    print(format_table(
+        ["pair", "BLE before (Mbps)", "BLE with bg", "collisions"],
+        rows, title="Fig. 23 — BLE sensitivity to saturated background"))
+
+    for name, (before, after, collisions) in results.items():
+        assert collisions > 0, name
+        # The capture effect drags the estimate down markedly.
+        assert after < 0.8 * before, name
+
+
+def test_fig23_low_rate_background_is_harmless(testbed, once):
+    """§8.2: BLE is insensitive to *low-rate* background traffic."""
+    def experiment():
+        net = testbed.networks["B1"]
+        est = net.estimator("1", "0")
+        est.reset()
+        est.observe_clean_pbs(0.0, 2_000_000)
+        t0 = 2 * 86400 + 14 * 3600
+        before = est.estimated_capacity_bps(t0) / MBPS
+        sim = CsmaSimulator(
+            [FlowSpec("probe", net.link("1", "0"), rate_bps=150e3,
+                      estimator=est),
+             FlowSpec("bg", net.link("6", "11"), rate_bps=150e3)],
+            RandomStreams(35), name="lowrate")
+        sim.run(t0, 60.0)
+        after = est.estimated_capacity_bps(t0 + 60.0) / MBPS
+        return before, after
+
+    before, after = once(experiment)
+    print(f"\nlow-rate background: BLE {before:.0f} -> {after:.0f} Mbps")
+    assert after > 0.9 * before

@@ -1,0 +1,86 @@
+"""Table 1: the paper's findings summary, regenerated as one scoreboard.
+
+Each row of Table 1 maps to a quick quantitative check against the
+simulated testbed. The heavyweight versions of these checks live in the
+per-figure benchmarks; this bench is the one-screen summary.
+"""
+
+import numpy as np
+
+from repro.analysis.asymmetry import asymmetry_report
+from repro.analysis.reporting import format_table
+from repro.analysis.stats import pearson
+from repro.core.variation import cycle_scale_stats
+from repro.testbed.experiments import poll_ble_series
+from repro.units import MBPS
+
+
+def test_table1_findings_scoreboard(testbed, t_work, t_night, once):
+    def experiment():
+        findings = {}
+
+        # -- WiFi vs PLC (short instantaneous survey) ------------------
+        plc, wifi, dist = {}, {}, {}
+        for i, j in testbed.same_board_pairs():
+            link = testbed.plc_link(i, j)
+            plc[(i, j)] = np.mean(
+                [link.throughput_bps(t_work + k, measured=False)
+                 for k in range(5)]) / MBPS
+            w = testbed.wifi_link(i, j)
+            wifi[(i, j)] = np.mean(
+                [w.throughput_bps(t_work + k * 0.3, measured=False)
+                 for k in range(15)]) / MBPS
+            dist[(i, j)] = testbed.air_distance(i, j)
+        short = [(p, w) for (k, p), (_, w) in
+                 zip(plc.items(), wifi.items()) if dist[k] < 15.0]
+        findings["short-range WiFi wins"] = float(np.mean(
+            [w > p for p, w in short]))
+        far = {k for k, d in dist.items() if d > 35.0}
+        findings["blind spots covered by PLC"] = float(np.mean(
+            [plc[k] > 5.0 for k in far]))
+
+        # -- asymmetry ---------------------------------------------------
+        findings["severe asymmetry fraction"] = asymmetry_report(
+            plc, threshold=1.5).severe_fraction
+
+        # -- quality vs variability (cycle scale, night) ------------------
+        stats = []
+        for (i, j) in [(13, 14), (15, 18), (0, 1), (1, 2), (2, 7),
+                       (11, 4), (6, 5), (9, 5)]:
+            series = poll_ble_series(testbed, i, j, t_night, 45)
+            stats.append(cycle_scale_stats(series))
+        findings["corr(quality, variability)"] = pearson(
+            [s.mean_ble_bps for s in stats],
+            [s.std_ble_bps for s in stats])
+
+        # -- random scale: load depresses quality --------------------------
+        link = testbed.plc_link(0, 3)
+        day = np.mean([link.avg_ble_bps(t_work + k * 60) for k in range(30)])
+        night = np.mean([link.avg_ble_bps(t_night + k * 60)
+                         for k in range(30)])
+        findings["night/day BLE ratio"] = night / day
+        return findings
+
+    findings = once(experiment)
+    print()
+    print(format_table(
+        ["finding (Table 1)", "expected", "measured"],
+        [
+            ["WiFi faster at short range (fraction)", ">0.5",
+             findings["short-range WiFi wins"]],
+            ["PLC covers WiFi blind spots (fraction)", "~1",
+             findings["blind spots covered by PLC"]],
+            ["pairs with >1.5x asymmetry", "~0.3",
+             findings["severe asymmetry fraction"]],
+            ["corr(link quality, variability)", "strongly negative",
+             findings["corr(quality, variability)"]],
+            ["night/day BLE ratio (electrical load)", ">1",
+             findings["night/day BLE ratio"]],
+        ],
+        title="Table 1 — findings scoreboard"))
+
+    assert findings["short-range WiFi wins"] > 0.5
+    assert findings["blind spots covered by PLC"] > 0.7
+    assert 0.15 < findings["severe asymmetry fraction"] < 0.55
+    assert findings["corr(quality, variability)"] < -0.3
+    assert findings["night/day BLE ratio"] > 1.02

@@ -1,0 +1,59 @@
+"""Table 3: the link-metric estimation guidelines, validated as policy.
+
+For every guideline row we (a) generate the recommendation from measured
+link state and (b) show that the audit engine flags a setup violating it.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.core.classification import LinkQuality, classify_ble
+from repro.core.guidelines import LinkState, audit_schedule, recommend
+from repro.core.probing import ProbeSchedule
+from repro.units import MBPS
+
+
+def test_table3_guideline_engine(testbed, t_work, once):
+    def experiment():
+        out = []
+        for (i, j) in [(13, 14), (2, 7), (11, 4)]:
+            link = testbed.plc_link(i, j)
+            rev = testbed.plc_link(j, i)
+            state = LinkState(
+                ble_fwd_bps=link.avg_ble_bps(t_work),
+                ble_rev_bps=rev.avg_ble_bps(t_work),
+                contended=(i, j) == (2, 7))
+            out.append(((i, j), state, recommend(state)))
+        return out
+
+    recommendations = once(experiment)
+    rows = []
+    for (i, j), state, rec in recommendations:
+        quality = classify_ble(state.ble_fwd_bps).value
+        rows.append([f"{i}-{j}", quality,
+                     f"{rec.schedule.interval_s:g}s",
+                     rec.schedule.payload_bytes,
+                     rec.schedule.burst_packets,
+                     "unicast" if rec.unicast else "broadcast"])
+    print()
+    print(format_table(
+        ["link", "class", "interval", "probe bytes", "burst", "mode"],
+        rows, title="Table 3 — generated probing prescriptions"))
+
+    # The engine respects every guideline.
+    for (i, j), state, rec in recommendations:
+        quality = classify_ble(state.ble_fwd_bps)
+        violations = audit_schedule(
+            rec.schedule, unicast=rec.unicast,
+            averages_over_slots=rec.average_over_slots,
+            probes_both_directions=rec.probe_both_directions,
+            link_quality=quality, contended=state.contended)
+        assert violations == [], f"{i}-{j}: {violations}"
+
+    # And the audit catches a maximally-wrong setup (every row of Table 3).
+    wrong = audit_schedule(
+        ProbeSchedule(interval_s=60.0, payload_bytes=256),
+        unicast=False, averages_over_slots=False,
+        probes_both_directions=False, link_quality=LinkQuality.BAD,
+        contended=True)
+    assert len(wrong) == 6
+    print(f"audit flags on a non-compliant setup: "
+          f"{sorted(v.guideline for v in wrong)}")

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""TCP over PLC vs WiFi: variance and asymmetry in action.
+
+The paper remarks that PLC's low throughput variance "can be beneficial for
+TCP" (§4.1) and warns that PLC's asymmetry hits bidirectional traffic
+(Table 3). This example quantifies both with the transport model: TCP
+efficiency (TCP/UDP ratio) across media, and the cost of a degraded reverse
+(ACK) path.
+
+Run:  python examples/tcp_over_hybrid.py
+"""
+
+import numpy as np
+
+from repro.testbed import build_testbed
+from repro.testbed.experiments import working_hours_start
+from repro.transport import TcpPathModel
+from repro.units import MBPS
+
+
+def main() -> None:
+    testbed = build_testbed(seed=7)
+    t = working_hours_start()
+
+    print("TCP efficiency by medium (same station pairs):")
+    print(f"{'pair':<8} {'medium':<6} {'UDP cap':>9} {'TCP':>9} "
+          f"{'eff':>5} {'RTT':>8}")
+    for (i, j) in [(0, 2), (1, 3), (13, 14)]:
+        for medium in ("plc", "wifi"):
+            if medium == "plc":
+                fwd = testbed.plc_link(i, j)
+                rev = testbed.plc_link(j, i)
+            else:
+                fwd = testbed.wifi_link(i, j)
+                rev = testbed.wifi_link(j, i)
+            p = TcpPathModel(fwd, rev).predict(t)
+            print(f"{i}-{j:<6} {medium:<6} "
+                  f"{p.udp_capacity_bps / MBPS:8.1f}M "
+                  f"{p.throughput_bps / MBPS:8.1f}M "
+                  f"{p.efficiency:5.2f} {p.rtt_s * 1e3:6.1f}ms")
+
+    print("\nasymmetry tax: good forward link, varying reverse path:")
+    fwd = testbed.plc_link(0, 1)
+    for label, rev in [("good reverse (1->0)", testbed.plc_link(1, 0)),
+                       ("bad reverse (11->4)", testbed.plc_link(11, 4))]:
+        p = TcpPathModel(fwd, rev).predict(t)
+        print(f"  {label:<22} TCP {p.throughput_bps / MBPS:6.1f} Mbps "
+              f"(RTT {p.rtt_s * 1e3:.1f} ms)")
+
+
+if __name__ == "__main__":
+    main()

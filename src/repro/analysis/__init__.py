@@ -1,0 +1,30 @@
+"""Statistics and reporting helpers shared by tests and benchmarks."""
+
+from repro.analysis.stats import (
+    LinearFit,
+    empirical_cdf,
+    linear_fit,
+    summarize,
+)
+from repro.analysis.asymmetry import AsymmetryReport, asymmetry_report
+from repro.analysis.timeseries import (
+    autocorrelation_time_s,
+    cusum_changepoints,
+    detect_periodicity_s,
+)
+from repro.analysis.traces import Campaign, load_campaign, save_campaign
+
+__all__ = [
+    "LinearFit",
+    "linear_fit",
+    "empirical_cdf",
+    "summarize",
+    "AsymmetryReport",
+    "asymmetry_report",
+    "autocorrelation_time_s",
+    "detect_periodicity_s",
+    "cusum_changepoints",
+    "Campaign",
+    "save_campaign",
+    "load_campaign",
+]

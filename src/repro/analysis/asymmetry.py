@@ -1,0 +1,50 @@
+"""Link-asymmetry analysis (§5, Fig. 6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AsymmetryReport:
+    """Asymmetry statistics over a set of bidirectional measurements."""
+
+    n_pairs: int
+    ratios: np.ndarray            # max(fwd,rev)/min(fwd,rev) per pair
+    severe_fraction: float        # share of pairs above the threshold
+    threshold: float
+
+    def worst_pairs(self, pair_names: List[str], k: int = 10
+                    ) -> List[Tuple[str, float]]:
+        order = np.argsort(-self.ratios)[:k]
+        return [(pair_names[i], float(self.ratios[i])) for i in order]
+
+
+def asymmetry_report(fwd: Dict[Tuple[int, int], float],
+                     threshold: float = 1.5,
+                     min_value: float = 0.5) -> AsymmetryReport:
+    """Compute pairwise asymmetry from directed measurements.
+
+    ``fwd`` maps directed pairs (i, j) to a metric (throughput, BLE).
+    Pairs where both directions fall below ``min_value`` are skipped (dead
+    links have no meaningful ratio). The paper's headline: ~30 % of pairs
+    exceed 1.5× (§5).
+    """
+    ratios: List[float] = []
+    seen = set()
+    for (i, j), value in sorted(fwd.items()):
+        if (j, i) in seen or (j, i) not in fwd:
+            continue
+        seen.add((i, j))
+        reverse = fwd[(j, i)]
+        hi, lo = max(value, reverse), min(value, reverse)
+        if hi < min_value:
+            continue
+        ratios.append(hi / max(lo, min_value))
+    arr = np.asarray(ratios)
+    severe = float((arr > threshold).mean()) if len(arr) else 0.0
+    return AsymmetryReport(n_pairs=len(arr), ratios=arr,
+                           severe_fraction=severe, threshold=threshold)

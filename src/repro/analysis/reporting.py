@@ -1,0 +1,44 @@
+"""Plain-text tables for benchmark output (the paper's rows and series)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Fixed-width table; numbers rendered with sensible precision."""
+    def cell(value) -> str:
+        if isinstance(value, float):
+            if value != value:  # NaN
+                return "nan"
+            if abs(value) >= 100:
+                return f"{value:.0f}"
+            if abs(value) >= 1:
+                return f"{value:.1f}"
+            return f"{value:.3g}"
+        return str(value)
+
+    str_rows: List[List[str]] = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for k, value in enumerate(row):
+            widths[k] = max(widths[k], len(value))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[float], ys: Sequence[float],
+                  x_label: str = "x", y_label: str = "y",
+                  max_points: int = 24) -> str:
+    """A compact (x, y) series dump for figure benchmarks."""
+    n = len(xs)
+    stride = max(1, n // max_points)
+    rows = [(xs[k], ys[k]) for k in range(0, n, stride)]
+    return format_table([x_label, y_label], rows, title=name)

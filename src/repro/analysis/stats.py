@@ -1,0 +1,85 @@
+"""Statistics used in the paper's analysis: linear fits with residual
+normality (Fig. 15), empirical CDFs (Fig. 19), summary stats (Fig. 3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """y = slope · x + intercept with fit diagnostics."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+    residual_normality_pvalue: float
+
+    def predict(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+    @property
+    def residuals_normal(self) -> bool:
+        """Paper's check on the BLE–throughput fit: residuals are normal."""
+        return self.residual_normality_pvalue > 0.05
+
+
+def linear_fit(x: Sequence[float], y: Sequence[float]) -> LinearFit:
+    """Least-squares line plus a Shapiro normality test on the residuals."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or len(x) < 3:
+        raise ValueError("need at least three paired samples")
+    slope, intercept, r_value, _, _ = scipy_stats.linregress(x, y)
+    residuals = y - (slope * x + intercept)
+    if len(residuals) >= 8 and float(np.std(residuals)) > 0:
+        # Shapiro caps at 5000 samples; subsample deterministically.
+        sample = residuals[:: max(1, len(residuals) // 5000)]
+        _, pvalue = scipy_stats.shapiro(sample)
+    else:
+        pvalue = 1.0
+    return LinearFit(slope=float(slope), intercept=float(intercept),
+                     r_squared=float(r_value ** 2),
+                     residual_normality_pvalue=float(pvalue))
+
+
+def empirical_cdf(samples: Sequence[float],
+                  grid: Sequence[float]) -> np.ndarray:
+    """F(x) evaluated on ``grid``."""
+    s = np.sort(np.asarray(samples, dtype=float))
+    if len(s) == 0:
+        raise ValueError("no samples")
+    return np.searchsorted(s, np.asarray(grid, dtype=float),
+                           side="right") / len(s)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean/std/min/max of a sample set."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+
+def summarize(samples: Sequence[float]) -> Summary:
+    a = np.asarray(samples, dtype=float)
+    if len(a) == 0:
+        raise ValueError("no samples")
+    return Summary(n=len(a), mean=float(a.mean()), std=float(a.std()),
+                   minimum=float(a.min()), maximum=float(a.max()))
+
+
+def pearson(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson correlation coefficient."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or len(x) < 3:
+        raise ValueError("need at least three paired samples")
+    return float(np.corrcoef(x, y)[0, 1])

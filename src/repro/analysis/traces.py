@@ -1,0 +1,132 @@
+"""Measurement-campaign persistence (JSONL).
+
+The paper's campaigns span a year of repeated experiments; anything built on
+this library needs to save measurement runs and reload them for analysis
+without re-simulating. The format is line-delimited JSON: one header line
+(campaign metadata) followed by one line per record — append-friendly,
+diff-able, and stream-parseable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.core.metrics import LinkMetricRecord, MetricSeries
+
+FORMAT_VERSION = 1
+
+
+@dataclass
+class Campaign:
+    """A named collection of link-metric records."""
+
+    name: str
+    description: str = ""
+    seed: Optional[int] = None
+    records: List[LinkMetricRecord] = field(default_factory=list)
+
+    def add(self, record: LinkMetricRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # --- queries -------------------------------------------------------------
+
+    def links(self) -> List[tuple]:
+        """Distinct (src, dst, medium) triples, sorted."""
+        return sorted({(r.src, r.dst, r.medium) for r in self.records})
+
+    def series(self, src: str, dst: str, medium: str,
+               value: str = "capacity_bps") -> MetricSeries:
+        """Extract one link's records as a time series of one field."""
+        rows = sorted(
+            ((r.time, getattr(r, value)) for r in self.records
+             if (r.src, r.dst, r.medium) == (src, dst, medium)
+             and getattr(r, value) is not None),
+            key=lambda p: p[0])
+        return MetricSeries([t for t, _ in rows], [v for _, v in rows],
+                            name=f"{src}->{dst}/{medium}/{value}")
+
+
+def save_campaign(campaign: Campaign, path: Union[str, Path]) -> None:
+    """Write a campaign as JSONL (header line + one line per record)."""
+    path = Path(path)
+    header = {"format": "repro-campaign", "version": FORMAT_VERSION,
+              "name": campaign.name, "description": campaign.description,
+              "seed": campaign.seed, "n_records": len(campaign)}
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write(json.dumps(header) + "\n")
+        for record in campaign.records:
+            fh.write(json.dumps(asdict(record), sort_keys=True) + "\n")
+
+
+def iter_records(path: Union[str, Path]) -> Iterator[LinkMetricRecord]:
+    """Stream records from a campaign file without loading it whole."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        header_line = fh.readline()
+        _validate_header(header_line, path)
+        for line_no, line in enumerate(fh, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+                yield LinkMetricRecord(**data)
+            except (json.JSONDecodeError, TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"{path}:{line_no}: bad record: {exc}") from exc
+
+
+def load_campaign(path: Union[str, Path]) -> Campaign:
+    """Read a campaign file back into memory."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        header = _validate_header(fh.readline(), path)
+    campaign = Campaign(name=header.get("name", path.stem),
+                        description=header.get("description", ""),
+                        seed=header.get("seed"))
+    for record in iter_records(path):
+        campaign.add(record)
+    return campaign
+
+
+def _validate_header(line: str, path: Path) -> Dict:
+    try:
+        header = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not a campaign file "
+                         f"(bad header)") from exc
+    if not isinstance(header, dict) or header.get(
+            "format") != "repro-campaign":
+        raise ValueError(f"{path}: not a campaign file")
+    if header.get("version", 0) > FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: campaign format v{header['version']} is newer than "
+            f"this library understands (v{FORMAT_VERSION})")
+    return header
+
+
+def record_survey(testbed, t: float, pairs=None,
+                  campaign_name: str = "survey") -> Campaign:
+    """Snapshot both media of (a subset of) the testbed into a campaign."""
+    campaign = Campaign(name=campaign_name, seed=testbed.streams.seed,
+                        description=f"dual-medium survey at t={t:.0f}s")
+    for i, j in (pairs if pairs is not None else testbed.same_board_pairs()):
+        plc = testbed.plc_link(i, j)
+        if plc is not None:
+            campaign.add(LinkMetricRecord(
+                time=t, src=str(i), dst=str(j), medium="plc",
+                capacity_bps=plc.avg_ble_bps(t),
+                pb_err=plc.pb_err(t),
+                throughput_bps=plc.throughput_bps(t, measured=False)))
+        wifi = testbed.wifi_link(i, j)
+        campaign.add(LinkMetricRecord(
+            time=t, src=str(i), dst=str(j), medium="wifi",
+            capacity_bps=wifi.phy_rate_bps(t),
+            throughput_bps=wifi.throughput_bps(t, measured=False)))
+    return campaign

@@ -1,0 +1,184 @@
+"""Command-line interface: the toolkit's shell entry point.
+
+Subcommands mirror the paper's workflows::
+
+    python -m repro survey  [--save FILE]      # §4.1 dual-medium survey
+    python -m repro probe SRC DST              # Table 2 metrics + Table 3 advice
+    python -m repro route SRC DST              # §4.3 hybrid mesh route
+    python -m repro report FILE                # summarise a saved campaign
+
+Common options: ``--seed`` (testbed world), ``--day``/``--hour``
+(measurement time), ``--av500`` (validation devices).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.analysis.traces import load_campaign, record_survey, save_campaign
+from repro.sim.clock import MainsClock
+from repro.testbed import HPAV500_PRESET, HPAV_PRESET, build_testbed
+from repro.units import MBPS
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=7,
+                        help="testbed world seed (default 7)")
+    parser.add_argument("--day", type=int, default=2,
+                        help="day index, 0 = Monday (default 2)")
+    parser.add_argument("--hour", type=float, default=14.0,
+                        help="hour of day (default 14.0 = working hours)")
+    parser.add_argument("--av500", action="store_true",
+                        help="use HPAV500 validation devices")
+
+
+def _build(args) -> tuple:
+    preset = HPAV500_PRESET if args.av500 else HPAV_PRESET
+    testbed = build_testbed(seed=args.seed, preset=preset)
+    t = MainsClock.at(day=args.day, hour=args.hour)
+    return testbed, t
+
+
+def cmd_survey(args) -> int:
+    testbed, t = _build(args)
+    campaign = record_survey(testbed, t)
+    rows = []
+    for i, j in testbed.same_board_pairs():
+        plc = campaign.series(str(i), str(j), "plc",
+                              "throughput_bps")
+        wifi = campaign.series(str(i), str(j), "wifi",
+                               "throughput_bps")
+        if len(plc) and len(wifi):
+            rows.append([f"{i}->{j}", testbed.cable_distance(i, j),
+                         plc.values[0] / MBPS, wifi.values[0] / MBPS])
+    rows.sort(key=lambda r: -r[2])
+    print(format_table(
+        ["link", "cable (m)", "PLC (Mbps)", "WiFi (Mbps)"],
+        rows[: args.top],
+        title=f"Dual-medium survey (seed {args.seed}, "
+              f"day {args.day} {args.hour:g}h) — top {args.top}"))
+    plc_thr = np.array([r[2] for r in rows])
+    wifi_thr = np.array([r[3] for r in rows])
+    print(f"\n{len(rows)} links; PLC faster on "
+          f"{100 * np.mean(plc_thr > wifi_thr):.0f}%")
+    if args.save:
+        save_campaign(campaign, args.save)
+        print(f"campaign saved to {args.save}")
+    return 0
+
+
+def cmd_probe(args) -> int:
+    testbed, t = _build(args)
+    src, dst = args.src, args.dst
+    link = testbed.plc_link(src, dst)
+    if link is None:
+        print(f"stations {src} and {dst} are on different boards: "
+              f"no direct PLC link (try `route`)", file=sys.stderr)
+        return 1
+    rev = testbed.plc_link(dst, src)
+    wifi = testbed.wifi_link(src, dst)
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["cable distance (m)", testbed.cable_distance(src, dst)],
+            ["air distance (m)", testbed.air_distance(src, dst)],
+            ["avg BLE (Mbps)", link.avg_ble_bps(t) / MBPS],
+            ["PBerr", link.pb_err(t)],
+            ["UDP throughput (Mbps)",
+             link.throughput_bps(t, measured=False) / MBPS],
+            ["U-ETX", link.u_etx(t)],
+            ["reverse BLE (Mbps)", rev.avg_ble_bps(t) / MBPS],
+            ["WiFi throughput (Mbps)",
+             wifi.throughput_bps(t, measured=False) / MBPS],
+        ],
+        title=f"Link {src} -> {dst}"))
+    from repro.core.guidelines import LinkState, recommend
+    rec = recommend(LinkState(ble_fwd_bps=link.avg_ble_bps(t),
+                              ble_rev_bps=rev.avg_ble_bps(t)))
+    print(f"\nprobing advice: every {rec.schedule.interval_s:g}s, "
+          f"{rec.schedule.payload_bytes}B unicast, "
+          f"burst={rec.schedule.burst_packets}")
+    for note in rec.notes:
+        print(f"  note: {note}")
+    return 0
+
+
+def cmd_route(args) -> int:
+    testbed, t = _build(args)
+    from repro.hybrid.ieee1905 import AbstractionLayer
+    from repro.hybrid.routing import HybridMeshRouter, populate_from_testbed
+    layer = AbstractionLayer()
+    populate_from_testbed(layer, testbed, t)
+    router = HybridMeshRouter(layer)
+    path = router.best_path(str(args.src), str(args.dst))
+    if path is None:
+        print(f"no route from {args.src} to {args.dst}", file=sys.stderr)
+        return 1
+    print(f"route {args.src} -> {args.dst} "
+          f"(ETT {path.total_ett_s * 1e3:.2f} ms"
+          f"{', alternates media' if path.alternates_media else ''}):")
+    for hop in path.hops:
+        print(f"  {hop.src} -> {hop.dst}  [{hop.medium}]  "
+              f"{hop.ett_s * 1e3:.2f} ms")
+    return 0
+
+
+def cmd_report(args) -> int:
+    campaign = load_campaign(args.file)
+    print(f"campaign {campaign.name!r}: {len(campaign)} records, "
+          f"seed={campaign.seed}")
+    rows = []
+    for (src, dst, medium) in campaign.links()[: args.top]:
+        series = campaign.series(src, dst, medium)
+        rows.append([f"{src}->{dst}", medium, len(series),
+                     series.mean / MBPS, series.std / MBPS])
+    print(format_table(
+        ["link", "medium", "samples", "mean cap (Mbps)", "std"],
+        rows, title="per-link summary"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Electri-Fi reproduction toolkit (IMC'15)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_survey = sub.add_parser("survey", help="dual-medium link survey")
+    _add_common(p_survey)
+    p_survey.add_argument("--save", help="write campaign JSONL here")
+    p_survey.add_argument("--top", type=int, default=15,
+                          help="rows to print (default 15)")
+    p_survey.set_defaults(func=cmd_survey)
+
+    p_probe = sub.add_parser("probe", help="measure one PLC link")
+    _add_common(p_probe)
+    p_probe.add_argument("src", type=int)
+    p_probe.add_argument("dst", type=int)
+    p_probe.set_defaults(func=cmd_probe)
+
+    p_route = sub.add_parser("route", help="hybrid mesh route")
+    _add_common(p_route)
+    p_route.add_argument("src", type=int)
+    p_route.add_argument("dst", type=int)
+    p_route.set_defaults(func=cmd_route)
+
+    p_report = sub.add_parser("report", help="summarise a saved campaign")
+    p_report.add_argument("file")
+    p_report.add_argument("--top", type=int, default=15)
+    p_report.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

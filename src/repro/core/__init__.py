@@ -1,0 +1,38 @@
+"""The paper's contribution: PLC link metrics and estimation techniques.
+
+Everything under :mod:`repro.core` is technology-facing *measurement and
+estimation* machinery — what a hybrid-network implementer (IEEE 1905) would
+lift from the paper:
+
+* :mod:`repro.core.metrics` — metric records (BLE, PBerr, throughput, ETX);
+* :mod:`repro.core.classification` — link-quality classes (§7.3 heuristics);
+* :mod:`repro.core.capacity` — BLE-based capacity estimation (§7.1);
+* :mod:`repro.core.probing` — probe schedules: fixed, quality-adaptive
+  (§7.3), bursty (§8.2), with overhead accounting;
+* :mod:`repro.core.variation` — the three-timescale variation analysis (§6);
+* :mod:`repro.core.etx` — broadcast ETX vs unicast U-ETX (§8.1);
+* :mod:`repro.core.estimation_error` — accuracy-vs-overhead evaluation
+  (Fig. 19);
+* :mod:`repro.core.guidelines` — Table 3 as an executable policy engine.
+"""
+
+from repro.core.capacity import CapacityEstimate, estimate_capacity_mbps
+from repro.core.classification import LinkQuality, classify_ble_mbps
+from repro.core.metrics import LinkMetricRecord, MetricSeries
+from repro.core.probing import (
+    AdaptiveProbingPolicy,
+    FixedProbingPolicy,
+    ProbeSchedule,
+)
+
+__all__ = [
+    "LinkMetricRecord",
+    "MetricSeries",
+    "LinkQuality",
+    "classify_ble_mbps",
+    "CapacityEstimate",
+    "estimate_capacity_mbps",
+    "ProbeSchedule",
+    "FixedProbingPolicy",
+    "AdaptiveProbingPolicy",
+]

@@ -1,0 +1,58 @@
+"""Link-quality classification (§7.3's heuristics).
+
+The paper classifies links by average BLE to set probing frequency:
+bad < 60 Mbps ≤ average < 100 Mbps ≤ good. The thresholds are
+technology-dependent (§6.2 footnote), so they are parameters here with the
+paper's HPAV values as defaults.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.units import MBPS
+
+
+class LinkQuality(enum.Enum):
+    """Quality classes used throughout §6–§7."""
+
+    BAD = "bad"
+    AVERAGE = "average"
+    GOOD = "good"
+
+
+@dataclass(frozen=True)
+class QualityThresholds:
+    """BLE thresholds (bits/s) separating the classes."""
+
+    bad_below_bps: float = 60.0 * MBPS
+    good_above_bps: float = 100.0 * MBPS
+
+    def __post_init__(self) -> None:
+        if self.bad_below_bps >= self.good_above_bps:
+            raise ValueError("bad threshold must sit below good threshold")
+
+
+#: The paper's HPAV thresholds (§7.3).
+DEFAULT_THRESHOLDS = QualityThresholds()
+
+
+def classify_ble(ble_bps: float,
+                 thresholds: QualityThresholds = DEFAULT_THRESHOLDS
+                 ) -> LinkQuality:
+    """Classify a link by its average BLE in bits/s."""
+    if ble_bps < 0:
+        raise ValueError("BLE cannot be negative")
+    if ble_bps < thresholds.bad_below_bps:
+        return LinkQuality.BAD
+    if ble_bps >= thresholds.good_above_bps:
+        return LinkQuality.GOOD
+    return LinkQuality.AVERAGE
+
+
+def classify_ble_mbps(ble_mbps: float,
+                      thresholds: QualityThresholds = DEFAULT_THRESHOLDS
+                      ) -> LinkQuality:
+    """Convenience wrapper taking Mbps (the paper's reporting unit)."""
+    return classify_ble(ble_mbps * MBPS, thresholds)

@@ -1,0 +1,107 @@
+"""Delay metrics for delay-sensitive applications (§8's motivation).
+
+§8 opens: capacity "does not take into account interference ... another
+metric could be useful for delay sensitive applications that do not
+saturate the medium but have low delay requirements. Delay is affected by
+retransmissions either due to bursty errors or to contention." This module
+assembles the delay picture from the metrics the paper defines:
+
+* **service time** — the MAC exchange at the link's BLE, repeated U-ETX
+  times (retransmissions due to errors);
+* **contention inflation** — the expected extra backoff/deferral when the
+  medium is partly busy (retransmissions/waits due to contention), driven
+  by the airtime occupancy of :mod:`repro.core.interference`;
+* **queueing** — an M/G/1 term for non-saturating CBR flows;
+* **jitter** — the service-time spread implied by the transmission-count
+  variance (Fig. 22's error bars, turned into a delay number).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.interference import AirtimeReport
+from repro.plc import mac
+from repro.units import MBPS
+
+
+@dataclass(frozen=True)
+class DelayEstimate:
+    """Per-packet delay decomposition (all seconds)."""
+
+    service_s: float       # one error-free MAC exchange
+    retx_s: float          # extra exchanges due to channel errors
+    contention_s: float    # waiting behind foreign traffic
+    queueing_s: float      # own-queue (M/G/1) waiting
+    jitter_s: float        # std of the total delay
+
+    @property
+    def total_s(self) -> float:
+        return (self.service_s + self.retx_s + self.contention_s
+                + self.queueing_s)
+
+
+def service_time_s(link, t: float, payload_bytes: int = 1500,
+                   timings: mac.MacTimings = mac.DEFAULT_TIMINGS) -> float:
+    """One error-free MAC exchange for a packet on a PLC link."""
+    ble = max(link.avg_ble_bps(t), 1 * MBPS)
+    n_pbs = mac.pbs_for_payload(payload_bytes, link.spec)
+    frame = mac.frame_duration_s(n_pbs, ble, link.spec.target_pb_error,
+                                 link.spec, timings)
+    return frame + timings.exchange_overhead_s(3.5)
+
+
+def estimate_delay(link, t: float, payload_bytes: int = 1500,
+                   offered_bps: float = 150e3,
+                   airtime: Optional[AirtimeReport] = None
+                   ) -> DelayEstimate:
+    """Full per-packet delay estimate for a CBR flow on a PLC link.
+
+    ``offered_bps`` is the flow's own rate (the paper's probe flows run at
+    150 kbps); ``airtime`` describes foreign occupancy when known.
+    """
+    if offered_bps <= 0:
+        raise ValueError("offered load must be positive")
+    base = service_time_s(link, t, payload_bytes)
+    etx = min(link.u_etx(t, payload_bytes), 25.0)
+    etx_std = min(link.u_etx_std(t, payload_bytes), 25.0) \
+        if hasattr(link, "u_etx_std") else 0.0
+    retx = base * (etx - 1.0)
+
+    # Contention: while foreign traffic holds the medium, our packet waits.
+    # Expected residual busy time ≈ busy_fraction × mean busy period.
+    foreign_fraction = airtime.foreign_fraction if airtime else 0.0
+    mean_busy = base  # foreign frames are comparable exchanges
+    contention = foreign_fraction * mean_busy / max(
+        1.0 - foreign_fraction, 0.05)
+
+    # Queueing (M/G/1, Pollaczek-Khinchine with squared CV from the
+    # retransmission count variance).
+    effective_service = base * etx + contention
+    arrival_rate = offered_bps / (payload_bytes * 8)
+    rho = arrival_rate * effective_service
+    if rho >= 1.0:
+        queueing = float("inf")
+    else:
+        cv2 = (etx_std / etx) ** 2 if etx > 0 else 0.0
+        queueing = (rho * effective_service * (1 + cv2)
+                    / (2 * (1 - rho)))
+    jitter = base * etx_std
+    return DelayEstimate(service_s=base, retx_s=retx,
+                         contention_s=contention, queueing_s=queueing,
+                         jitter_s=jitter)
+
+
+def delay_budget_ok(estimate: DelayEstimate, budget_s: float,
+                    jitter_budget_s: Optional[float] = None) -> bool:
+    """Whether a link meets an application's delay (and jitter) budget."""
+    if budget_s <= 0:
+        raise ValueError("budget must be positive")
+    if not np.isfinite(estimate.total_s) or estimate.total_s > budget_s:
+        return False
+    if jitter_budget_s is not None and estimate.jitter_s > jitter_budget_s:
+        return False
+    return True

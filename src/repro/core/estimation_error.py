@@ -1,0 +1,106 @@
+"""Accuracy-vs-overhead evaluation of probing policies (§7.3, Fig. 19).
+
+The paper's protocol: take a BLE trace sampled every 50 ms; a policy probes
+at instants separated by its interval; the estimate between two probes is
+the BLE read at the last probe; the ground truth is the *average* BLE until
+the next probe; the error is their absolute difference. The CDF of those
+errors over all links, together with the total probing overhead, is the
+policy comparison of Fig. 19.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.metrics import MetricSeries
+from repro.core.probing import AdaptiveProbingPolicy, FixedProbingPolicy
+
+
+@dataclass(frozen=True)
+class EstimationErrorResult:
+    """Error samples + overhead for one policy over a set of links."""
+
+    policy_name: str
+    errors_bps: np.ndarray
+    overhead_bps: float
+
+    def error_cdf(self, grid_bps: Sequence[float]) -> np.ndarray:
+        """CDF of |error| evaluated on a grid (for the Fig. 19 plot)."""
+        errs = np.sort(self.errors_bps)
+        return np.searchsorted(errs, np.asarray(grid_bps),
+                               side="right") / max(len(errs), 1)
+
+    def percentile_bps(self, q: float) -> float:
+        return float(np.percentile(self.errors_bps, q))
+
+
+def estimation_errors_for_interval(series: MetricSeries,
+                                   interval_s: float) -> np.ndarray:
+    """Error samples for one link probed at a fixed interval.
+
+    ``series`` is the densely-sampled BLE trace (50 ms in the paper). For
+    each probe instant t: error = |BLE_t − mean(BLE over [t, t+interval))|.
+    """
+    if len(series) < 2:
+        raise ValueError("trace too short")
+    if interval_s <= 0:
+        raise ValueError("interval must be positive")
+    t0 = series.times[0]
+    t_end = series.times[-1]
+    errors: List[float] = []
+    t = t0
+    while t + interval_s <= t_end:
+        window = series.window(t, t + interval_s)
+        if len(window):
+            estimate = window.values[0]
+            truth = window.mean
+            errors.append(abs(estimate - truth))
+        t += interval_s
+    return np.asarray(errors)
+
+
+def evaluate_policy(policy, traces: Dict[str, MetricSeries],
+                    policy_name: str) -> EstimationErrorResult:
+    """Evaluate a probing policy over per-link BLE traces.
+
+    ``policy`` needs ``schedule_for(ble_bps)`` (both fixed and adaptive
+    policies qualify). The link's class is decided from its trace mean —
+    what the CCo would know from history (§7.3).
+    """
+    all_errors: List[np.ndarray] = []
+    overhead = 0.0
+    for name in sorted(traces):
+        trace = traces[name]
+        schedule = policy.schedule_for(trace.mean)
+        all_errors.append(
+            estimation_errors_for_interval(trace, schedule.interval_s))
+        overhead += schedule.overhead_bps()
+    errors = (np.concatenate(all_errors) if all_errors
+              else np.array([]))
+    return EstimationErrorResult(policy_name=policy_name,
+                                 errors_bps=errors,
+                                 overhead_bps=overhead)
+
+
+def compare_policies(traces: Dict[str, MetricSeries],
+                     base_interval_s: float = 5.0,
+                     slow_interval_s: float = 80.0
+                     ) -> Dict[str, EstimationErrorResult]:
+    """The Fig. 19 three-way comparison.
+
+    Returns results keyed "ours" (adaptive), "fast" (everything at the base
+    interval) and "slow" (everything at the slow interval).
+    """
+    adaptive = AdaptiveProbingPolicy(base_interval_s=base_interval_s,
+                                     good_factor=slow_interval_s
+                                     / base_interval_s)
+    fast = FixedProbingPolicy(base_interval_s)
+    slow = FixedProbingPolicy(slow_interval_s)
+    return {
+        "ours": evaluate_policy(adaptive, traces, "ours"),
+        "fast": evaluate_policy(fast, traces, f"per-{base_interval_s:g}s"),
+        "slow": evaluate_policy(slow, traces, f"per-{slow_interval_s:g}s"),
+    }

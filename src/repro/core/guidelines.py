@@ -1,0 +1,141 @@
+"""Table 3 as an executable policy engine.
+
+The paper closes with guidelines for PLC link-metric estimation (§9,
+Table 3). :func:`recommend` turns measured link state into a concrete
+:class:`ProbingRecommendation`; :func:`audit_schedule` checks an existing
+probing setup against every guideline and reports violations — useful for a
+hybrid-network implementation that wants the paper's rules enforced in CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.classification import (
+    DEFAULT_THRESHOLDS,
+    LinkQuality,
+    QualityThresholds,
+    classify_ble,
+)
+from repro.core.probing import AdaptiveProbingPolicy, ProbeSchedule
+from repro.plc.spec import HPAV, PlcSpec
+
+
+@dataclass(frozen=True)
+class LinkState:
+    """What the recommender needs to know about a link."""
+
+    ble_fwd_bps: float
+    ble_rev_bps: Optional[float] = None
+    contended: bool = False   # is background traffic expected?
+
+
+@dataclass(frozen=True)
+class ProbingRecommendation:
+    """A Table 3-compliant probing prescription."""
+
+    metrics: tuple                  # metric names to collect
+    unicast: bool
+    average_over_slots: bool
+    schedule: ProbeSchedule
+    probe_both_directions: bool
+    notes: tuple = ()
+
+
+def recommend(state: LinkState, spec: PlcSpec = HPAV,
+              policy: Optional[AdaptiveProbingPolicy] = None
+              ) -> ProbingRecommendation:
+    """Produce the paper's recommended probing setup for one link."""
+    policy = policy or AdaptiveProbingPolicy()
+    schedule = policy.schedule_for(state.ble_fwd_bps)
+    notes: List[str] = []
+    # Size guideline (§7.2): strictly more than one PB.
+    payload = schedule.payload_bytes
+    if payload <= spec.pb_total_bytes:
+        payload = spec.pb_total_bytes + 1
+        notes.append(
+            f"probe payload raised to {payload} B: probes of at most one PB "
+            f"pin the estimate at R_1sym ({spec.one_symbol_rate_bps/1e6:.1f} "
+            f"Mbps)")
+    burst = schedule.burst_packets
+    if state.contended and burst < 20:
+        burst = 20
+        notes.append("background traffic expected: probes grouped into "
+                     "20-packet bursts so frame aggregation shields the "
+                     "channel estimator (§8.2); the measurement interval "
+                     "is kept (the burst costs extra airtime rather than "
+                     "sacrificing probing frequency)")
+    # Asymmetry guideline (§5): severe asymmetry means the reverse link must
+    # be probed on its own schedule.
+    both = True
+    if state.ble_rev_bps is not None and state.ble_fwd_bps > 0:
+        ratio = max(state.ble_fwd_bps, state.ble_rev_bps) / max(
+            min(state.ble_fwd_bps, state.ble_rev_bps), 1.0)
+        if ratio > 1.5:
+            notes.append(f"link is {ratio:.1f}x asymmetric: reverse "
+                         "direction carries its own metric state")
+    return ProbingRecommendation(
+        metrics=("BLE", "PBerr"),
+        unicast=True,
+        average_over_slots=True,
+        schedule=ProbeSchedule(interval_s=schedule.interval_s,
+                               payload_bytes=payload,
+                               burst_packets=burst),
+        probe_both_directions=both,
+        notes=tuple(notes))
+
+
+@dataclass(frozen=True)
+class GuidelineViolation:
+    """One broken Table 3 rule."""
+
+    guideline: str
+    detail: str
+
+
+def audit_schedule(schedule: ProbeSchedule, *, unicast: bool,
+                   averages_over_slots: bool, probes_both_directions: bool,
+                   link_quality: LinkQuality,
+                   contended: bool = False,
+                   spec: PlcSpec = HPAV,
+                   thresholds: QualityThresholds = DEFAULT_THRESHOLDS
+                   ) -> List[GuidelineViolation]:
+    """Check a probing setup against every Table 3 guideline."""
+    violations: List[GuidelineViolation] = []
+    if not unicast:
+        violations.append(GuidelineViolation(
+            "unicast probing only",
+            "broadcast probes ride ROBO modulation and carry no link-quality "
+            "information (§8.1)"))
+    if not averages_over_slots:
+        violations.append(GuidelineViolation(
+            "shortest time-scale",
+            "BLE must be averaged over the mains cycle's tone-map slots "
+            "(§6.1)"))
+    if schedule.payload_bytes <= spec.pb_total_bytes:
+        violations.append(GuidelineViolation(
+            "size of probes",
+            f"payload {schedule.payload_bytes} B fits in one PB; the rate "
+            f"adaptation converges to R_1sym instead of capacity (§7.2)"))
+    if link_quality is LinkQuality.GOOD and schedule.interval_s < 30.0:
+        violations.append(GuidelineViolation(
+            "frequency of probes",
+            "good links hold their tone maps for tens of seconds; probing "
+            f"every {schedule.interval_s:g} s wastes airtime (§6.2, §7.3)"))
+    if link_quality is LinkQuality.BAD and schedule.interval_s > 10.0:
+        violations.append(GuidelineViolation(
+            "frequency of probes",
+            "bad links change at ~100 ms scale; probing every "
+            f"{schedule.interval_s:g} s misses the variation (§6.2)"))
+    if contended and schedule.burst_packets < 10:
+        violations.append(GuidelineViolation(
+            "burstiness of probes",
+            "short probes colliding with long frames corrupt the channel "
+            "estimate (capture effect); group probes into bursts (§8.2)"))
+    if not probes_both_directions:
+        violations.append(GuidelineViolation(
+            "asymmetry in probing",
+            "PLC links are spatially and temporally asymmetric; both "
+            "directions need their own metrics (§5, §6.2)"))
+    return violations

@@ -1,0 +1,104 @@
+"""Interference-aware metrics: the paper's declared future work (§8.2).
+
+§8 closes with: "estimating the amount of interference is challenging and
+should be further investigated. We leave this extension for future work."
+This module implements the natural extension using only observables the
+paper's tooling already provides:
+
+* **airtime busy fraction** — the SoF sniffer sees every frame on the wire
+  (delimiters ride ROBO), so the share of time the medium is busy with
+  *other* stations' traffic is directly measurable;
+* **available bandwidth** — capacity (from BLE, §7.1) scaled by the idle
+  airtime, the quantity a load balancer actually wants (§8's observation
+  that capacity "does not take into account interference");
+* **contention-aware ETT** — the §4.3 routing metric corrected for the
+  measured contention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.plc.frames import SofDelimiter
+
+
+@dataclass(frozen=True)
+class AirtimeReport:
+    """Occupancy of a contention domain seen by one station's sniffer."""
+
+    window_s: float
+    own_airtime_s: float
+    foreign_airtime_s: float
+
+    def __post_init__(self) -> None:
+        if self.window_s <= 0:
+            raise ValueError("window must be positive")
+        if self.own_airtime_s < 0 or self.foreign_airtime_s < 0:
+            raise ValueError("airtime cannot be negative")
+
+    @property
+    def busy_fraction(self) -> float:
+        """Total share of the window the medium was busy."""
+        return min(1.0, (self.own_airtime_s + self.foreign_airtime_s)
+                   / self.window_s)
+
+    @property
+    def foreign_fraction(self) -> float:
+        """Share of the window consumed by *other* stations."""
+        return min(1.0, self.foreign_airtime_s / self.window_s)
+
+    @property
+    def idle_fraction(self) -> float:
+        return max(0.0, 1.0 - self.busy_fraction)
+
+
+def airtime_report(sofs: Sequence[SofDelimiter], window_s: float,
+                   own_station: str) -> AirtimeReport:
+    """Aggregate a SoF capture into an airtime occupancy report.
+
+    ``own_station`` marks which transmissions belong to the measuring
+    station itself (its own traffic is not interference).
+    """
+    if window_s <= 0:
+        raise ValueError("window must be positive")
+    own = 0.0
+    foreign = 0.0
+    for sof in sofs:
+        if sof.src == own_station:
+            own += sof.duration_s
+        else:
+            foreign += sof.duration_s
+    return AirtimeReport(window_s=window_s, own_airtime_s=own,
+                         foreign_airtime_s=foreign)
+
+
+def available_bandwidth_bps(capacity_bps: float,
+                            report: AirtimeReport) -> float:
+    """Capacity scaled by the airtime others leave free.
+
+    The medium share a new flow can claim is (idle + own): the flow keeps
+    whatever it already uses and can grab the idle remainder, but not the
+    foreign traffic's share.
+    """
+    if capacity_bps < 0:
+        raise ValueError("capacity cannot be negative")
+    return capacity_bps * max(0.0, 1.0 - report.foreign_fraction)
+
+
+def contention_aware_ett_s(capacity_bps: float, etx: float,
+                           report: Optional[AirtimeReport],
+                           packet_bytes: int = 1500) -> float:
+    """ETT corrected for measured contention (the §4.3 routing metric).
+
+    Without a report this is the plain Draves-Padhye-Zill ETT; with one,
+    the effective rate shrinks by the foreign airtime share.
+    """
+    if etx < 1.0:
+        raise ValueError("ETX is at least 1")
+    rate = capacity_bps
+    if report is not None:
+        rate = available_bandwidth_bps(capacity_bps, report)
+    if rate <= 0:
+        return float("inf")
+    return etx * packet_bytes * 8 / rate

@@ -1,0 +1,116 @@
+"""Link-metric records and series containers.
+
+IEEE 1905 (§1, §4.3) requires per-link *capacity* and *loss* metrics but
+specifies no estimation method; the paper fills that gap for PLC with BLE and
+PBerr (Table 2). These classes are the exchange format between the
+measurement layer (:mod:`repro.plc`, :mod:`repro.wifi`) and the algorithms
+(:mod:`repro.hybrid`, :mod:`repro.core.probing`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.units import MBPS
+
+
+@dataclass(frozen=True)
+class LinkMetricRecord:
+    """One link-metric observation, the 1905 abstraction-layer payload.
+
+    Rates in bits/s. ``medium`` is "plc" or "wifi". Optional fields are
+    filled by whichever measurement path produced the record (Table 2).
+    """
+
+    time: float
+    src: str
+    dst: str
+    medium: str
+    capacity_bps: float
+    loss_rate: Optional[float] = None
+    pb_err: Optional[float] = None
+    etx: Optional[float] = None
+    throughput_bps: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.medium not in ("plc", "wifi"):
+            raise ValueError(f"unknown medium {self.medium!r}")
+        if self.capacity_bps < 0:
+            raise ValueError("capacity cannot be negative")
+        for name in ("loss_rate", "pb_err"):
+            value = getattr(self, name)
+            if value is not None and not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability: {value}")
+
+    @property
+    def capacity_mbps(self) -> float:
+        return self.capacity_bps / MBPS
+
+
+class MetricSeries:
+    """A time series of one scalar metric with the stats the paper reports."""
+
+    def __init__(self, times: Sequence[float], values: Sequence[float],
+                 name: str = ""):
+        t = np.asarray(times, dtype=float)
+        v = np.asarray(values, dtype=float)
+        if t.shape != v.shape:
+            raise ValueError("times and values must align")
+        if len(t) and np.any(np.diff(t) < 0):
+            raise ValueError("times must be non-decreasing")
+        self.times = t
+        self.values = v
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def mean(self) -> float:
+        return float(self.values.mean()) if len(self) else float("nan")
+
+    @property
+    def std(self) -> float:
+        return float(self.values.std()) if len(self) else float("nan")
+
+    def window(self, t_start: float, t_end: float) -> "MetricSeries":
+        """Sub-series in [t_start, t_end)."""
+        mask = (self.times >= t_start) & (self.times < t_end)
+        return MetricSeries(self.times[mask], self.values[mask], self.name)
+
+    def resample_mean(self, interval: float) -> "MetricSeries":
+        """Average into fixed bins (the paper's '1 minute averages')."""
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if not len(self):
+            return MetricSeries([], [], self.name)
+        start = self.times[0]
+        bins = ((self.times - start) / interval).astype(int)
+        out_t: List[float] = []
+        out_v: List[float] = []
+        for b in np.unique(bins):
+            mask = bins == b
+            out_t.append(start + (b + 0.5) * interval)
+            out_v.append(float(self.values[mask].mean()))
+        return MetricSeries(out_t, out_v, self.name)
+
+    def change_times(self, rel_threshold: float = 1e-9) -> np.ndarray:
+        """Times where the value changes (for α statistics, Fig. 11)."""
+        if len(self) < 2:
+            return np.array([])
+        prev = self.values[:-1]
+        rel = np.abs(self.values[1:] - prev) / np.maximum(np.abs(prev), 1e-12)
+        return self.times[1:][rel > rel_threshold]
+
+    @staticmethod
+    def from_samples(samples: Iterable, time_attr: str = "time",
+                     value_attr: str = "throughput_bps",
+                     name: str = "") -> "MetricSeries":
+        """Build a series from sample objects (e.g. ``LinkSample``)."""
+        samples = list(samples)
+        return MetricSeries(
+            [getattr(s, time_attr) for s in samples],
+            [getattr(s, value_attr) for s in samples], name)

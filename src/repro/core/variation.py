@@ -1,0 +1,254 @@
+"""Three-timescale temporal-variation analysis (§6).
+
+The decomposition the paper adopts (Fig. 8):
+
+* **invariance scale** — BLE_s varies across the 6 tone-map slots within a
+  half mains cycle (periodic, 10 ms at 50 Hz);
+* **cycle scale** — over multiples of the mains cycle, BLE_s fluctuates
+  around a stationary mean with a variance tied to link quality;
+* **random scale** — over minutes/hours, the mean itself moves with the
+  electrical load (appliance switching, 9 pm lights-off, weekends).
+
+This module turns raw measurements (SoF captures, MM polling traces,
+long-run samples) into the statistics the paper's Figs. 9–14 report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.metrics import MetricSeries
+from repro.plc.frames import SofDelimiter
+from repro.sim.clock import MainsClock
+from repro.units import HOUR
+
+
+# --- invariance scale (Fig. 9) ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class InvarianceScaleStats:
+    """Per-slot BLE statistics from a capture window."""
+
+    slot_means_bps: np.ndarray        # shape (num_slots,)
+    slot_stds_bps: np.ndarray
+    periodicity_s: float              # expected 10 ms at 50 Hz
+
+    @property
+    def slot_spread_ratio(self) -> float:
+        """max/min of the slot means — how much averaging matters (§6.1)."""
+        lo = float(self.slot_means_bps.min())
+        return float(self.slot_means_bps.max()) / lo if lo > 0 else np.inf
+
+
+def invariance_scale_stats(sofs: Sequence[SofDelimiter],
+                           num_slots: int = 6,
+                           half_cycle_s: float = 0.010
+                           ) -> InvarianceScaleStats:
+    """Per-slot BLE statistics from captured SoF delimiters."""
+    if not sofs:
+        raise ValueError("no SoFs captured")
+    means = np.zeros(num_slots)
+    stds = np.zeros(num_slots)
+    bles = np.array([s.ble_bps for s in sofs])
+    slots = np.array([s.slot for s in sofs])
+    for s in range(num_slots):
+        mask = slots == s
+        if np.any(mask):
+            means[s] = bles[mask].mean()
+            stds[s] = bles[mask].std()
+    return InvarianceScaleStats(slot_means_bps=means, slot_stds_bps=stds,
+                                periodicity_s=half_cycle_s)
+
+
+# --- cycle scale (Figs. 10, 11) --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CycleScaleStats:
+    """Fig. 11's per-link summary: update inter-arrival α and BLE spread."""
+
+    mean_ble_bps: float
+    std_ble_bps: float
+    mean_alpha_s: float         # mean time between BLE-value changes
+    n_updates: int
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        return (self.std_ble_bps / self.mean_ble_bps
+                if self.mean_ble_bps > 0 else np.inf)
+
+
+def cycle_scale_stats(series: MetricSeries,
+                      change_threshold: float = 0.002) -> CycleScaleStats:
+    """Summarise a BLE-polling trace (MM every 50 ms, §6.2).
+
+    ``α`` is the inter-arrival time of consecutive BLE *changes* — a value
+    change means the devices regenerated the tone map.
+    """
+    if len(series) < 2:
+        raise ValueError("need at least two samples")
+    changes = series.change_times(rel_threshold=change_threshold)
+    if len(changes) >= 2:
+        alpha = float(np.mean(np.diff(changes)))
+    elif len(changes) == 1:
+        alpha = float(series.times[-1] - series.times[0])
+    else:
+        # No change observed: α is at least the window length.
+        alpha = float(series.times[-1] - series.times[0])
+    return CycleScaleStats(mean_ble_bps=series.mean,
+                           std_ble_bps=series.std,
+                           mean_alpha_s=alpha,
+                           n_updates=len(changes))
+
+
+def quality_variability_correlation(stats: Sequence[CycleScaleStats]
+                                    ) -> float:
+    """Pearson correlation between mean BLE and std of BLE across links.
+
+    The paper's headline: strongly *negative* — good links barely move
+    (§6.2, Fig. 11 right).
+    """
+    if len(stats) < 3:
+        raise ValueError("need at least three links")
+    means = np.array([s.mean_ble_bps for s in stats])
+    stds = np.array([s.std_ble_bps for s in stats])
+    return float(np.corrcoef(means, stds)[0, 1])
+
+
+# --- random scale (Figs. 12–14) -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HourOfDayProfile:
+    """Hourly mean/std of a metric, split weekday vs weekend (Fig. 13/14)."""
+
+    hours: np.ndarray                  # 0..23
+    weekday_mean: np.ndarray
+    weekday_std: np.ndarray
+    weekend_mean: np.ndarray
+    weekend_std: np.ndarray
+
+
+def hour_of_day_profile(series: MetricSeries,
+                        clock: MainsClock = MainsClock()
+                        ) -> HourOfDayProfile:
+    """Aggregate a long-run series into the paper's 2-week hourly view."""
+    if not len(series):
+        raise ValueError("empty series")
+    hours = np.arange(24)
+    wk_mean = np.full(24, np.nan)
+    wk_std = np.full(24, np.nan)
+    we_mean = np.full(24, np.nan)
+    we_std = np.full(24, np.nan)
+    sample_hours = np.array([int(clock.hour_of_day(t)) for t in series.times])
+    weekend = np.array([clock.is_weekend(t) for t in series.times])
+    for h in hours:
+        for is_we, mean_arr, std_arr in ((False, wk_mean, wk_std),
+                                         (True, we_mean, we_std)):
+            mask = (sample_hours == h) & (weekend == is_we)
+            if np.any(mask):
+                mean_arr[h] = series.values[mask].mean()
+                std_arr[h] = series.values[mask].std()
+    return HourOfDayProfile(hours=hours, weekday_mean=wk_mean,
+                            weekday_std=wk_std, weekend_mean=we_mean,
+                            weekend_std=we_std)
+
+
+def detect_daily_event(series: MetricSeries, event_hour: float,
+                       clock: MainsClock = MainsClock(),
+                       window_h: float = 1.0) -> float:
+    """Mean metric shift across a daily event (the 9 pm lights-off, Fig. 12).
+
+    Returns mean(after) − mean(before) pooled over all days in the series.
+    """
+    before: List[float] = []
+    after: List[float] = []
+    for t, v in zip(series.times, series.values):
+        h = clock.hour_of_day(t)
+        if event_hour - window_h <= h < event_hour:
+            before.append(v)
+        elif event_hour < h <= event_hour + window_h:
+            after.append(v)
+    if not before or not after:
+        raise ValueError("series does not cover the event window")
+    return float(np.mean(after) - np.mean(before))
+
+
+@dataclass(frozen=True)
+class TimescaleDecomposition:
+    """Variance shares of the three timescales in a BLE measurement set
+    (the quantitative form of the paper's Fig. 8 sketch).
+
+    ``invariance`` — variance across tone-map slots (mains-synchronous);
+    ``cycle`` — fast residual variance around the local mean;
+    ``random`` — variance of the slow (minutes+) trend itself.
+    Shares sum to ~1 for any non-constant input.
+    """
+
+    invariance_share: float
+    cycle_share: float
+    random_share: float
+    total_variance: float
+
+
+def decompose_timescales(slot_samples: np.ndarray, times: np.ndarray,
+                         trend_window_s: float = 60.0
+                         ) -> TimescaleDecomposition:
+    """Split BLE variance into the paper's three timescales.
+
+    ``slot_samples`` has shape (n_samples, num_slots): per-slot BLE at each
+    sample time. Decomposition: slot-mean deviations → invariance; a
+    ``trend_window_s`` rolling mean of the slot average → random scale; the
+    residual around that trend → cycle scale.
+    """
+    samples = np.asarray(slot_samples, dtype=float)
+    t = np.asarray(times, dtype=float)
+    if samples.ndim != 2 or samples.shape[0] != len(t):
+        raise ValueError("slot_samples must be (n_samples, num_slots) "
+                         "aligned with times")
+    if samples.shape[0] < 4:
+        raise ValueError("need at least four samples")
+    avg = samples.mean(axis=1)
+    # Invariance: average over time of the across-slot variance.
+    invariance = float(np.mean(samples.var(axis=1)))
+    # Random: variance of the slow trend of the slot average.
+    dt = float(np.median(np.diff(t))) if len(t) > 1 else 1.0
+    window = max(1, int(trend_window_s / max(dt, 1e-9)))
+    kernel = np.ones(window)
+    # Edge-corrected rolling mean: divide by how many samples actually
+    # fell in the window (plain 'same' convolution dips at the edges).
+    trend = (np.convolve(avg, kernel, mode="same")
+             / np.convolve(np.ones_like(avg), kernel, mode="same"))
+    random_var = float(trend.var())
+    # Cycle: residual of the slot average around the trend.
+    cycle_var = float((avg - trend).var())
+    total = invariance + cycle_var + random_var
+    if total <= 0:
+        return TimescaleDecomposition(0.0, 0.0, 0.0, 0.0)
+    return TimescaleDecomposition(
+        invariance_share=invariance / total,
+        cycle_share=cycle_var / total,
+        random_share=random_var / total,
+        total_variance=total)
+
+
+def probing_interval_suggestion(stats: CycleScaleStats,
+                                error_budget: float = 0.02) -> float:
+    """How often a link with these cycle-scale stats needs probing (s).
+
+    Heuristic from §6.2/§7.3: probing need scales with the link's relative
+    variability per unit time. A link whose BLE moves by less than the error
+    budget over an hour can be probed hourly.
+    """
+    if stats.mean_ble_bps <= 0:
+        return 1.0
+    cv = stats.coefficient_of_variation
+    if cv <= 0:
+        return HOUR
+    # Rate of relative change per second ≈ cv / α.
+    change_rate = cv / max(stats.mean_alpha_s, 1e-3)
+    return float(np.clip(error_budget / max(change_rate, 1e-9), 1.0, HOUR))

@@ -1,0 +1,32 @@
+"""Hybrid WiFi+PLC networking (§4.3, §7.4 and IEEE 1905).
+
+* :mod:`repro.hybrid.ieee1905` — the 1905-style abstraction layer: a
+  per-station table of link-metric records across media;
+* :mod:`repro.hybrid.schedulers` — the capacity-proportional load balancer
+  (the paper's Click implementation) and the round-robin baseline;
+* :mod:`repro.hybrid.reorder` — destination-side packet reordering on the
+  IP identification sequence;
+* :mod:`repro.hybrid.aggregator` — :class:`HybridDevice`, which bonds a PLC
+  and a WiFi link, estimates their capacities by probing (BLE / MCS), and
+  runs saturated tests or file transfers over the bonded pair (Fig. 20).
+"""
+
+from repro.hybrid.aggregator import AggregationResult, HybridDevice
+from repro.hybrid.ieee1905 import AbstractionLayer
+from repro.hybrid.reorder import ReorderBuffer
+from repro.hybrid.routing import HybridMeshRouter, HybridPath
+from repro.hybrid.schedulers import (
+    CapacityProportionalScheduler,
+    RoundRobinScheduler,
+)
+
+__all__ = [
+    "AbstractionLayer",
+    "CapacityProportionalScheduler",
+    "RoundRobinScheduler",
+    "ReorderBuffer",
+    "HybridDevice",
+    "AggregationResult",
+    "HybridMeshRouter",
+    "HybridPath",
+]

@@ -1,0 +1,69 @@
+"""IEEE 1905-style abstraction layer.
+
+The 1905 standard (paper ref [2]) defines an abstraction layer holding
+topology and per-link metrics across heterogeneous media, but neither the
+estimation methods nor forwarding rules — which is exactly the gap the paper
+fills. :class:`AbstractionLayer` is that table: media register their links,
+measurement paths push :class:`~repro.core.metrics.LinkMetricRecord`
+updates, and algorithms (load balancing, routing) read the freshest view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.metrics import LinkMetricRecord
+
+_Key = Tuple[str, str, str]  # (src, dst, medium)
+
+
+class AbstractionLayer:
+    """Per-network table of hybrid link metrics."""
+
+    def __init__(self, staleness_limit_s: Optional[float] = None):
+        #: Records older than this are not returned (None = no limit).
+        self.staleness_limit_s = staleness_limit_s
+        self._records: Dict[_Key, LinkMetricRecord] = {}
+
+    def update(self, record: LinkMetricRecord) -> None:
+        """Insert or refresh a link metric (monotonic time enforced)."""
+        key = (record.src, record.dst, record.medium)
+        old = self._records.get(key)
+        if old is not None and record.time < old.time:
+            raise ValueError(
+                f"stale update for {key}: {record.time} < {old.time}")
+        self._records[key] = record
+
+    def get(self, src: str, dst: str, medium: str,
+            now: Optional[float] = None) -> Optional[LinkMetricRecord]:
+        """Freshest record for a directed link on one medium."""
+        record = self._records.get((src, dst, medium))
+        if record is None:
+            return None
+        if (now is not None and self.staleness_limit_s is not None
+                and now - record.time > self.staleness_limit_s):
+            return None
+        return record
+
+    def media_for(self, src: str, dst: str,
+                  now: Optional[float] = None) -> List[LinkMetricRecord]:
+        """All media records for a station pair, best capacity first."""
+        out = [r for (s, d, _), r in self._records.items()
+               if s == src and d == dst]
+        if now is not None and self.staleness_limit_s is not None:
+            out = [r for r in out
+                   if now - r.time <= self.staleness_limit_s]
+        return sorted(out, key=lambda r: -r.capacity_bps)
+
+    def capacities(self, src: str, dst: str,
+                   now: Optional[float] = None) -> Dict[str, float]:
+        """{medium: capacity_bps} — the load balancer's input (§7.4)."""
+        return {r.medium: r.capacity_bps
+                for r in self.media_for(src, dst, now)}
+
+    def links(self) -> List[_Key]:
+        return sorted(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,188 @@
+"""Quantum-based scenario execution with airtime-fair medium sharing.
+
+The runner advances in fixed quanta (default 0.5 s). In each quantum:
+
+1. flows that have started and not finished are *active*;
+2. PLC flows sharing a contention domain (one AVLN/board — CSMA is
+   domain-wide) split airtime equally among backlogged flows, so flow i's
+   rate is ``capacity_i / n_backlogged`` (the round-based CSMA simulator's
+   long-term behaviour, without paying its per-frame cost);
+3. WiFi flows share the (single) channel the same way;
+4. hybrid flows take their share on both media (§7.4's bond);
+5. CBR flows consume at most their offered rate — leftover airtime goes
+   back to the saturated flows in a second pass (work-conserving);
+6. file flows retire once their bytes are moved.
+
+This is deliberately fluid-level: the frame-level dynamics live in
+:mod:`repro.plc.csma`; the runner answers capacity-planning questions
+("what do these nine flows do to each other for ten minutes?") that the
+paper's metrics exist to serve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.netsim.scenario import FlowRequest, FlowResult, Scenario
+
+
+def results_to_campaign(results: Dict[str, "FlowResult"],
+                        name: str = "scenario"):
+    """Export scenario outcomes as a persistable measurement campaign."""
+    from repro.analysis.traces import Campaign
+    from repro.core.metrics import LinkMetricRecord
+
+    campaign = Campaign(name=name, description="netsim scenario results")
+    for flow_name, result in sorted(results.items()):
+        request = result.request
+        campaign.add(LinkMetricRecord(
+            time=result.completed_at if result.finished
+            else request.start_s + result.active_time_s,
+            src=str(request.src), dst=str(request.dst),
+            medium="wifi" if request.medium == "wifi" else "plc",
+            capacity_bps=result.mean_rate_bps,
+            throughput_bps=result.mean_rate_bps))
+    return campaign
+
+
+@dataclass
+class QuantumLog:
+    """Per-quantum utilisation snapshot (for time-series inspection)."""
+
+    time: float
+    active_flows: int
+    domain_load: Dict[str, int]
+
+
+class ScenarioRunner:
+    """Execute a :class:`Scenario` against a testbed."""
+
+    def __init__(self, testbed, quantum_s: float = 0.5):
+        if quantum_s <= 0:
+            raise ValueError("quantum must be positive")
+        self.testbed = testbed
+        self.quantum_s = quantum_s
+        self.log: List[QuantumLog] = []
+
+    # --- per-flow capacity on one medium at time t ------------------------------
+
+    def _link_capacity(self, flow: FlowRequest, medium: str,
+                       t: float) -> float:
+        if medium == "plc":
+            link = self.testbed.plc_link(flow.src, flow.dst)
+            if link is None:
+                return 0.0
+            return max(link.throughput_bps(t, measured=False), 0.0)
+        return max(self.testbed.wifi_link(flow.src, flow.dst)
+                   .throughput_bps(t, measured=False), 0.0)
+
+    def _domain(self, flow: FlowRequest, medium: str) -> str:
+        if medium == "plc":
+            return f"plc:{self.testbed.board_of(flow.src)}"
+        return "wifi:floor"  # one shared 20 MHz channel (§4.1 setup)
+
+    # --- main loop -----------------------------------------------------------------
+
+    def run(self, scenario: Scenario, horizon_s: Optional[float] = None
+            ) -> Dict[str, FlowResult]:
+        """Run to ``horizon_s`` (default: scenario end + 60 s slack)."""
+        if not scenario.flows:
+            return {}
+        t0 = min(f.start_s for f in scenario.flows)
+        horizon = horizon_s if horizon_s is not None else (
+            scenario.end_time() + 60.0)
+        results = {f.name: FlowResult(request=f) for f in scenario.flows}
+        t = t0
+        while t < t0 + horizon:
+            active = [f for f in scenario.flows
+                      if f.start_s <= t and not self._done(results[f.name],
+                                                           f, t)]
+            if not active:
+                upcoming = [f.start_s for f in scenario.flows
+                            if f.start_s > t]
+                if not upcoming:
+                    break
+                t = min(upcoming)
+                continue
+            self._step(active, results, t)
+            self.log.append(QuantumLog(
+                time=t, active_flows=len(active),
+                domain_load=self._domain_census(active)))
+            t += self.quantum_s
+        return results
+
+    def _done(self, result: FlowResult, flow: FlowRequest,
+              t: float) -> bool:
+        if result.finished:
+            return True
+        if flow.kind in ("saturated", "cbr"):
+            if t >= flow.start_s + flow.duration_s:
+                result.completed_at = flow.start_s + flow.duration_s
+                return True
+        return False
+
+    def _domain_census(self, active: List[FlowRequest]) -> Dict[str, int]:
+        census: Dict[str, int] = {}
+        for flow in active:
+            for medium in self._media(flow):
+                key = self._domain(flow, medium)
+                census[key] = census.get(key, 0) + 1
+        return census
+
+    @staticmethod
+    def _media(flow: FlowRequest) -> Tuple[str, ...]:
+        return ("plc", "wifi") if flow.medium == "hybrid" else (flow.medium,)
+
+    def _step(self, active: List[FlowRequest],
+              results: Dict[str, FlowResult], t: float) -> None:
+        # Pass 1: equal airtime shares per domain.
+        census = self._domain_census(active)
+        allocation: Dict[str, float] = {f.name: 0.0 for f in active}
+        spare: Dict[str, float] = {}
+        for flow in active:
+            for medium in self._media(flow):
+                domain = self._domain(flow, medium)
+                n = census[domain]
+                share = self._link_capacity(flow, medium, t) / n
+                allocation[flow.name] += share
+        # Pass 2: CBR flows cap at their offered rate; spare airtime is
+        # redistributed to saturated/file flows in the same domains.
+        for flow in active:
+            if flow.kind == "cbr" and flow.rate_bps is not None:
+                granted = allocation[flow.name]
+                if granted > flow.rate_bps:
+                    excess = granted - flow.rate_bps
+                    allocation[flow.name] = flow.rate_bps
+                    for medium in self._media(flow):
+                        domain = self._domain(flow, medium)
+                        spare[domain] = spare.get(domain, 0.0) + excess
+        greedy = [f for f in active if f.kind != "cbr"]
+        for flow in greedy:
+            for medium in self._media(flow):
+                domain = self._domain(flow, medium)
+                if spare.get(domain, 0.0) > 0:
+                    bonus = spare[domain] / sum(
+                        1 for g in greedy
+                        if domain in (self._domain(g, m)
+                                      for m in self._media(g)))
+                    allocation[flow.name] += bonus
+        # Book the quantum.
+        for flow in active:
+            result = results[flow.name]
+            rate = allocation[flow.name]
+            moved = rate * self.quantum_s / 8.0
+            if flow.kind == "file" and flow.size_bytes is not None:
+                remaining = flow.size_bytes - result.delivered_bytes
+                if moved >= remaining:
+                    fraction = remaining / moved if moved > 0 else 0.0
+                    result.delivered_bytes = flow.size_bytes
+                    result.active_time_s += self.quantum_s * fraction
+                    result.completed_at = t + self.quantum_s * fraction
+                    continue
+            result.delivered_bytes += moved
+            result.active_time_s += self.quantum_s
+            if rate <= 0:
+                result.starved_quanta += 1

@@ -1,0 +1,92 @@
+"""Scenario descriptions: who sends what, when, over which medium."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.units import MBPS
+
+VALID_KINDS = ("saturated", "cbr", "file")
+VALID_MEDIA = ("plc", "wifi", "hybrid")
+
+
+@dataclass(frozen=True)
+class FlowRequest:
+    """One flow in a scenario.
+
+    ``kind``:
+      * ``saturated`` — sends as fast as the medium allows for ``duration_s``;
+      * ``cbr`` — constant ``rate_bps`` for ``duration_s``;
+      * ``file`` — moves ``size_bytes`` then completes.
+    ``medium``: which interface(s) carry it ("hybrid" bonds both, §7.4).
+    """
+
+    name: str
+    src: int
+    dst: int
+    start_s: float
+    kind: str = "saturated"
+    medium: str = "plc"
+    duration_s: Optional[float] = None
+    rate_bps: Optional[float] = None
+    size_bytes: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in VALID_KINDS:
+            raise ValueError(f"unknown flow kind {self.kind!r}")
+        if self.medium not in VALID_MEDIA:
+            raise ValueError(f"unknown medium {self.medium!r}")
+        if self.kind == "cbr" and not self.rate_bps:
+            raise ValueError("cbr flows need rate_bps")
+        if self.kind == "file" and not self.size_bytes:
+            raise ValueError("file flows need size_bytes")
+        if self.kind in ("saturated", "cbr") and not self.duration_s:
+            raise ValueError(f"{self.kind} flows need duration_s")
+        if self.src == self.dst:
+            raise ValueError("src and dst must differ")
+
+
+@dataclass
+class FlowResult:
+    """Outcome of one flow after the scenario ran."""
+
+    request: FlowRequest
+    delivered_bytes: float = 0.0
+    active_time_s: float = 0.0
+    completed_at: Optional[float] = None
+    starved_quanta: int = 0
+
+    @property
+    def mean_rate_bps(self) -> float:
+        if self.active_time_s <= 0:
+            return 0.0
+        return self.delivered_bytes * 8 / self.active_time_s
+
+    @property
+    def mean_rate_mbps(self) -> float:
+        return self.mean_rate_bps / MBPS
+
+    @property
+    def finished(self) -> bool:
+        return self.completed_at is not None
+
+
+@dataclass
+class Scenario:
+    """A named set of flows over the testbed."""
+
+    name: str
+    flows: List[FlowRequest] = field(default_factory=list)
+
+    def add(self, flow: FlowRequest) -> "Scenario":
+        if any(f.name == flow.name for f in self.flows):
+            raise ValueError(f"duplicate flow name {flow.name!r}")
+        self.flows.append(flow)
+        return self
+
+    def end_time(self) -> float:
+        """Latest time any flow could still be running (file flows are
+        bounded by the runner's horizon)."""
+        ends = [f.start_s + (f.duration_s or 0.0) for f in self.flows]
+        return max(ends) if ends else 0.0

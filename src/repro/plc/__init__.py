@@ -1,0 +1,38 @@
+"""IEEE 1901 / HomePlug AV power-line communication stack.
+
+Layout mirrors the paper's §2 background:
+
+* :mod:`repro.plc.spec` — PHY constants for HPAV and HPAV500 (§2.1, §3.1);
+* :mod:`repro.plc.channel` — multipath transfer function + per-carrier SNR
+  built on the power grid (§5);
+* :mod:`repro.plc.phy` / :mod:`repro.plc.tonemap` — per-carrier modulation,
+  tone maps, BLE per Definition 1 (§2.1);
+* :mod:`repro.plc.channel_estimation` — the (vendor-specific) sound-frame
+  estimation process with its convergence behaviour (§7);
+* :mod:`repro.plc.mac` — PB segmentation, frame aggregation, SACK
+  retransmission, MAC-efficiency chain (§2.2);
+* :mod:`repro.plc.csma` — 1901 CSMA/CA with the deferral counter (§2.2);
+* :mod:`repro.plc.station` / :mod:`repro.plc.network` — stations, the CCo,
+  logical networks (§3.1);
+* :mod:`repro.plc.mm` / :mod:`repro.plc.sniffer` — the Open Powerline
+  Toolkit-style management-message API and SoF capture (§3.2).
+"""
+
+from repro.plc.channel import PlcChannel
+from repro.plc.link import PlcLink
+from repro.plc.network import PlcNetwork
+from repro.plc.spec import GREENPHY, HPAV, HPAV500, PlcSpec
+from repro.plc.station import PlcStation
+from repro.plc.tonemap import ToneMap
+
+__all__ = [
+    "PlcSpec",
+    "HPAV",
+    "HPAV500",
+    "GREENPHY",
+    "PlcChannel",
+    "ToneMap",
+    "PlcLink",
+    "PlcStation",
+    "PlcNetwork",
+]

@@ -1,0 +1,115 @@
+"""Beacon-period structure: the CCo's schedule (§2.2, Fig. 1).
+
+IEEE 1901 organises time into beacon periods of two mains cycles (40 ms at
+50 Hz). The CCo broadcasts a beacon that partitions each period into
+regions: the beacon itself, an optional contention-free (TDMA) region, and
+the CSMA region everything else contends in. The paper's Fig. 1 sketches
+this; the MAC-efficiency chain's ``CSMA_REGION_FACTOR`` is the scalar
+shadow of this structure — this module is the structure itself, used by
+the TDMA extension and by airtime accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.plc.tdma import TdmaAllocation
+from repro.units import BEACON_PERIOD, MAINS_CYCLE
+
+
+@dataclass(frozen=True)
+class Region:
+    """One region of the beacon period."""
+
+    kind: str            # "beacon" | "cfp" | "csma"
+    start_s: float       # offset within the beacon period
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("beacon", "cfp", "csma"):
+            raise ValueError(f"unknown region kind {self.kind!r}")
+        if self.duration_s <= 0:
+            raise ValueError("regions have positive duration")
+        if not 0.0 <= self.start_s < BEACON_PERIOD:
+            raise ValueError("region must start within the beacon period")
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+
+#: On-air time of the beacon MPDU itself (ROBO-modulated broadcast).
+BEACON_AIRTIME_S = 1.2e-3
+
+
+@dataclass
+class BeaconSchedule:
+    """The CCo's partition of one beacon period."""
+
+    regions: List[Region] = field(default_factory=list)
+
+    @classmethod
+    def csma_only(cls) -> "BeaconSchedule":
+        """What commercial devices run: beacon + one big CSMA region."""
+        return cls(regions=[
+            Region("beacon", 0.0, BEACON_AIRTIME_S),
+            Region("csma", BEACON_AIRTIME_S,
+                   BEACON_PERIOD - BEACON_AIRTIME_S),
+        ])
+
+    @classmethod
+    def with_allocations(cls, allocations: List[TdmaAllocation]
+                         ) -> "BeaconSchedule":
+        """Beacon + contention-free slots + the CSMA remainder."""
+        regions = [Region("beacon", 0.0, BEACON_AIRTIME_S)]
+        cursor = BEACON_AIRTIME_S
+        for alloc in sorted(allocations, key=lambda a: a.start_s):
+            if alloc.duration_s > BEACON_PERIOD - cursor + 1e-9:
+                raise ValueError("allocations exceed the beacon period")
+            regions.append(Region("cfp", cursor, alloc.duration_s))
+            cursor += alloc.duration_s
+        if cursor < BEACON_PERIOD - 1e-9:
+            regions.append(Region("csma", cursor, BEACON_PERIOD - cursor))
+        schedule = cls(regions=regions)
+        schedule.validate()
+        return schedule
+
+    # --- integrity -------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Regions must tile the period without gaps or overlaps."""
+        if not self.regions:
+            raise ValueError("empty schedule")
+        ordered = sorted(self.regions, key=lambda r: r.start_s)
+        if ordered[0].start_s != 0.0:
+            raise ValueError("schedule must start at offset 0")
+        for a, b in zip(ordered, ordered[1:]):
+            if abs(a.end_s - b.start_s) > 1e-9:
+                raise ValueError(
+                    f"gap/overlap between {a.kind} and {b.kind}")
+        if abs(ordered[-1].end_s - BEACON_PERIOD) > 1e-9:
+            raise ValueError("schedule must fill the beacon period")
+
+    # --- queries ----------------------------------------------------------------
+
+    def region_at(self, t: float) -> Region:
+        """The region in force at absolute time ``t``."""
+        offset = t % BEACON_PERIOD
+        for region in self.regions:
+            if region.start_s <= offset < region.end_s - 1e-12:
+                return region
+        return self.regions[-1]
+
+    def csma_fraction(self) -> float:
+        """Share of airtime left to contention (the MAC chain's factor)."""
+        return sum(r.duration_s for r in self.regions
+                   if r.kind == "csma") / BEACON_PERIOD
+
+    def cfp_fraction(self) -> float:
+        return sum(r.duration_s for r in self.regions
+                   if r.kind == "cfp") / BEACON_PERIOD
+
+    def spans_mains_cycles(self) -> float:
+        """Beacon periods are two mains cycles by construction (§2.2)."""
+        return BEACON_PERIOD / MAINS_CYCLE

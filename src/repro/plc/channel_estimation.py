@@ -1,0 +1,184 @@
+"""Vendor channel-estimation process: sound frames, convergence, pathologies.
+
+IEEE 1901 leaves the channel-estimation procedure vendor-specific (§2.2).
+The paper probes it from the outside and uncovers four behaviours that this
+module reproduces:
+
+1. **Slow convergence from reset** (Fig. 16): the estimator needs error
+   samples from many PBs to allocate bits per carrier, so the estimated
+   capacity climbs towards the true value at a rate set by the received
+   PB rate. We model this as a shrinking SNR uncertainty margin
+   ``margin(n) = margin0 · n0 / (n0 + n)`` with ``n`` the PBs observed.
+2. **Persistence across probing pauses** (Fig. 17): state is kept; only an
+   explicit :meth:`ChannelEstimator.reset` clears it.
+3. **The one-symbol floor** (Fig. 18): probes of ≤ 1 PB at low rate give the
+   rate-adaptation loop no gradient beyond the point where one PB fits one
+   OFDM symbol, pinning the estimate at ``R_1sym ≈ 89.4 Mbps`` (HPAV).
+4. **Collision misattribution / capture effect** (Fig. 23): PB errors caused
+   by collisions are indistinguishable from channel errors when the frames
+   are short, so the estimator lowers the rate; long aggregated frames give
+   it enough context to keep the estimate (Fig. 24). The AV500 firmware
+   additionally over-reacts to bursty errors, collapsing the estimate before
+   recovering (Fig. 10, link 18-15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.plc import phy
+from repro.plc.channel import PlcChannel
+from repro.sim.random import RandomStreams
+
+#: Initial SNR uncertainty margin right after reset (dB). Puts the first
+#: estimate at roughly 70–85 % of the converged capacity, as in Fig. 16.
+INITIAL_MARGIN_DB = 6.0
+
+#: PB count at which the margin has halved.
+MARGIN_HALF_LIFE_PBS = 12000.0
+
+#: Collision penalty accumulation (dB per colliding short frame) and the
+#: number of clean PBs that heal 1 dB of penalty.
+COLLISION_PENALTY_DB = 0.35
+PENALTY_HEAL_PBS_PER_DB = 400.0
+
+#: Frames at least this many PBs long let the estimator separate collision
+#: bursts from channel errors (frame aggregation defence, §8.2).
+LONG_FRAME_PBS = 12
+
+
+@dataclass
+class EstimatorDiagnostics:
+    """Observable internals, exposed for tests and benchmarks."""
+
+    pbs_observed: float
+    margin_db: float
+    penalty_db: float
+    one_symbol_pinned: bool
+
+
+class ChannelEstimator:
+    """Receiver-side estimation state for one directed link."""
+
+    def __init__(self, channel: PlcChannel, streams: RandomStreams,
+                 overreact_to_bursts: bool = False):
+        self.channel = channel
+        self.spec = channel.spec
+        self.overreact_to_bursts = overreact_to_bursts
+        self._rng = streams.get(f"plc.estimator.{channel.name}")
+        self._pbs_observed = 0.0
+        self._penalty_db = 0.0
+        self._pinned_at_one_symbol = False
+        self._burst_collapse_until: float = -1.0
+
+    # --- state management ------------------------------------------------------
+
+    def reset(self) -> None:
+        """Factory-reset the estimation state (the paper power-cycles the
+        devices before each Fig. 16 run)."""
+        self._pbs_observed = 0.0
+        self._penalty_db = 0.0
+        self._pinned_at_one_symbol = False
+        self._burst_collapse_until = -1.0
+
+    @property
+    def margin_db(self) -> float:
+        """Current SNR uncertainty back-off (shrinks with observed PBs)."""
+        return INITIAL_MARGIN_DB * MARGIN_HALF_LIFE_PBS / (
+            MARGIN_HALF_LIFE_PBS + self._pbs_observed)
+
+    def diagnostics(self) -> EstimatorDiagnostics:
+        return EstimatorDiagnostics(
+            pbs_observed=self._pbs_observed,
+            margin_db=self.margin_db,
+            penalty_db=self._penalty_db,
+            one_symbol_pinned=self._pinned_at_one_symbol)
+
+    # --- observations ---------------------------------------------------------------
+
+    def observe_frame(self, t: float, n_pbs: int,
+                      collided: bool = False) -> None:
+        """Account for one received frame of ``n_pbs`` physical blocks.
+
+        ``collided`` marks frames whose PB errors came from a concurrent
+        transmission (the capture effect: the stronger receiver still decodes
+        some PBs and sees the rest as errors).
+        """
+        if n_pbs < 1:
+            raise ValueError("frames carry at least one PB")
+        # Rate-adaptation gradient: a one-PB frame that already fits in a
+        # single symbol gives no signal to raise the rate further. (The
+        # capacity evaluation is comparatively costly, so it only runs for
+        # one-PB frames, where the pathology can occur.)
+        if n_pbs <= 1 and self.estimated_capacity_bps(t) >= (
+                self.spec.one_symbol_rate_bps):
+            self._pinned_at_one_symbol = True
+        else:
+            self._pinned_at_one_symbol = False
+            self._pbs_observed += n_pbs
+        if collided:
+            if n_pbs >= LONG_FRAME_PBS:
+                # Aggregated frames: error burst clearly bounded in time →
+                # correctly attributed to contention, estimate untouched.
+                pass
+            else:
+                self._penalty_db = min(
+                    self._penalty_db + COLLISION_PENALTY_DB, 12.0)
+                if self.overreact_to_bursts:
+                    # AV500 quirk: bursty errors collapse the estimate for a
+                    # short window before the estimator recovers.
+                    self._burst_collapse_until = t + float(
+                        self._rng.uniform(2.0, 8.0))
+        else:
+            heal = n_pbs / PENALTY_HEAL_PBS_PER_DB
+            self._penalty_db = max(0.0, self._penalty_db - heal)
+
+    def observe_clean_pbs(self, t: float, n_pbs: float) -> None:
+        """Bulk-account error-free PBs (fast path for long probing runs).
+
+        Equivalent to many :meth:`observe_frame` calls with multi-PB frames
+        and no collisions; used when simulating hours of probing.
+        """
+        if n_pbs <= 0:
+            raise ValueError("n_pbs must be positive")
+        self._pinned_at_one_symbol = False
+        self._pbs_observed += n_pbs
+        self._penalty_db = max(
+            0.0, self._penalty_db - n_pbs / PENALTY_HEAL_PBS_PER_DB)
+
+    def observe_probe_packet(self, t: float, payload_bytes: int,
+                             collided: bool = False) -> None:
+        """Convenience: observe the frame a probe of ``payload_bytes`` makes."""
+        from repro.plc.mac import pbs_for_payload
+        self.observe_frame(t, pbs_for_payload(payload_bytes, self.spec),
+                           collided=collided)
+
+    # --- estimates ------------------------------------------------------------------
+
+    def estimated_snr_db(self, t: float) -> np.ndarray:
+        """The SNR grid the estimator believes in (carriers × slots)."""
+        true = self.channel.snr_db(t, include_jitter=False)
+        return true - self.margin_db - self._penalty_db
+
+    def estimated_capacity_bps(self, t: float) -> float:
+        """Average-BLE capacity estimate the device would report now."""
+        if t < self._burst_collapse_until:
+            # AV500 collapse: report a floor near the ROBO rate.
+            return self.spec.robo_rate_bps
+        snr = self.estimated_snr_db(t)
+        ble = float(np.mean(phy.ble_from_snr(
+            snr, self.spec, backoff_db=phy.DEFAULT_BACKOFF_DB,
+            pb_err=self.spec.target_pb_error)))
+        if self._pinned_at_one_symbol:
+            ble = min(ble, self.spec.one_symbol_rate_bps)
+        return ble
+
+    def converged_capacity_bps(self, t: float) -> float:
+        """The asymptotic (zero-margin) estimate — ground truth for tests."""
+        snr = self.channel.snr_db(t, include_jitter=False)
+        return float(np.mean(phy.ble_from_snr(
+            snr, self.spec, backoff_db=phy.DEFAULT_BACKOFF_DB,
+            pb_err=self.spec.target_pb_error)))

@@ -1,0 +1,67 @@
+"""PLC frame structures: SoF delimiters, frames, SACKs.
+
+The start-of-frame (SoF) delimiter is the paper's central measurement vector
+(§2.2, Table 2): it is broadcast in ROBO modulation ahead of every frame, so a
+sniffer decodes it even when the payload is undecodable, and it carries the
+BLE of the tone map in use — which §7.1 shows is an accurate capacity
+estimate. Arrival timestamps of SoFs are also how §8.1 detects
+retransmissions (frames arriving < 10 ms apart).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class SofDelimiter:
+    """Frame control / start-of-frame delimiter, as captured by the sniffer.
+
+    Attributes mirror what the Open Powerline Toolkit sniffer exposes.
+    """
+
+    timestamp: float          # arrival time (s) — Table 2's ``t``
+    src: str                  # transmitting station id
+    dst: str                  # destination station id ("*" for broadcast)
+    tmi: int                  # tone-map index in use
+    ble_bps: float            # bit-loading estimate of the active slot
+    slot: int                 # tone-map slot the transmission started in
+    n_pbs: int                # physical blocks carried
+    duration_s: float         # on-air frame duration
+    is_retransmission: bool = False
+    is_sound: bool = False    # sound (channel-estimation) frame
+    is_broadcast: bool = False
+
+    def __post_init__(self) -> None:
+        if self.ble_bps < 0:
+            raise ValueError("BLE cannot be negative")
+        if self.n_pbs < 1:
+            raise ValueError("a frame carries at least one PB")
+
+
+@dataclass(frozen=True)
+class Sack:
+    """Selective acknowledgment: per-PB receipt status (§2.2)."""
+
+    timestamp: float
+    src: str                  # the receiver sending the SACK
+    dst: str
+    pb_ok: Tuple[bool, ...]   # one flag per PB of the acknowledged frame
+
+    @property
+    def errored_pbs(self) -> int:
+        return sum(1 for ok in self.pb_ok if not ok)
+
+    @property
+    def all_ok(self) -> bool:
+        return self.errored_pbs == 0
+
+
+@dataclass(frozen=True)
+class PlcFrame:
+    """A MAC frame: delimiter + payload accounting (payload is abstract)."""
+
+    sof: SofDelimiter
+    payload_bytes: int
+    sack: Optional[Sack] = None

@@ -1,0 +1,98 @@
+"""Management-message API: the Open Powerline Toolkit equivalent (§3.2).
+
+The paper reads its PLC metrics through vendor-specific management messages
+(Table 2): ``int6krate`` returns the average BLE over the 6 tone-map slots,
+``ampstat`` returns PB error statistics, and devices can be reset or have
+their CCo pinned. MMs are real frames on the wire, and the paper notes a
+practical floor of one request per 50 ms — enforced here, because §6.2's
+measurement design depends on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.plc.network import PlcNetwork
+from repro.units import MBPS
+
+#: Fastest rate at which the paper could poll a device with MMs (§6.2).
+MM_MIN_INTERVAL_S = 0.05
+
+
+class MmRateLimitError(RuntimeError):
+    """Raised when a device is polled faster than the MM floor allows."""
+
+
+@dataclass
+class MmRequestLog:
+    """Bookkeeping of MM traffic (it is overhead too)."""
+
+    count: int = 0
+    last_time_by_station: Dict[str, float] = field(default_factory=dict)
+
+
+class MmClient:
+    """Issues vendor-specific MMs to stations of one PLC network."""
+
+    def __init__(self, network: PlcNetwork,
+                 enforce_rate_limit: bool = True):
+        self.network = network
+        self.enforce_rate_limit = enforce_rate_limit
+        self.log = MmRequestLog()
+
+    def _touch(self, station_id: str, t: float) -> None:
+        last = self.log.last_time_by_station.get(station_id)
+        if (self.enforce_rate_limit and last is not None
+                and t - last < MM_MIN_INTERVAL_S - 1e-9):
+            raise MmRateLimitError(
+                f"station {station_id!r} polled {t - last:.3f}s after the "
+                f"previous MM; the floor is {MM_MIN_INTERVAL_S}s")
+        self.log.last_time_by_station[station_id] = t
+        self.log.count += 1
+
+    # --- metric reads (Table 2) --------------------------------------------------
+
+    def int6krate(self, src_id: str, dst_id: str, t: float) -> float:
+        """Average BLE (Mbps) of the src→dst link, over all 6 slots.
+
+        This is the 'average BLE' row of Table 2: the device-side statistic
+        the capacity-estimation technique of §7.1 requests.
+        """
+        self._touch(src_id, t)
+        link = self.network.link(src_id, dst_id)
+        return link.avg_ble_bps(t) / MBPS
+
+    def ble_per_slot(self, src_id: str, dst_id: str, t: float) -> Tuple[float, ...]:
+        """Per-slot BLE (Mbps) — the finer view used in §6.1."""
+        self._touch(src_id, t)
+        link = self.network.link(src_id, dst_id)
+        return tuple(b / MBPS for b in link.ble_per_slot_bps(t))
+
+    def ampstat(self, src_id: str, dst_id: str, t: float) -> float:
+        """PB error rate of the src→dst link (Table 2's ``ampstat``)."""
+        self._touch(dst_id, t)
+        return self.network.link(src_id, dst_id).pb_err(t)
+
+    def estimated_capacity(self, src_id: str, dst_id: str, t: float) -> float:
+        """Capacity estimate (Mbps) from the receive-side estimator state.
+
+        Unlike :meth:`int6krate` (which assumes converged tracking), this
+        reads the *actual estimator*, transients included — what the Fig. 16–18
+        probing experiments observe.
+        """
+        self._touch(dst_id, t)
+        est = self.network.estimator(src_id, dst_id)
+        return est.estimated_capacity_bps(t) / MBPS
+
+    # --- device control -------------------------------------------------------------
+
+    def reset_device(self, station_id: str) -> None:
+        """Factory-reset a station's estimation state (Fig. 16 protocol)."""
+        station = self.network.station(station_id)
+        for estimator in station.estimators.values():
+            estimator.reset()
+
+    def set_cco(self, station_id: str) -> None:
+        """Pin the network's CCo (the paper sets it statically, §3.1)."""
+        self.network.set_cco(station_id)

@@ -1,0 +1,164 @@
+"""Management-message wire format (vendor-specific MMs, §2.2/§3.2).
+
+The Open Powerline Toolkit speaks to HomePlug chips through Ethernet frames
+of EtherType 0x88E1 carrying a management-message header (version, MMTYPE,
+vendor OUI) and a type-specific payload. This module implements that wire
+format for the MM types the paper's tooling uses, so the
+:class:`repro.plc.mm.MmClient` API has a faithful serialisation layer:
+
+* ``NW_INFO`` (int6krate): per-peer average TX/RX rates;
+* ``AMP_STAT`` (ampstat): PB counters → PBerr;
+* ``RS_DEV`` : device reset;
+* ``SNIFFER`` : sniffer-mode control.
+
+Numbers follow HomePlug conventions: little-endian fields, rates in Mbps
+rounded to integers (the real chips report whole Mbps — one reason the
+paper polls *averages*), PB counters as 32-bit totals.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import Tuple
+
+#: EtherType of HomePlug AV management frames.
+ETHERTYPE_HOMEPLUG_AV = 0x88E1
+#: Management-message protocol version used by INT6x00 firmware.
+MM_VERSION = 0x00
+#: Qualcomm Atheros vendor OUI carried by vendor-specific MMs.
+VENDOR_OUI = bytes((0x00, 0xB0, 0x52))
+
+_HEADER = struct.Struct("<BH3s")      # version, mmtype, OUI
+_NW_INFO = struct.Struct("<6sBB")     # peer MAC, tx rate, rx rate (Mbps)
+_AMP_STAT = struct.Struct("<II")      # PBs received, PBs in error
+_RS_DEV = struct.Struct("<B")         # status code
+
+
+class MmType(enum.IntEnum):
+    """Vendor-specific MMTYPE codes (request = even, confirm = +1)."""
+
+    NW_INFO_REQ = 0xA038
+    NW_INFO_CNF = 0xA039
+    AMP_STAT_REQ = 0xA06C
+    AMP_STAT_CNF = 0xA06D
+    RS_DEV_REQ = 0xA01C
+    RS_DEV_CNF = 0xA01D
+    SNIFFER_REQ = 0xA034
+    SNIFFER_CNF = 0xA035
+
+
+class MmDecodeError(ValueError):
+    """Raised on malformed management frames."""
+
+
+@dataclass(frozen=True)
+class MmFrame:
+    """A decoded management message."""
+
+    mmtype: MmType
+    payload: bytes
+
+
+def encode_mm(mmtype: MmType, payload: bytes = b"") -> bytes:
+    """Serialise header + payload (without the Ethernet encapsulation)."""
+    return _HEADER.pack(MM_VERSION, int(mmtype), VENDOR_OUI) + payload
+
+
+def decode_mm(frame: bytes) -> MmFrame:
+    """Parse a management frame; raises :class:`MmDecodeError` when bad."""
+    if len(frame) < _HEADER.size:
+        raise MmDecodeError(f"frame too short: {len(frame)} bytes")
+    version, mmtype_raw, oui = _HEADER.unpack_from(frame)
+    if version != MM_VERSION:
+        raise MmDecodeError(f"unsupported MM version {version}")
+    if oui != VENDOR_OUI:
+        raise MmDecodeError(f"unexpected OUI {oui.hex()}")
+    try:
+        mmtype = MmType(mmtype_raw)
+    except ValueError as exc:
+        raise MmDecodeError(f"unknown MMTYPE 0x{mmtype_raw:04X}") from exc
+    return MmFrame(mmtype=mmtype, payload=frame[_HEADER.size:])
+
+
+def mac_address(station_id: str) -> bytes:
+    """Deterministic locally-administered MAC for a simulated station."""
+    digest = 0
+    for ch in station_id:
+        digest = (digest * 131 + ord(ch)) % (1 << 32)
+    return bytes((0x02, 0xB0)) + digest.to_bytes(4, "little")
+
+
+# --- NW_INFO (int6krate) ------------------------------------------------------
+
+
+def encode_nw_info_cnf(peer_station: str, tx_rate_mbps: float,
+                       rx_rate_mbps: float) -> bytes:
+    """Rates are clamped to the chips' 0-255 whole-Mbps fields."""
+    tx = int(round(min(max(tx_rate_mbps, 0.0), 255.0)))
+    rx = int(round(min(max(rx_rate_mbps, 0.0), 255.0)))
+    return encode_mm(MmType.NW_INFO_CNF,
+                     _NW_INFO.pack(mac_address(peer_station), tx, rx))
+
+
+def decode_nw_info_cnf(frame: bytes) -> Tuple[bytes, int, int]:
+    """Returns (peer MAC, tx Mbps, rx Mbps)."""
+    mm = decode_mm(frame)
+    if mm.mmtype is not MmType.NW_INFO_CNF:
+        raise MmDecodeError(f"expected NW_INFO.CNF, got {mm.mmtype.name}")
+    if len(mm.payload) < _NW_INFO.size:
+        raise MmDecodeError("truncated NW_INFO payload")
+    mac, tx, rx = _NW_INFO.unpack_from(mm.payload)
+    return mac, tx, rx
+
+
+# --- AMP_STAT (ampstat) -------------------------------------------------------------
+
+
+def encode_amp_stat_cnf(pbs_received: int, pbs_errored: int) -> bytes:
+    if pbs_errored > pbs_received:
+        raise ValueError("cannot err more PBs than were received")
+    if pbs_received < 0:
+        raise ValueError("PB counters are non-negative")
+    return encode_mm(MmType.AMP_STAT_CNF,
+                     _AMP_STAT.pack(pbs_received & 0xFFFFFFFF,
+                                    pbs_errored & 0xFFFFFFFF))
+
+
+def decode_amp_stat_cnf(frame: bytes) -> Tuple[int, int, float]:
+    """Returns (PBs received, PBs errored, PBerr)."""
+    mm = decode_mm(frame)
+    if mm.mmtype is not MmType.AMP_STAT_CNF:
+        raise MmDecodeError(f"expected AMP_STAT.CNF, got {mm.mmtype.name}")
+    if len(mm.payload) < _AMP_STAT.size:
+        raise MmDecodeError("truncated AMP_STAT payload")
+    received, errored = _AMP_STAT.unpack_from(mm.payload)
+    pb_err = errored / received if received else 0.0
+    return received, errored, pb_err
+
+
+# --- RS_DEV (device reset) --------------------------------------------------------------
+
+
+def encode_rs_dev_cnf(success: bool = True) -> bytes:
+    return encode_mm(MmType.RS_DEV_CNF, _RS_DEV.pack(0 if success else 1))
+
+
+def decode_rs_dev_cnf(frame: bytes) -> bool:
+    mm = decode_mm(frame)
+    if mm.mmtype is not MmType.RS_DEV_CNF:
+        raise MmDecodeError(f"expected RS_DEV.CNF, got {mm.mmtype.name}")
+    if len(mm.payload) < _RS_DEV.size:
+        raise MmDecodeError("truncated RS_DEV payload")
+    (status,) = _RS_DEV.unpack_from(mm.payload)
+    return status == 0
+
+
+def roundtrip_rates(station_id: str, tx_mbps: float, rx_mbps: float
+                    ) -> Tuple[int, int]:
+    """Encode-then-decode helper used by the MM client: what the wire
+    format does to a rate reading (whole-Mbps quantisation)."""
+    frame = encode_nw_info_cnf(station_id, tx_mbps, rx_mbps)
+    _, tx, rx = decode_nw_info_cnf(frame)
+    return tx, rx

@@ -1,0 +1,125 @@
+"""PLC logical networks (AVLNs) and the central coordinator (CCo).
+
+§3.1: every station must join a network managed by a CCo; by default the
+first station plugged becomes CCo and may hand over if another station has
+better channel capabilities. The testbed pins the CCo statically with the
+Open Powerline Toolkit — we expose the same control.
+
+A :class:`PlcNetwork` owns the directed links between its members (built
+lazily) and the receive-side channel estimators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.plc.channel import PlcChannel
+from repro.plc.channel_estimation import ChannelEstimator
+from repro.plc.link import PlcLink
+from repro.plc.spec import PlcSpec
+from repro.plc.station import PlcStation
+from repro.powergrid.load import ElectricalLoad
+from repro.sim.random import RandomStreams
+
+
+class PlcNetwork:
+    """One AVLN: a set of stations sharing a network key and a CCo."""
+
+    def __init__(self, network_key: str, load: ElectricalLoad,
+                 streams: RandomStreams,
+                 overreact_to_bursts: bool = False):
+        self.network_key = network_key
+        self.load = load
+        self._streams = streams
+        self._overreact = overreact_to_bursts
+        self._stations: Dict[str, PlcStation] = {}
+        self._links: Dict[Tuple[str, str], PlcLink] = {}
+        self._cco_id: Optional[str] = None
+
+    # --- membership -------------------------------------------------------------
+
+    def add_station(self, station: PlcStation) -> PlcStation:
+        """Plug a station into this network; first one becomes CCo (§3.1)."""
+        if station.station_id in self._stations:
+            raise ValueError(f"duplicate station {station.station_id!r}")
+        if station.outlet_id not in self.load.grid:
+            raise KeyError(f"unknown outlet {station.outlet_id!r}")
+        station.join(self.network_key)
+        self._stations[station.station_id] = station
+        if self._cco_id is None:
+            self.set_cco(station.station_id)
+        return station
+
+    def stations(self) -> List[PlcStation]:
+        return [self._stations[k] for k in sorted(self._stations)]
+
+    def station(self, station_id: str) -> PlcStation:
+        return self._stations[station_id]
+
+    @property
+    def cco(self) -> Optional[PlcStation]:
+        return self._stations.get(self._cco_id) if self._cco_id else None
+
+    def set_cco(self, station_id: str) -> None:
+        """Statically pin the CCo (the paper uses the toolkit for this)."""
+        if station_id not in self._stations:
+            raise KeyError(f"unknown station {station_id!r}")
+        if self._cco_id is not None:
+            self._stations[self._cco_id].is_cco = False
+        self._cco_id = station_id
+        self._stations[station_id].is_cco = True
+
+    def elect_cco(self, t: float) -> str:
+        """Dynamic CCo election: the station with the best aggregate
+        channel capability towards all others (§3.1)."""
+        if not self._stations:
+            raise RuntimeError("empty network")
+        best_id, best_score = None, -np.inf
+        for sid in sorted(self._stations):
+            score = 0.0
+            for other in sorted(self._stations):
+                if other == sid:
+                    continue
+                score += self.link(sid, other).avg_ble_bps(t)
+            if score > best_score:
+                best_id, best_score = sid, score
+        assert best_id is not None
+        self.set_cco(best_id)
+        return best_id
+
+    # --- links ----------------------------------------------------------------------
+
+    def link(self, src_id: str, dst_id: str) -> PlcLink:
+        """The directed link src → dst (built and cached on first use)."""
+        key = (src_id, dst_id)
+        if key not in self._links:
+            src = self._stations[src_id]
+            dst = self._stations[dst_id]
+            if not src.can_communicate_with(dst):
+                raise ValueError(
+                    f"{src_id} and {dst_id} are not in the same AVLN")
+            channel = PlcChannel(
+                self.load, src.outlet_id, dst.outlet_id, dst.spec,
+                self._streams, name=f"{self.network_key}:{src_id}->{dst_id}")
+            self._links[key] = PlcLink(channel, self._streams)
+            if src_id not in dst.estimators:
+                dst.estimators[src_id] = ChannelEstimator(
+                    channel, self._streams,
+                    overreact_to_bursts=self._overreact)
+        return self._links[key]
+
+    def estimator(self, src_id: str, dst_id: str) -> ChannelEstimator:
+        """Receive-side estimator at ``dst`` for traffic from ``src``."""
+        self.link(src_id, dst_id)
+        return self._stations[dst_id].estimators[src_id]
+
+    def directed_pairs(self) -> List[Tuple[str, str]]:
+        """All ordered station pairs of the AVLN (deterministic order)."""
+        ids = sorted(self._stations)
+        return [(a, b) for a in ids for b in ids if a != b]
+
+    def links(self) -> Iterable[PlcLink]:
+        for src_id, dst_id in self.directed_pairs():
+            yield self.link(src_id, dst_id)

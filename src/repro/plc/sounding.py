@@ -1,0 +1,159 @@
+"""The channel-estimation (sounding) exchange (§2.1).
+
+The paper's §2.1: before data can flow at adapted rates, "the source
+initially sends sound frames to the destination by using a default, robust
+modulation scheme"; the destination estimates the channel from them,
+"determines and sends the tone map with a unique identification ... back to
+the source". Tone maps are per-slot, expire after 30 s, and are refreshed
+when the error monitor trips.
+
+This module is that handshake as an explicit state machine, connecting the
+pieces that already exist (ROBO transport, :class:`ChannelEstimator`,
+:func:`generate_tone_map`, MMs):
+
+* the **source** side tracks which tone map it may transmit with
+  (``DEFAULT`` ROBO until a tone map arrives, §2.1's broadcast/initial
+  communication mode);
+* the **destination** side accumulates sound/data frames through its
+  estimator and answers with tone-map MMs;
+* expiry and error-triggered invalidation force re-sounding, which is the
+  mechanism behind the paper's observation that *stations estimate a tone
+  map if and only if they have data to send* (§7).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.plc import phy
+from repro.plc.channel_estimation import ChannelEstimator
+from repro.plc.tonemap import ToneMap, generate_tone_map
+
+
+class SounderState(enum.Enum):
+    """Transmitter-side tone-map state for one peer."""
+
+    DEFAULT_ROBO = "default-robo"    # no valid tone map: ROBO only
+    SOUNDING = "sounding"            # sound frames out, awaiting tone map
+    ADAPTED = "adapted"              # valid tone map in force
+
+
+@dataclass(frozen=True)
+class SoundFrame:
+    """A sound MPDU (ROBO-modulated, carries known symbols)."""
+
+    time: float
+    sequence: int
+    n_pbs: int = 4
+
+
+@dataclass(frozen=True)
+class ToneMapMessage:
+    """The CM_CHAN_EST-style response carrying the new tone map."""
+
+    time: float
+    tone_map: ToneMap
+
+
+class SoundingExchange:
+    """Source+destination halves of the §2.1 estimation handshake.
+
+    Driven by the caller's clock: ``want_to_send(t)`` tells the source what
+    it may do, ``on_sound``/``on_data`` feed the destination, and
+    ``destination_response`` produces the tone-map message when enough
+    sound has been heard.
+    """
+
+    #: Sound frames the destination wants before answering (vendor choice).
+    SOUNDS_NEEDED = 3
+
+    def __init__(self, estimator: ChannelEstimator):
+        self.estimator = estimator
+        self.spec = estimator.spec
+        self._state = SounderState.DEFAULT_ROBO
+        self._tmi = itertools.count(1)
+        self._sequence = itertools.count()
+        self._sounds_heard = 0
+        self._tone_map: Optional[ToneMap] = None
+        self.history: List[str] = []
+
+    # --- source side ------------------------------------------------------------
+
+    @property
+    def state(self) -> SounderState:
+        return self._state
+
+    @property
+    def tone_map(self) -> Optional[ToneMap]:
+        return self._tone_map
+
+    def want_to_send(self, t: float) -> SounderState:
+        """What mode the source transmits in at ``t`` (checks expiry)."""
+        if (self._state is SounderState.ADAPTED
+                and self._tone_map is not None
+                and self._tone_map.age(t) >= self.spec.tone_map_expiry_s):
+            self._invalidate(t, "expiry")
+        return self._state
+
+    def next_sound(self, t: float) -> SoundFrame:
+        """Emit a sound frame (allowed in any non-adapted state)."""
+        if self._state is SounderState.ADAPTED:
+            raise RuntimeError("adapted links do not sound")
+        self._state = SounderState.SOUNDING
+        return SoundFrame(time=t, sequence=next(self._sequence))
+
+    def on_tone_map(self, message: ToneMapMessage) -> None:
+        """Source receives the destination's tone map."""
+        self._tone_map = message.tone_map
+        self._state = SounderState.ADAPTED
+        self.history.append(f"adapted tmi={message.tone_map.tmi}")
+
+    def _invalidate(self, t: float, reason: str) -> None:
+        self._tone_map = None
+        self._state = SounderState.DEFAULT_ROBO
+        self._sounds_heard = 0
+        self.history.append(f"invalidated ({reason})")
+
+    # --- destination side ----------------------------------------------------------
+
+    def on_sound(self, frame: SoundFrame) -> None:
+        """Destination hears a sound frame: feeds the estimator."""
+        self.estimator.observe_frame(frame.time, frame.n_pbs)
+        self._sounds_heard += 1
+
+    def on_data(self, t: float, n_pbs: int, errored: bool = False) -> None:
+        """Destination hears a data frame; the error monitor may trip."""
+        self.estimator.observe_frame(t, n_pbs)
+        if errored and self._state is SounderState.ADAPTED:
+            # §2.1: tone maps are invalidated "when the error rate exceeds
+            # a threshold"; the caller decides what counts as errored.
+            self._invalidate(t, "errors")
+
+    def destination_response(self, t: float) -> Optional[ToneMapMessage]:
+        """Produce the tone-map message once enough sound was heard."""
+        if self._sounds_heard < self.SOUNDS_NEEDED:
+            return None
+        snr = self.estimator.estimated_snr_db(t)
+        tone_map = generate_tone_map(self.estimator.channel, t,
+                                     tmi=next(self._tmi),
+                                     snr_override=snr)
+        self._sounds_heard = 0
+        return ToneMapMessage(time=t, tone_map=tone_map)
+
+
+def establish(exchange: SoundingExchange, t: float,
+              sound_interval_s: float = 0.05) -> ToneMap:
+    """Run the full handshake at time ``t``; returns the adopted tone map."""
+    now = t
+    while exchange.want_to_send(now) is not SounderState.ADAPTED:
+        frame = exchange.next_sound(now)
+        exchange.on_sound(frame)
+        response = exchange.destination_response(now)
+        if response is not None:
+            exchange.on_tone_map(response)
+        now += sound_interval_s
+    assert exchange.tone_map is not None
+    return exchange.tone_map

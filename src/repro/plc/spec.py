@@ -1,0 +1,148 @@
+"""PHY/MAC constants for the PLC technologies used in the paper.
+
+Two presets are provided, matching the paper's hardware:
+
+* :data:`HPAV` — HomePlug AV / IEEE 1901 as implemented by the Intellon
+  INT6300 (main testbed, §3.1): 917 OFDM carriers in 1.8–30 MHz.
+* :data:`HPAV500` — the Netgear XAVB5101 / Atheros QCA7400 "AV500" devices
+  used for validation: the band is extended to 1.8–68 MHz (§3.1 footnote).
+
+Timing note (§7.2): the paper computes the one-PB-per-symbol rate
+``R_1sym = 520 · 8 / Tsym ≈ 89.4 Mbps``, which pins the effective symbol
+duration at 46.52 µs — the 40.96 µs FFT interval *plus* the 5.56 µs guard
+interval. We therefore use ``symbol_duration = 46.52 µs`` everywhere BLE is
+computed (Definition 1 says the symbol length includes the guard interval).
+With the 16/21 turbo-code rate this puts the HPAV BLE ceiling at
+``917 · 10 · (16/21) / 46.52 µs ≈ 150 Mbps`` — exactly the nominal PHY rate
+the paper quotes for its adapters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from repro.units import MHZ, US
+
+#: Modulation alphabet: bits per carrier for (no load), BPSK, QPSK, 8-QAM,
+#: 16-QAM, 64-QAM, 256-QAM, 1024-QAM (§2.1).
+MODULATION_BITS: Tuple[int, ...] = (0, 1, 2, 3, 4, 6, 8, 10)
+
+#: Minimum SNR (dB) at which each modulation sustains the HPAV target PB error
+#: rate with the 16/21 turbo code. Derived from standard AWGN waterfalls with
+#: ~1 dB implementation margin; exact values only shift the BLE scale, not the
+#: phenomena under study.
+MODULATION_SNR_THRESHOLDS_DB: Tuple[float, ...] = (
+    -np.inf,  # carrier off
+    1.0,      # BPSK
+    4.0,      # QPSK
+    7.5,      # 8-QAM
+    10.5,     # 16-QAM
+    16.5,     # 64-QAM
+    22.5,     # 256-QAM
+    28.5,     # 1024-QAM
+)
+
+
+@dataclass(frozen=True)
+class PlcSpec:
+    """Immutable description of a PLC technology generation."""
+
+    name: str
+    band_low_hz: float
+    band_high_hz: float
+    num_carriers: int
+    #: OFDM symbol duration including guard interval (see module docstring).
+    symbol_duration_s: float = 46.52 * US
+    #: FEC code rate (HPAV turbo code).
+    fec_rate: float = 16.0 / 21.0
+    #: Physical-block payload size (bytes) and header (bytes): §2.2.
+    pb_payload_bytes: int = 512
+    pb_header_bytes: int = 8
+    #: Maximum PLC frame duration (µs→s); IEEE 1901 limit.
+    max_frame_duration_s: float = 2501.12 * US
+    #: Number of tone-map slots per half mains cycle (§2.1: up to 6 + default).
+    num_slots: int = 6
+    #: Tone maps expire after this many seconds if not refreshed (§2.1: 30 s).
+    tone_map_expiry_s: float = 30.0
+    #: PB error rate above which the receiver requests a new tone map (§2.1).
+    tone_map_error_threshold: float = 0.10
+    #: Transmit PSD (dBm/Hz); HPAV injects around -55 dBm/Hz below 30 MHz.
+    tx_psd_dbm_hz: float = -55.0
+    #: ROBO (broadcast/sound) modulation: QPSK on all carriers with heavy
+    #: repetition; effective rate ~10 Mbps, very robust (§2.1, §8.1).
+    robo_rate_bps: float = 10e6
+    #: Extra SNR margin (dB) that ROBO repetition coding buys over plain QPSK.
+    robo_snr_gain_db: float = 15.0
+    #: Target PB error rate the tone-map selection aims at (Definition 1's
+    #: "expected PB error rate on the link when a new tone map is generated").
+    target_pb_error: float = 0.02
+    #: Densest modulation the generation supports (bits/carrier). 10 for
+    #: HPAV's 1024-QAM; GreenPhy caps at QPSK (2) for robustness.
+    max_modulation_bits: int = 10
+
+    # --- derived ------------------------------------------------------------
+
+    def carrier_frequencies(self) -> np.ndarray:
+        """Centre frequency of each usable OFDM carrier (Hz)."""
+        return np.linspace(self.band_low_hz, self.band_high_hz,
+                           self.num_carriers)
+
+    @property
+    def pb_total_bytes(self) -> int:
+        """PB payload + header (the 520 B the paper's §7.2 computation uses)."""
+        return self.pb_payload_bytes + self.pb_header_bytes
+
+    @property
+    def one_symbol_rate_bps(self) -> float:
+        """R_1sym: the rate at which one PB occupies exactly one symbol.
+
+        §7.2's probe-size pathology: probes smaller than one PB pin the
+        channel-estimation feedback loop at this rate (≈ 89.4 Mbps for HPAV).
+        """
+        return self.pb_total_bytes * 8 / self.symbol_duration_s
+
+    @property
+    def max_ble_bps(self) -> float:
+        """BLE ceiling: all carriers at the densest allowed modulation."""
+        return (self.num_carriers * self.max_modulation_bits * self.fec_rate
+                / self.symbol_duration_s)
+
+    def max_pbs_per_frame(self, ble_bps: float) -> int:
+        """How many PBs fit in a maximum-duration frame at a given BLE."""
+        bits = ble_bps * self.max_frame_duration_s
+        return max(1, int(bits // (self.pb_total_bytes * 8)))
+
+
+#: HomePlug AV / IEEE 1901 (Intellon INT6300) — the main testbed devices.
+HPAV = PlcSpec(
+    name="HPAV",
+    band_low_hz=1.8 * MHZ,
+    band_high_hz=30.0 * MHZ,
+    num_carriers=917,
+)
+
+#: HomePlug GreenPhy — the low-rate home-automation profile (paper
+#: footnote 1). Same band and carrier grid as HPAV but restricted to the
+#: robust modulations (QPSK at most) and ROBO-dominated operation: peak
+#: ~10 Mbps, built for reliability rather than rate.
+GREENPHY = PlcSpec(
+    name="GreenPhy",
+    band_low_hz=1.8 * MHZ,
+    band_high_hz=30.0 * MHZ,
+    num_carriers=917,
+    max_modulation_bits=2,
+    target_pb_error=0.01,
+)
+
+#: HomePlug AV500 (Atheros QCA7400, Netgear XAVB5101) — validation devices.
+#: Wider band, more carriers, and a channel-estimation algorithm that
+#: over-reacts to bursty errors (paper §6.2, Fig. 10 link 18-15).
+HPAV500 = PlcSpec(
+    name="HPAV500",
+    band_low_hz=1.8 * MHZ,
+    band_high_hz=68.0 * MHZ,
+    num_carriers=2450,
+)

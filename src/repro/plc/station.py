@@ -1,0 +1,49 @@
+"""PLC stations: the adapter endpoints of the testbed."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.plc.channel_estimation import ChannelEstimator
+from repro.plc.spec import HPAV, PlcSpec
+
+
+@dataclass
+class PlcStation:
+    """A PLC adapter plugged into an outlet.
+
+    Attributes
+    ----------
+    station_id:
+        Testbed name (the paper numbers its boards 0–18).
+    outlet_id:
+        Outlet in the :class:`~repro.powergrid.topology.GridTopology`.
+    spec:
+        The technology generation of the adapter (HPAV or HPAV500).
+    network_key:
+        Logical-network membership: stations communicate only within the same
+        (encrypted) AVLN (§3.1). ``None`` until the station joins a network.
+    """
+
+    station_id: str
+    outlet_id: str
+    spec: PlcSpec = HPAV
+    network_key: Optional[str] = None
+    is_cco: bool = False
+    #: Per-peer receive-side channel estimators (vendor state, §7).
+    estimators: Dict[str, ChannelEstimator] = field(default_factory=dict)
+
+    def join(self, network_key: str) -> None:
+        self.network_key = network_key
+
+    def leave(self) -> None:
+        self.network_key = None
+        self.is_cco = False
+
+    def can_communicate_with(self, other: "PlcStation") -> bool:
+        """Same AVLN (network key) and both joined (§3.1: different keys
+        prevent cross-network communication)."""
+        return (self.network_key is not None
+                and self.network_key == other.network_key
+                and self.station_id != other.station_id)

@@ -1,0 +1,35 @@
+"""Power-grid substrate: the electrical network PLC signals travel over.
+
+The paper's PLC findings are driven by three physical mechanisms (§5, §6):
+
+1. the *topology* of the electrical wiring (cable distances, two distribution
+   boards) — :mod:`repro.powergrid.topology`;
+2. the *appliances* plugged into it, whose impedance mismatches create the
+   multipath channel and whose electronics inject mains-synchronous noise —
+   :mod:`repro.powergrid.appliances`;
+3. *human activity* switching those appliances on and off, which produces the
+   random-scale channel variation — :mod:`repro.powergrid.activity`.
+
+:mod:`repro.powergrid.load` combines them into a queryable electrical-load
+process used by the PLC channel model.
+"""
+
+from repro.powergrid.activity import OfficeActivityModel, ScheduleClass
+from repro.powergrid.appliances import (
+    APPLIANCE_CATALOG,
+    ApplianceInstance,
+    ApplianceType,
+)
+from repro.powergrid.load import ElectricalLoad
+from repro.powergrid.topology import GridTopology, Outlet
+
+__all__ = [
+    "GridTopology",
+    "Outlet",
+    "ApplianceType",
+    "ApplianceInstance",
+    "APPLIANCE_CATALOG",
+    "ScheduleClass",
+    "OfficeActivityModel",
+    "ElectricalLoad",
+]

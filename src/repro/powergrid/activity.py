@@ -1,0 +1,191 @@
+"""Human-activity model: when appliances are on.
+
+The paper's *random scale* (§6.3) is the channel variation caused by people
+switching appliances — higher electrical load during working hours, the
+building-wide 9 pm lights-off event visible in Fig. 12, quieter weekends in
+Fig. 13/14.
+
+Design constraint: long experiments (two simulated weeks sampled every second)
+must be cheap, so an appliance's state is a **pure function of time**,
+computed in O(1) from hashed per-interval random draws instead of simulating a
+global switching event queue. Determinism comes for free: the same seed gives
+the same two weeks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.powergrid.appliances import ApplianceInstance, ScheduleClass
+from repro.sim.clock import MainsClock
+from repro.sim.random import RandomStreams
+from repro.units import HOUR, MINUTE
+
+#: Building lighting is switched off centrally at 21:00 (paper Fig. 12:
+#: "Every day at 9pm, all lights are turned off in our building").
+LIGHTS_OFF_HOUR = 21.0
+LIGHTS_ON_HOUR = 6.5
+
+
+@dataclass(frozen=True)
+class ActivityConfig:
+    """Tunable behaviour of the office population."""
+
+    #: Std-dev (hours) of per-day arrival/departure jitter for office gear.
+    office_jitter_hours: float = 0.6
+    #: Earliest arrival / nominal departure for office appliances.
+    office_start_hour: float = 8.0
+    office_end_hour: float = 18.0
+    #: Fraction of office appliances left running overnight (standby PCs).
+    overnight_fraction: float = 0.15
+    #: Weekend usage probability for office appliances (somebody came in).
+    weekend_use_probability: float = 0.08
+    #: Epoch length for intermittent appliances (a kettle run, a print job).
+    intermittent_epoch: float = 15 * MINUTE
+    #: Activity multiplier for intermittent appliances out of working hours.
+    night_activity_factor: float = 0.1
+
+
+class OfficeActivityModel:
+    """Maps (appliance, time) -> powered-on state, deterministically.
+
+    Each appliance gets a private random stream; per-day and per-epoch draws
+    are indexed draws from a *fresh* generator seeded by (appliance, index),
+    so queries at arbitrary times — in any order — return consistent states.
+    """
+
+    def __init__(self, streams: RandomStreams,
+                 config: ActivityConfig = ActivityConfig(),
+                 clock: MainsClock = MainsClock()):
+        self._streams = streams
+        self.config = config
+        self.clock = clock
+        # Draw memo: generator creation is the hot cost; each (appliance,
+        # purpose, index) triple is drawn once and reused.
+        self._draw_cache: dict = {}
+
+    # --- per-appliance deterministic draws -----------------------------------
+
+    def _draw(self, appliance: ApplianceInstance, index: int,
+              purpose: str, size: int = 1) -> np.ndarray:
+        """Deterministic uniform draws keyed by (appliance, purpose, index)."""
+        key = (appliance.instance_id, purpose, index, size)
+        cached = self._draw_cache.get(key)
+        if cached is None:
+            rng = self._streams.fresh(
+                f"activity.{purpose}.{appliance.instance_id}.{index}")
+            cached = rng.uniform(size=size)
+            if len(self._draw_cache) > 200_000:
+                self._draw_cache.clear()
+            self._draw_cache[key] = cached
+        return cached
+
+    # --- schedule classes -------------------------------------------------------
+
+    def _lighting_on(self, appliance: ApplianceInstance, t: float) -> bool:
+        hour = self.clock.hour_of_day(t)
+        if self.clock.is_weekend(t):
+            # Only emergency/corridor lighting: modelled as a small chance the
+            # fixture is part of the always-on subset.
+            always = self._draw(appliance, 0, "lighting-always")[0]
+            return bool(always < 0.1) and LIGHTS_ON_HOUR <= hour < LIGHTS_OFF_HOUR
+        return LIGHTS_ON_HOUR <= hour < LIGHTS_OFF_HOUR
+
+    def _office_on(self, appliance: ApplianceInstance, t: float) -> bool:
+        cfg = self.config
+        day = self.clock.day_index(t)
+        hour = self.clock.hour_of_day(t)
+        draws = self._draw(appliance, day, "office", size=4)
+        if self.clock.is_weekend(t):
+            if draws[3] >= cfg.weekend_use_probability:
+                return False
+            # A short weekend visit around midday.
+            start = 10.0 + 4.0 * draws[0]
+            return start <= hour < start + 2.0
+        # Whether this machine is left running overnight is a property of
+        # the machine (a build server stays on every night), not of the day.
+        overnight = self._draw(appliance, 0,
+                               "office-overnight")[0] < cfg.overnight_fraction
+        if overnight:
+            return True
+        start = cfg.office_start_hour + cfg.office_jitter_hours * (
+            2.0 * draws[0] - 1.0)
+        end = cfg.office_end_hour + cfg.office_jitter_hours * (
+            2.0 * draws[1] - 1.0)
+        return start <= hour < end
+
+    def _intermittent_on(self, appliance: ApplianceInstance, t: float) -> bool:
+        cfg = self.config
+        epoch = int(t // cfg.intermittent_epoch)
+        duty = appliance.kind.duty_cycle
+        if not self.clock.is_working_hours(t):
+            duty *= cfg.night_activity_factor
+        draws = self._draw(appliance, epoch, "intermittent", size=2)
+        # The appliance runs for a contiguous slice of the epoch whose length
+        # matches the duty cycle; epochs are active independently.
+        epoch_active_prob = min(1.0, duty * 4.0)
+        if draws[0] >= epoch_active_prob:
+            return False
+        run_fraction = min(1.0, duty / max(epoch_active_prob, 1e-9))
+        offset = draws[1] * max(0.0, 1.0 - run_fraction)
+        phase = (t % cfg.intermittent_epoch) / cfg.intermittent_epoch
+        return offset <= phase < offset + run_fraction
+
+    # --- public API -----------------------------------------------------------------
+
+    def is_on(self, appliance: ApplianceInstance, t: float) -> bool:
+        """Powered-on state of ``appliance`` at simulated time ``t``."""
+        schedule = appliance.kind.schedule
+        if schedule is ScheduleClass.ALWAYS_ON:
+            return True
+        if schedule is ScheduleClass.LIGHTING:
+            return self._lighting_on(appliance, t)
+        if schedule is ScheduleClass.OFFICE_HOURS:
+            return self._office_on(appliance, t)
+        if schedule is ScheduleClass.INTERMITTENT:
+            return self._intermittent_on(appliance, t)
+        raise ValueError(f"unhandled schedule class {schedule}")
+
+    def state_signature(self, appliances: List[ApplianceInstance],
+                        t: float) -> Tuple[bool, ...]:
+        """On/off vector for a list of appliances (channel cache key)."""
+        return tuple(self.is_on(a, t) for a in appliances)
+
+    def switching_times(self, appliance: ApplianceInstance, t_start: float,
+                        t_end: float, resolution: float = MINUTE
+                        ) -> List[float]:
+        """Approximate on/off transition times in [t_start, t_end).
+
+        Found by scanning at ``resolution`` then bisecting each change to
+        ~1 s accuracy. Used by tests and by the impulsive-noise model (each
+        transition injects an impulse).
+        """
+        if t_end <= t_start:
+            return []
+        times: List[float] = []
+        prev_t = t_start
+        prev_state = self.is_on(appliance, prev_t)
+        t = t_start + resolution
+        while t < t_end:
+            state = self.is_on(appliance, t)
+            if state != prev_state:
+                lo, hi = prev_t, t
+                while hi - lo > 1.0:
+                    mid = 0.5 * (lo + hi)
+                    if self.is_on(appliance, mid) == prev_state:
+                        lo = mid
+                    else:
+                        hi = mid
+                times.append(hi)
+                prev_state = state
+            prev_t = t
+            t += resolution
+        return times
+
+    def active_count(self, appliances: List[ApplianceInstance],
+                     t: float) -> int:
+        """Number of powered-on appliances (the 'electrical load' proxy)."""
+        return sum(1 for a in appliances if self.is_on(a, t))

@@ -1,0 +1,188 @@
+"""Electrical-load process: grid + appliances + activity in one object.
+
+:class:`ElectricalLoad` is the single facade the PLC channel model talks to.
+It answers, for any simulated time:
+
+* which appliances are on (`state_signature`) — determines the multipath
+  structure (random-scale attenuation changes, §6.3);
+* the noise each outlet *hears* per tone-map slot (`noise_psd_at`) — the
+  invariance-scale structure (§6.1) plus the receiver-local component that
+  creates link asymmetry (§5).
+
+Noise propagation uses a simple exponential cable loss so that an appliance
+two rooms away contributes far less noise than one sharing the receiver's
+power strip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.powergrid.activity import OfficeActivityModel
+from repro.powergrid.appliances import ApplianceInstance
+from repro.powergrid.topology import GridTopology
+
+#: Noise attenuation per cable metre (dB/m) at PLC frequencies, broadband
+#: average. 1.2 dB/m keeps appliance noise *local*: the dominant noise at a
+#: receiver comes from appliances within a room or two — which is what makes
+#: PLC links asymmetric (§5) and link quality location-dependent.
+NOISE_CABLE_LOSS_DB_PER_M = 1.2
+
+#: Ambient noise floor on an in-building line, dBm/Hz. Measured PLC
+#: floors sit near -110 dBm/Hz (far above thermal) due to conducted RF and
+#: distant loads; an isolated lab cable pair still yields near-max SNR.
+BACKGROUND_NOISE_DBM_HZ = -110.0
+
+
+def dbm_to_mw(dbm: float) -> float:
+    return 10.0 ** (dbm / 10.0)
+
+
+def mw_to_dbm(mw: float) -> float:
+    if mw <= 0:
+        raise ValueError("power must be positive")
+    return 10.0 * np.log10(mw)
+
+
+@dataclass
+class _NoiseCacheEntry:
+    signature: Tuple[bool, ...]
+    per_slot_dbm_hz: np.ndarray  # shape (num_slots,)
+
+
+class ElectricalLoad:
+    """Queryable state of the electrical environment."""
+
+    def __init__(self, grid: GridTopology,
+                 appliances: List[ApplianceInstance],
+                 activity: OfficeActivityModel,
+                 num_slots: int = 6):
+        unknown = [a.instance_id for a in appliances
+                   if a.outlet_id not in grid]
+        if unknown:
+            raise KeyError(f"appliances on unknown outlets: {unknown}")
+        self.grid = grid
+        self.appliances = list(appliances)
+        self.activity = activity
+        self.num_slots = num_slots
+        self._distance_cache: Dict[Tuple[str, str], float] = {}
+        self._noise_cache: Dict[str, _NoiseCacheEntry] = {}
+        # Static per-path geometry: (src, dst) -> (appliance, extra_m) pairs.
+        self._tap_geometry_cache: Dict[Tuple[str, str],
+                                       List[Tuple[ApplianceInstance,
+                                                  float]]] = {}
+        # Pre-normalised slot profiles, shape (n_appliances, num_slots).
+        self._slot_profiles = np.array(
+            [a.kind.slot_noise_multipliers() for a in self.appliances]
+        ) if self.appliances else np.zeros((0, num_slots))
+        self._base_psd_mw = np.array(
+            [dbm_to_mw(a.kind.noise_psd_dbm_hz) for a in self.appliances])
+
+    # --- appliance state ------------------------------------------------------
+
+    def state_signature(self, t: float) -> Tuple[bool, ...]:
+        """On/off vector of all appliances at ``t`` (sorted by instance)."""
+        return self.activity.state_signature(self.appliances, t)
+
+    def active_appliances(self, t: float) -> List[ApplianceInstance]:
+        return [a for a in self.appliances if self.activity.is_on(a, t)]
+
+    def active_count(self, t: float) -> int:
+        return self.activity.active_count(self.appliances, t)
+
+    # --- noise ------------------------------------------------------------------
+
+    def _distance(self, a: str, b: str) -> float:
+        key = (a, b) if a <= b else (b, a)
+        if key not in self._distance_cache:
+            if self.grid.connected(a, b):
+                d = self.grid.electrical_distance(a, b)
+            else:
+                d = float("inf")
+            self._distance_cache[key] = d
+        return self._distance_cache[key]
+
+    def cable_distance(self, a: str, b: str) -> float:
+        """Cached cable distance in metres (inf when not connected)."""
+        return self._distance(a, b)
+
+    def noise_psd_at(self, outlet_id: str, t: float) -> np.ndarray:
+        """Noise PSD heard at ``outlet_id``, per tone-map slot, in dBm/Hz.
+
+        Returns an array of shape ``(num_slots,)``. The value is the
+        background floor plus every powered-on appliance's injection,
+        attenuated by its cable distance to the receiver and shaped by its
+        mains-synchronous slot profile.
+        """
+        if outlet_id not in self.grid:
+            raise KeyError(f"unknown outlet {outlet_id!r}")
+        signature = self.state_signature(t)
+        cached = self._noise_cache.get(outlet_id)
+        if cached is not None and cached.signature == signature:
+            return cached.per_slot_dbm_hz
+        total_mw = np.full(self.num_slots, dbm_to_mw(BACKGROUND_NOISE_DBM_HZ))
+        for i, appliance in enumerate(self.appliances):
+            if not signature[i]:
+                continue
+            d = self._distance(appliance.outlet_id, outlet_id)
+            if not np.isfinite(d):
+                continue
+            loss = 10.0 ** (-NOISE_CABLE_LOSS_DB_PER_M * d / 10.0)
+            total_mw += self._base_psd_mw[i] * loss * self._slot_profiles[i]
+        per_slot = 10.0 * np.log10(total_mw)
+        self._noise_cache[outlet_id] = _NoiseCacheEntry(signature, per_slot)
+        return per_slot
+
+    def impulsive_event_rate_at(self, outlet_id: str, t: float) -> float:
+        """Aggregate impulsive-noise rate (events/s) heard at an outlet.
+
+        Distance-weighted sum of active appliances' impulsive rates; feeds the
+        bursty-error model in the channel estimator.
+        """
+        rate = 0.0
+        for appliance in self.active_appliances(t):
+            d = self._distance(appliance.outlet_id, outlet_id)
+            if not np.isfinite(d):
+                continue
+            weight = 10.0 ** (-NOISE_CABLE_LOSS_DB_PER_M * d / 20.0)
+            rate += appliance.kind.impulsive_rate_hz * weight
+        return rate
+
+    # --- taps / reflections ---------------------------------------------------------
+
+    def reflection_taps(self, src_outlet: str, dst_outlet: str, t: float,
+                        max_branch_length: float = 25.0
+                        ) -> List[Tuple[ApplianceInstance, float, bool]]:
+        """Appliances that act as reflection points for the src→dst path.
+
+        Returns ``(appliance, extra_path_metres, powered_on)`` triples where
+        ``extra_path_metres`` is the additional cable length of the reflected
+        path (twice the branch stub length). The geometry (which appliances
+        tap the path, and where) is static and cached; only the powered-on
+        flag is re-evaluated per call.
+        """
+        key = (src_outlet, dst_outlet)
+        geometry = self._tap_geometry_cache.get(key)
+        if geometry is None:
+            branches = self.grid.tap_branches(src_outlet, dst_outlet,
+                                              max_branch_length)
+            branch_end_len = {br.end_outlet: br.branch_length
+                              for br in branches}
+            on_path = set(self.grid.signal_path(src_outlet, dst_outlet))
+            geometry = []
+            for appliance in self.appliances:
+                stub = branch_end_len.get(appliance.outlet_id)
+                if stub is None:
+                    # Appliance on the path itself: reflection with no extra
+                    # delay beyond a minimal stub.
+                    if appliance.outlet_id in on_path:
+                        stub = 1.0
+                    else:
+                        continue
+                geometry.append((appliance, 2.0 * stub))
+            self._tap_geometry_cache[key] = geometry
+        return [(appliance, extra, self.activity.is_on(appliance, t))
+                for appliance, extra in geometry]

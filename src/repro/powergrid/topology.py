@@ -1,0 +1,208 @@
+"""Electrical wiring topology.
+
+The grid is an undirected multigraph of *outlets* connected by *cable
+segments*. Two special outlet kinds exist: distribution *boards* (the roots of
+the in-wall wiring trees) and plain wall outlets. PLC stations and appliances
+plug into outlets.
+
+The model needs three queries, all used by :mod:`repro.plc.channel`:
+
+* :meth:`GridTopology.electrical_distance` — cable metres between two outlets
+  (the x-axis of the paper's Fig. 7);
+* :meth:`GridTopology.signal_path` — the outlet sequence a signal traverses;
+* :meth:`GridTopology.tap_branches` — branch points hanging off that path,
+  each with its branch length and the outlet at its end. Appliances on taps
+  create the impedance mismatches responsible for multipath reflections
+  (paper §5, Fig. 5).
+
+Distances follow cable runs, *not* straight lines — the paper stresses that
+the two distribution boards of the floor are joined only in the basement,
+> 200 m of cable apart, which splits the testbed into two PLC networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+
+@dataclass(frozen=True)
+class Outlet:
+    """A point where a station or appliance can plug into the grid.
+
+    Attributes
+    ----------
+    outlet_id:
+        Unique name, e.g. ``"B1/office-3/wall-0"``.
+    position:
+        (x, y) floor coordinates in metres — used by the *WiFi* model for
+        over-the-air distance; PLC uses cable distance instead.
+    board:
+        Identifier of the distribution board feeding this outlet.
+    is_board:
+        True for the distribution-board node itself.
+    """
+
+    outlet_id: str
+    position: Tuple[float, float]
+    board: str
+    is_board: bool = False
+
+
+@dataclass(frozen=True)
+class TapBranch:
+    """A stub branching off a transmission path.
+
+    ``junction`` is the outlet on the path where the branch starts,
+    ``end_outlet`` the outlet at the end of the stub and ``branch_length``
+    the cable metres of the stub.
+    """
+
+    junction: str
+    end_outlet: str
+    branch_length: float
+
+
+class GridTopology:
+    """The wiring graph of (part of) a building."""
+
+    def __init__(self) -> None:
+        self._graph = nx.Graph()
+        self._outlets: Dict[str, Outlet] = {}
+
+    # --- construction --------------------------------------------------------
+
+    def add_outlet(self, outlet: Outlet) -> Outlet:
+        if outlet.outlet_id in self._outlets:
+            raise ValueError(f"duplicate outlet {outlet.outlet_id!r}")
+        self._outlets[outlet.outlet_id] = outlet
+        self._graph.add_node(outlet.outlet_id)
+        return outlet
+
+    def add_cable(self, a: str, b: str, length: float) -> None:
+        """Connect outlets ``a`` and ``b`` with ``length`` metres of cable."""
+        if length <= 0:
+            raise ValueError(f"cable length must be positive, got {length}")
+        for end in (a, b):
+            if end not in self._outlets:
+                raise KeyError(f"unknown outlet {end!r}")
+        self._graph.add_edge(a, b, length=float(length))
+
+    # --- lookups --------------------------------------------------------------
+
+    def outlet(self, outlet_id: str) -> Outlet:
+        return self._outlets[outlet_id]
+
+    def outlets(self) -> List[Outlet]:
+        return list(self._outlets.values())
+
+    def boards(self) -> List[Outlet]:
+        return [o for o in self._outlets.values() if o.is_board]
+
+    def __contains__(self, outlet_id: str) -> bool:
+        return outlet_id in self._outlets
+
+    def __len__(self) -> int:
+        return len(self._outlets)
+
+    # --- signal-path queries ----------------------------------------------------
+
+    def degree(self, outlet_id: str) -> int:
+        """Number of cable segments meeting at an outlet (junction order)."""
+        return int(self._graph.degree(outlet_id))
+
+    def connected(self, a: str, b: str) -> bool:
+        """Whether a conductive path exists between two outlets."""
+        return nx.has_path(self._graph, a, b)
+
+    def electrical_distance(self, a: str, b: str) -> float:
+        """Shortest cable distance in metres between two outlets."""
+        return float(nx.shortest_path_length(
+            self._graph, a, b, weight="length"))
+
+    def signal_path(self, a: str, b: str) -> List[str]:
+        """Outlet sequence of the shortest cable route from ``a`` to ``b``."""
+        return list(nx.shortest_path(self._graph, a, b, weight="length"))
+
+    def tap_branches(self, a: str, b: str,
+                     max_branch_length: float = 60.0) -> List[TapBranch]:
+        """Branches hanging off the a→b signal path.
+
+        For every outlet *not* on the path, we find its nearest junction on
+        the path and the stub length to it; stubs longer than
+        ``max_branch_length`` contribute negligible reflections and are
+        dropped. Each returned branch is a potential reflection point once an
+        appliance with mismatched impedance sits at its end.
+        """
+        path = self.signal_path(a, b)
+        on_path = set(path)
+        # Distance from every node to the path: multi-source Dijkstra.
+        dist, routes = nx.multi_source_dijkstra(
+            self._graph, sources=on_path, weight="length")
+        branches: List[TapBranch] = []
+        for node, d in dist.items():
+            if node in on_path or d > max_branch_length:
+                continue
+            junction = routes[node][0]
+            branches.append(TapBranch(junction=junction, end_outlet=node,
+                                      branch_length=float(d)))
+        branches.sort(key=lambda br: (br.junction, br.end_outlet))
+        return branches
+
+    def distance_along_path(self, path: Iterable[str]) -> List[float]:
+        """Cumulative cable distance at each outlet of ``path``."""
+        path = list(path)
+        out = [0.0]
+        for u, v in zip(path, path[1:]):
+            out.append(out[-1] + self._graph[u][v]["length"])
+        return out
+
+    # --- builders ---------------------------------------------------------------
+
+    @staticmethod
+    def office_floor(board_specs: Dict[str, Tuple[float, float]],
+                     rooms_per_board: int = 8,
+                     outlets_per_room: int = 2,
+                     riser_length: float = 12.0,
+                     room_spacing: float = 7.0,
+                     stub_length: float = 3.0,
+                     inter_board_length: float = 220.0,
+                     ) -> "GridTopology":
+        """Build a two-board office floor like the EPFL testbed (Fig. 2).
+
+        Each board feeds a bus running along a corridor; every ``room_spacing``
+        metres a room junction taps off it with ``outlets_per_room`` outlets on
+        short stubs. The boards are tied together through a long basement
+        cable (``inter_board_length`` metres), which makes cross-board PLC
+        communication effectively impossible — as in the paper.
+        """
+        grid = GridTopology()
+        board_ids = sorted(board_specs)
+        for board_id in board_ids:
+            x0, y0 = board_specs[board_id]
+            grid.add_outlet(Outlet(board_id, (x0, y0), board_id,
+                                   is_board=True))
+            prev = board_id
+            prev_pos = (x0, y0)
+            direction = 1.0 if x0 < 35 else -1.0
+            for room in range(rooms_per_board):
+                jx = prev_pos[0] + direction * room_spacing
+                jy = y0 + (room % 2) * 4.0
+                junction_id = f"{board_id}/junction-{room}"
+                grid.add_outlet(Outlet(junction_id, (jx, jy), board_id))
+                seg = riser_length if room == 0 else room_spacing
+                grid.add_cable(prev, junction_id, seg)
+                for k in range(outlets_per_room):
+                    ox = jx + 1.0 + 1.5 * k
+                    oy = jy + 2.0
+                    outlet_id = f"{board_id}/room-{room}/outlet-{k}"
+                    grid.add_outlet(Outlet(outlet_id, (ox, oy), board_id))
+                    grid.add_cable(junction_id, outlet_id,
+                                   stub_length + 1.0 * k)
+                prev = junction_id
+                prev_pos = (jx, jy)
+        if len(board_ids) >= 2:
+            grid.add_cable(board_ids[0], board_ids[1], inter_board_length)
+        return grid

@@ -1,0 +1,19 @@
+"""Discrete-event simulation kernel.
+
+The kernel is deliberately small: an event queue with a simulated clock
+(:class:`~repro.sim.engine.Simulator`), a mains-cycle-aware clock helper
+(:mod:`repro.sim.clock`) and named deterministic random streams
+(:mod:`repro.sim.random`). Every other subsystem builds on these.
+"""
+
+from repro.sim.clock import MainsClock, tone_map_slot_at
+from repro.sim.engine import Event, Simulator
+from repro.sim.random import RandomStreams
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "MainsClock",
+    "tone_map_slot_at",
+    "RandomStreams",
+]

@@ -1,0 +1,196 @@
+"""Minimal discrete-event simulation engine.
+
+The engine keeps a priority queue of timestamped events. Components schedule
+callbacks with :meth:`Simulator.schedule` (absolute time) or
+:meth:`Simulator.schedule_in` (relative delay) and the main loop delivers them
+in time order. Ties are broken by insertion order so runs are fully
+deterministic.
+
+The engine is intentionally framework-free — no coroutines, no global state —
+because the frame-level MAC simulations in :mod:`repro.plc.csma` need tight
+control over event cancellation and because determinism is a hard requirement
+for the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, sequence)`` so that simultaneous events fire in
+    scheduling order. ``cancelled`` events stay in the heap but are skipped
+    when popped (lazy deletion).
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    name: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Deterministic discrete-event simulator with a float clock (seconds)."""
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = start_time
+        self._queue: list[Event] = []
+        self._sequence = itertools.count()
+        self._running = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(self, time: float, callback: Callable[[], None],
+                 name: str = "") -> Event:
+        """Schedule ``callback`` at absolute simulated ``time``.
+
+        Scheduling in the past raises ``ValueError`` — it is always a bug.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule event {name!r} at {time} < now {self._now}")
+        event = Event(time, next(self._sequence), callback, name)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_in(self, delay: float, callback: Callable[[], None],
+                    name: str = "") -> Event:
+        """Schedule ``callback`` after ``delay`` seconds."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay} for event {name!r}")
+        return self.schedule(self._now + delay, callback, name)
+
+    def peek(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Process the next event. Returns ``False`` when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.events_processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """Run until the queue drains, ``until`` is reached, or ``max_events``.
+
+        When ``until`` is given the clock is advanced to exactly ``until`` even
+        if the last event fires earlier, so periodic samplers observe a
+        consistent end time.
+        """
+        self._running = True
+        processed = 0
+        try:
+            while self._running:
+                next_time = self.peek()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    break
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+
+    def stop(self) -> None:
+        """Stop a ``run`` loop after the current event."""
+        self._running = False
+
+    def advance_to(self, time: float) -> None:
+        """Jump the clock forward without processing events (testing helper)."""
+        if time < self._now:
+            raise ValueError(f"cannot move clock backwards to {time}")
+        if self.peek() is not None and self.peek() < time:
+            raise ValueError("pending events before target time; use run()")
+        self._now = time
+
+    def pending_count(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def every(self, interval: float, callback: Callable[[], None],
+              start: Optional[float] = None, name: str = "") -> "PeriodicTask":
+        """Schedule ``callback`` periodically. Returns a cancellable task."""
+        return PeriodicTask(self, interval, callback, start, name)
+
+
+class PeriodicTask:
+    """A repeating event created by :meth:`Simulator.every`."""
+
+    def __init__(self, sim: Simulator, interval: float,
+                 callback: Callable[[], None], start: Optional[float],
+                 name: str):
+        if interval <= 0:
+            raise ValueError(f"periodic interval must be positive: {interval}")
+        self._sim = sim
+        self.interval = interval
+        self._callback = callback
+        self._name = name
+        self._stopped = False
+        self._event: Optional[Event] = None
+        first = sim.now + interval if start is None else start
+        self._event = sim.schedule(first, self._fire, name=name)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._callback()
+        if not self._stopped:
+            self._event = self._sim.schedule_in(
+                self.interval, self._fire, name=self._name)
+
+    def stop(self) -> None:
+        """Stop repeating; a queued occurrence is cancelled."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+
+def run_sampler(duration: float, interval: float,
+                sample: Callable[[float], Any],
+                start_time: float = 0.0) -> list:
+    """Convenience: sample ``sample(t)`` every ``interval`` for ``duration``.
+
+    Used by the statistical (non-packet) experiments where the only "events"
+    are measurement instants. Returns the list of samples.
+    """
+    sim = Simulator(start_time)
+    samples: list = []
+
+    def take() -> None:
+        samples.append(sample(sim.now))
+
+    sim.every(interval, take)  # first sample one interval in
+    sim.run(until=start_time + duration)
+    return samples

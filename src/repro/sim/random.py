@@ -1,0 +1,61 @@
+"""Named deterministic random streams.
+
+Every stochastic component draws from its own named stream derived from a
+single root seed, so adding randomness to one subsystem never perturbs another
+(a classic simulation-reproducibility pitfall). Streams are
+``numpy.random.Generator`` instances seeded via ``numpy.random.SeedSequence``
+with a stable hash of the stream name.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict
+
+import numpy as np
+
+
+def _name_key(name: str) -> int:
+    """Stable 32-bit key for a stream name (not Python's salted ``hash``)."""
+    return zlib.crc32(name.encode("utf-8"))
+
+
+class RandomStreams:
+    """Factory of independent, reproducible random generators.
+
+    Examples
+    --------
+    >>> streams = RandomStreams(seed=7)
+    >>> noise_rng = streams.get("plc.noise.link-3-8")
+    >>> fading_rng = streams.get("wifi.fading.link-3-8")
+    >>> float(noise_rng.uniform()) != float(fading_rng.uniform())
+    True
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    def get(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it on first use.
+
+        Repeated calls return the *same* generator object so state advances
+        monotonically within a run.
+        """
+        if name not in self._streams:
+            seq = np.random.SeedSequence([self.seed, _name_key(name)])
+            self._streams[name] = np.random.Generator(np.random.PCG64(seq))
+        return self._streams[name]
+
+    def fresh(self, name: str) -> np.random.Generator:
+        """Return a *new* generator for ``name`` with its initial state.
+
+        Useful for replaying a component's randomness from scratch.
+        """
+        seq = np.random.SeedSequence([self.seed, _name_key(name)])
+        return np.random.Generator(np.random.PCG64(seq))
+
+    def spawn(self, name: str) -> "RandomStreams":
+        """Derive a child factory whose streams are independent of ours."""
+        return RandomStreams(seed=(self.seed * 0x9E3779B1 + _name_key(name))
+                             % (2 ** 63))

@@ -1,0 +1,22 @@
+"""The simulated EPFL testbed (paper §3.1, Fig. 2).
+
+19 stations on one office floor (70 m × 40 m), fed by two distribution
+boards whose only interconnection runs through the basement — so the testbed
+forms two PLC networks: board B1 hosts stations 0–11 (CCo pinned at 11),
+board B2 hosts stations 12–18 (CCo pinned at 15).
+
+:func:`repro.testbed.builder.build_testbed` assembles grid + appliances +
+stations + PLC networks + WiFi links; :mod:`repro.testbed.experiments` holds
+the measurement runners the benchmarks share.
+"""
+
+from repro.testbed.builder import Testbed, build_testbed
+from repro.testbed.presets import HPAV500_PRESET, HPAV_PRESET, VendorPreset
+
+__all__ = [
+    "Testbed",
+    "build_testbed",
+    "VendorPreset",
+    "HPAV_PRESET",
+    "HPAV500_PRESET",
+]

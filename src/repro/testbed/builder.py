@@ -1,0 +1,138 @@
+"""Assemble the full testbed: grid + appliances + PLC networks + WiFi."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.plc.link import PlcLink
+from repro.plc.mm import MmClient
+from repro.plc.network import PlcNetwork
+from repro.plc.station import PlcStation
+from repro.powergrid.activity import OfficeActivityModel
+from repro.powergrid.load import ElectricalLoad
+from repro.sim.random import RandomStreams
+from repro.testbed.floorplan import (
+    CCO_BY_BOARD,
+    StationSite,
+    build_floor_grid,
+    populate_appliances,
+)
+from repro.testbed.presets import HPAV_PRESET, VendorPreset
+from repro.units import MBPS
+from repro.wifi.channel import WifiChannel
+from repro.wifi.link import WifiLink
+
+
+@dataclass
+class Testbed:
+    """The assembled 19-station hybrid testbed."""
+
+    streams: RandomStreams
+    load: ElectricalLoad
+    sites: Dict[int, StationSite]
+    networks: Dict[str, PlcNetwork]
+    preset: VendorPreset
+    _wifi_links: Dict[Tuple[int, int], WifiLink] = field(default_factory=dict)
+    _mm_clients: Dict[str, MmClient] = field(default_factory=dict)
+
+    # --- station / pair enumeration ------------------------------------------
+
+    def station_indices(self) -> List[int]:
+        return sorted(self.sites)
+
+    def board_of(self, index: int) -> str:
+        return self.sites[index].board
+
+    def same_board(self, i: int, j: int) -> bool:
+        return self.board_of(i) == self.board_of(j)
+
+    def same_board_pairs(self) -> List[Tuple[int, int]]:
+        """All directed same-AVLN pairs — the paper's 174 candidate links."""
+        ids = self.station_indices()
+        return [(i, j) for i in ids for j in ids
+                if i != j and self.same_board(i, j)]
+
+    def all_pairs(self) -> List[Tuple[int, int]]:
+        ids = self.station_indices()
+        return [(i, j) for i in ids for j in ids if i != j]
+
+    # --- links -------------------------------------------------------------------
+
+    def plc_link(self, i: int, j: int) -> Optional[PlcLink]:
+        """Directed PLC link i→j, or ``None`` across boards (separate AVLNs)."""
+        if not self.same_board(i, j):
+            return None
+        network = self.networks[self.board_of(i)]
+        return network.link(str(i), str(j))
+
+    def wifi_link(self, i: int, j: int) -> WifiLink:
+        """Directed WiFi link i→j (WiFi ignores the electrical wiring)."""
+        key = (i, j)
+        if key not in self._wifi_links:
+            channel = WifiChannel(self.sites[i].position,
+                                  self.sites[j].position,
+                                  self.streams, name=f"{i}->{j}")
+            self._wifi_links[key] = WifiLink(channel, self.streams)
+        return self._wifi_links[key]
+
+    def mm_client(self, board: str) -> MmClient:
+        """The management-message client for one AVLN (§3.2 tooling)."""
+        if board not in self._mm_clients:
+            self._mm_clients[board] = MmClient(self.networks[board])
+        return self._mm_clients[board]
+
+    # --- distances -------------------------------------------------------------------
+
+    def cable_distance(self, i: int, j: int) -> float:
+        """Cable metres between two stations (Fig. 7's x-axis)."""
+        return self.load.cable_distance(self.sites[i].outlet_id,
+                                        self.sites[j].outlet_id)
+
+    def air_distance(self, i: int, j: int) -> float:
+        """Straight-line metres between two stations (Fig. 3's x-axis)."""
+        (x1, y1), (x2, y2) = self.sites[i].position, self.sites[j].position
+        return float(np.hypot(x1 - x2, y1 - y2))
+
+    # --- connectivity census --------------------------------------------------------------
+
+    def formed_plc_links(self, t: float,
+                         min_throughput_bps: float = 1.0 * MBPS
+                         ) -> List[Tuple[int, int]]:
+        """Directed pairs with usable PLC connectivity (the paper's
+        'links formed' census — 144 in their testbed)."""
+        formed = []
+        for i, j in self.same_board_pairs():
+            link = self.plc_link(i, j)
+            if link is not None and link.is_connected(t, min_throughput_bps):
+                formed.append((i, j))
+        return formed
+
+
+def build_testbed(seed: int = 7,
+                  preset: VendorPreset = HPAV_PRESET) -> Testbed:
+    """Build the 19-station testbed with the given adapter preset."""
+    streams = RandomStreams(seed=seed)
+    grid, sites = build_floor_grid()
+    appliances = populate_appliances(grid, sites)
+    activity = OfficeActivityModel(streams)
+    load = ElectricalLoad(grid, appliances, activity)
+
+    networks: Dict[str, PlcNetwork] = {}
+    boards = sorted({site.board for site in sites.values()})
+    for board in boards:
+        network = PlcNetwork(network_key=f"AVLN-{board}", load=load,
+                             streams=streams,
+                             overreact_to_bursts=preset.overreact_to_bursts)
+        members = [idx for idx, site in sorted(sites.items())
+                   if site.board == board]
+        for idx in members:
+            network.add_station(PlcStation(
+                station_id=str(idx), outlet_id=sites[idx].outlet_id,
+                spec=preset.spec))
+        network.set_cco(str(CCO_BY_BOARD[board]))
+        networks[board] = network
+    return Testbed(streams=streams, load=load, sites=sites,
+                   networks=networks, preset=preset)

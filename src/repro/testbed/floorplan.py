@@ -1,0 +1,193 @@
+"""The floor layout: wiring, station placement, appliance population.
+
+Geometry follows Fig. 2 of the paper: a 70 m × 40 m office floor; board B1
+feeds stations 0–11 over two corridor legs, board B2 feeds stations 12–18.
+Distances and room contents are chosen so the *statistics* match the paper:
+
+* cable distances between same-board stations span ~13–80 m;
+* over-the-air distances span ~4–45 m (so WiFi blind spots exist);
+* a kitchen and printer corners create the noisy neighbourhoods that make
+  links such as 6-5, 11-4 (B1) and 17-16, 18-15 (B2) bad and asymmetric;
+* corridor lighting produces the building-wide 9 pm event of Fig. 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.powergrid.appliances import ApplianceInstance
+from repro.powergrid.topology import GridTopology, Outlet
+
+#: Stub length (m) from a room junction to the station outlet.
+STATION_STUB_M = 4.0
+#: Stub length (m) from a room junction to appliance outlets.
+APPLIANCE_STUB_M = 2.0
+#: Corridor spacing (m) between consecutive room junctions.
+ROOM_SPACING_M = 6.5
+#: Riser from the distribution board to the first junction of each leg.
+RISER_M = 9.0
+#: Basement tie between the two boards (makes cross-board PLC hopeless).
+INTER_BOARD_M = 220.0
+
+
+@dataclass(frozen=True)
+class StationSite:
+    """Where a testbed station lives."""
+
+    index: int
+    board: str
+    outlet_id: str
+    position: Tuple[float, float]
+
+
+#: Station -> (board, leg, slot-on-leg, floor position). Legs: each board
+#: runs a north (0) and south (1) corridor leg; slot k sits k rooms from the
+#: riser. Positions approximate Fig. 2.
+_STATION_PLAN: Dict[int, Tuple[str, int, int, Tuple[float, float]]] = {
+    # B1 — east wing, stations 0–11, CCo 11.
+    0: ("B1", 0, 0, (28.0, 14.0)),
+    1: ("B1", 0, 1, (36.0, 16.0)),
+    2: ("B1", 0, 2, (44.0, 14.0)),
+    3: ("B1", 0, 3, (52.0, 16.0)),
+    4: ("B1", 0, 4, (60.0, 14.0)),
+    5: ("B1", 0, 5, (68.0, 16.0)),
+    6: ("B1", 1, 0, (28.0, 0.0)),
+    7: ("B1", 1, 1, (36.0, 2.0)),
+    8: ("B1", 1, 2, (44.0, 0.0)),
+    9: ("B1", 1, 3, (52.0, 2.0)),
+    10: ("B1", 1, 4, (60.0, 0.0)),
+    11: ("B1", 1, 5, (68.0, 2.0)),
+    # B2 — west wing, stations 12–18, CCo 15.
+    12: ("B2", 0, 0, (6.0, 30.0)),
+    13: ("B2", 0, 1, (12.0, 32.0)),
+    14: ("B2", 0, 2, (18.0, 30.0)),
+    15: ("B2", 1, 0, (6.0, 38.0)),
+    16: ("B2", 1, 1, (12.0, 40.0)),
+    17: ("B2", 1, 2, (18.0, 38.0)),
+    18: ("B2", 1, 3, (24.0, 40.0)),
+}
+
+#: Paper-pinned CCos (§3.1): stations 11 (B1) and 15 (B2).
+CCO_BY_BOARD = {"B1": 11, "B2": 15}
+
+#: Extra appliances by room: (station index, appliance kind) — the noisy
+#: neighbourhoods. Kitchen next to 5 (and its leg-mate 4/6 area), printers
+#: near 2 and 7 on B1; kitchen corner near 17/18 and printer near 16 on B2.
+_NOISY_ROOMS: List[Tuple[int, str]] = [
+    (5, "microwave"),
+    (4, "lab_equipment"),
+    (16, "lab_equipment"),
+    (5, "coffee_machine"),
+    (5, "fridge"),
+    (4, "fluorescent_lighting"),
+    (6, "printer"),
+    (2, "printer"),
+    (7, "vacuum_cleaner"),
+    (11, "fluorescent_lighting"),
+    (17, "microwave"),
+    (17, "coffee_machine"),
+    (16, "printer"),
+    (18, "fridge"),
+]
+
+#: Standard office bundle present in every station room.
+_OFFICE_BUNDLE = ("desktop_pc", "monitor", "laptop_charger", "led_lighting")
+
+
+def _board_positions() -> Dict[str, Tuple[float, float]]:
+    return {"B1": (30.0, 6.0), "B2": (2.0, 34.0)}
+
+
+def build_floor_grid() -> Tuple[GridTopology, Dict[int, StationSite]]:
+    """Wire the floor and return the grid plus station sites."""
+    grid = GridTopology()
+    boards = _board_positions()
+    for board_id, pos in boards.items():
+        grid.add_outlet(Outlet(board_id, pos, board_id, is_board=True))
+    grid.add_cable("B1", "B2", INTER_BOARD_M)
+
+    # Build corridor legs with room junctions holding station + appliance
+    # outlets. Junction ids: "<board>/leg<l>/j<k>".
+    legs: Dict[Tuple[str, int], List[str]] = {}
+    for (board, leg) in sorted({(b, l) for b, l, _, _ in
+                                _STATION_PLAN.values()}):
+        max_slot = max(slot for b, l, slot, _ in _STATION_PLAN.values()
+                       if b == board and l == leg)
+        prev = board
+        junctions = []
+        for k in range(max_slot + 1):
+            jid = f"{board}/leg{leg}/j{k}"
+            # Junction floor position: interpolate from the stations.
+            grid.add_outlet(Outlet(jid, _junction_pos(board, leg, k), board))
+            seg = RISER_M if k == 0 else ROOM_SPACING_M
+            grid.add_cable(prev, jid, seg)
+            junctions.append(jid)
+            prev = jid
+        legs[(board, leg)] = junctions
+
+    sites: Dict[int, StationSite] = {}
+    for index, (board, leg, slot, pos) in sorted(_STATION_PLAN.items()):
+        jid = legs[(board, leg)][slot]
+        outlet_id = f"{board}/st{index}"
+        grid.add_outlet(Outlet(outlet_id, pos, board))
+        grid.add_cable(jid, outlet_id, STATION_STUB_M)
+        sites[index] = StationSite(index=index, board=board,
+                                   outlet_id=outlet_id, position=pos)
+    return grid, sites
+
+
+def _junction_pos(board: str, leg: int, slot: int) -> Tuple[float, float]:
+    """Approximate corridor coordinates for a junction."""
+    if board == "B1":
+        x = 30.0 + 7.0 * slot
+        y = 11.0 if leg == 0 else 4.0
+    else:
+        x = 4.0 + 6.0 * slot
+        y = 32.0 if leg == 0 else 36.0
+    return (x, y)
+
+
+def populate_appliances(grid: GridTopology,
+                        sites: Dict[int, StationSite]
+                        ) -> List[ApplianceInstance]:
+    """Plug the office population into the grid.
+
+    Every station room gets the standard office bundle on dedicated outlets
+    hanging off the station's junction; the noisy rooms get their extras;
+    every corridor junction carries a fluorescent fixture (building
+    lighting — the 9 pm signal).
+    """
+    appliances: List[ApplianceInstance] = []
+
+    def room_junction(site: StationSite) -> str:
+        board, leg, slot, _ = _STATION_PLAN[site.index]
+        return f"{board}/leg{leg}/j{slot}"
+
+    for index, site in sorted(sites.items()):
+        jid = room_junction(site)
+        for k, kind in enumerate(_OFFICE_BUNDLE):
+            outlet_id = f"{site.board}/st{index}/a{k}"
+            pos = (site.position[0] + 0.5 + 0.3 * k, site.position[1] + 0.5)
+            grid.add_outlet(Outlet(outlet_id, pos, site.board))
+            grid.add_cable(jid, outlet_id, APPLIANCE_STUB_M + 0.5 * k)
+            appliances.append(ApplianceInstance.make(
+                f"st{index}-{kind}", kind, outlet_id))
+
+    for n, (index, kind) in enumerate(_NOISY_ROOMS):
+        site = sites[index]
+        jid = room_junction(site)
+        outlet_id = f"{site.board}/st{index}/x{n}"
+        pos = (site.position[0] - 0.8, site.position[1] + 1.0)
+        grid.add_outlet(Outlet(outlet_id, pos, site.board))
+        grid.add_cable(jid, outlet_id, APPLIANCE_STUB_M)
+        appliances.append(ApplianceInstance.make(
+            f"noisy{n}-st{index}-{kind}", kind, outlet_id))
+
+    # Corridor lighting on every junction outlet.
+    for outlet in grid.outlets():
+        if "/j" in outlet.outlet_id.split("/")[-1]:
+            appliances.append(ApplianceInstance.make(
+                f"corridor-{outlet.outlet_id}", "fluorescent_lighting",
+                outlet.outlet_id))
+    return appliances

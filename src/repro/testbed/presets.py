@@ -1,0 +1,34 @@
+"""Vendor presets for the testbed adapters.
+
+The paper runs its main testbed on Intellon INT6300 (HomePlug AV) miniPCI
+cards and validates with Netgear XAVB5101 (Atheros QCA7400, HPAV500)
+adapters. The presets bundle the PHY spec with the vendor estimation quirk
+the paper uncovers in §6.2 (the AV500 estimator collapses on bursty errors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.plc.spec import HPAV, HPAV500, PlcSpec
+
+
+@dataclass(frozen=True)
+class VendorPreset:
+    """Adapter model used when building a testbed."""
+
+    name: str
+    chip: str
+    spec: PlcSpec
+    #: §6.2 vendor quirk: over-reaction of the channel estimator to bursty
+    #: errors (observed on the HPAV500 devices, Fig. 10 link 18-15).
+    overreact_to_bursts: bool
+
+
+#: Intellon INT6300 — the main 19-station testbed (§3.1).
+HPAV_PRESET = VendorPreset(name="HPAV", chip="Intellon INT6300", spec=HPAV,
+                           overreact_to_bursts=False)
+
+#: Netgear XAVB5101 / Atheros QCA7400 — the validation devices.
+HPAV500_PRESET = VendorPreset(name="HPAV500", chip="Atheros QCA7400",
+                              spec=HPAV500, overreact_to_bursts=True)

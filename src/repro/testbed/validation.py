@@ -1,0 +1,109 @@
+"""Calibration report: how closely the simulated testbed matches the paper.
+
+The substitution contract of `DESIGN.md` is that the simulator preserves the
+paper's *shapes*. This module measures those shapes on a built testbed and
+scores each against its paper target — the same checks the benchmark suite
+enforces, packaged as a reusable report (run it after changing any channel
+constant, or from the CLI/docs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.asymmetry import asymmetry_report
+from repro.analysis.stats import linear_fit, pearson
+from repro.units import MBPS
+
+
+@dataclass(frozen=True)
+class CalibrationCheck:
+    """One shape check against a paper target."""
+
+    name: str
+    paper_value: str
+    measured: float
+    lo: float
+    hi: float
+
+    @property
+    def ok(self) -> bool:
+        return self.lo <= self.measured <= self.hi
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """All checks for one testbed instant."""
+
+    checks: Tuple[CalibrationCheck, ...]
+
+    @property
+    def passed(self) -> bool:
+        return all(c.ok for c in self.checks)
+
+    def failures(self) -> List[CalibrationCheck]:
+        return [c for c in self.checks if not c.ok]
+
+    def as_rows(self) -> List[list]:
+        return [[c.name, c.paper_value, c.measured,
+                 "ok" if c.ok else "OUT OF BAND"] for c in self.checks]
+
+
+def calibrate(testbed, t: float, samples: int = 5) -> CalibrationReport:
+    """Measure the headline shapes at time ``t`` (working hours expected)."""
+    plc_thr = {}
+    wifi_thr = {}
+    ble = {}
+    pberr = {}
+    for i, j in testbed.same_board_pairs():
+        link = testbed.plc_link(i, j)
+        plc_thr[(i, j)] = np.mean(
+            [link.throughput_bps(t + k, measured=False)
+             for k in range(samples)]) / MBPS
+        wifi_thr[(i, j)] = np.mean(
+            [testbed.wifi_link(i, j).throughput_bps(t + k * 0.4,
+                                                    measured=False)
+             for k in range(3 * samples)]) / MBPS
+        ble[(i, j)] = link.avg_ble_bps(t) / MBPS
+        pberr[(i, j)] = link.pb_err(t)
+
+    pt = np.array(list(plc_thr.values()))
+    wt = np.array(list(wifi_thr.values()))
+    alive = pt > 1.0
+
+    # Shape 1: BLE = 1.7 T.
+    fit = linear_fit(pt[alive], np.array(list(ble.values()))[alive])
+    # Shape 2: asymmetry fraction.
+    asym = asymmetry_report(plc_thr, threshold=1.5)
+    # Shape 3: PLC-better share.
+    connected = (pt > 1.0) | (wt > 1.0)
+    plc_better = float(np.mean(pt[connected] > wt[connected]))
+    # Shape 4: distance correlation.
+    dist = np.array([testbed.cable_distance(i, j)
+                     for (i, j) in plc_thr])
+    dist_corr = pearson(dist, pt)
+    # Shape 5: PBerr anti-correlates with throughput.
+    pbe = np.array(list(pberr.values()))
+    pberr_corr = pearson(pt[alive], pbe[alive])
+    # Shape 6: formed-link census.
+    formed = int(alive.sum())
+
+    checks = (
+        CalibrationCheck("BLE/T slope", "1.7", fit.slope, 1.5, 1.9),
+        CalibrationCheck(">1.5x asymmetric pairs", "~0.30",
+                         asym.severe_fraction, 0.15, 0.55),
+        CalibrationCheck("pairs faster on PLC", "0.52", plc_better,
+                         0.35, 0.85),
+        CalibrationCheck("corr(cable distance, T)", "strongly negative",
+                         dist_corr, -1.0, -0.45),
+        CalibrationCheck("corr(T, PBerr)", "negative", pberr_corr,
+                         -1.0, -0.2),
+        CalibrationCheck("formed PLC links", "144 of 174", float(formed),
+                         120.0, 174.0),
+        CalibrationCheck("max PLC throughput (Mbps)", "~80",
+                         float(pt.max()), 55.0, 100.0),
+    )
+    return CalibrationReport(checks=checks)

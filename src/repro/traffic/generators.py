@@ -1,0 +1,83 @@
+"""Traffic source descriptors and packet-time schedules."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.traffic.packet import Packet
+
+
+@dataclass(frozen=True)
+class SaturatedUdpFlow:
+    """iperf-style saturated UDP: always a packet ready (paper default)."""
+
+    packet_bytes: int = 1500
+    flow_id: str = "udp-saturated"
+
+
+@dataclass(frozen=True)
+class CbrFlow:
+    """Constant-bit-rate flow (the paper's 150 kbps probe emulation, §8)."""
+
+    rate_bps: float
+    packet_bytes: int = 1500
+    flow_id: str = "cbr"
+
+    def __post_init__(self) -> None:
+        if self.rate_bps <= 0:
+            raise ValueError("rate must be positive")
+
+    @property
+    def packet_interval_s(self) -> float:
+        return self.packet_bytes * 8 / self.rate_bps
+
+    def packet_times(self, t_start: float, duration: float) -> List[float]:
+        interval = self.packet_interval_s
+        n = int(duration / interval)
+        return [t_start + k * interval for k in range(n)]
+
+
+@dataclass(frozen=True)
+class FileTransfer:
+    """A fixed-size transfer (the paper's 600 MB download, §7.4)."""
+
+    size_bytes: int
+    packet_bytes: int = 1500
+    flow_id: str = "file"
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("file size must be positive")
+
+    @property
+    def n_packets(self) -> int:
+        return math.ceil(self.size_bytes / self.packet_bytes)
+
+
+def burst_schedule(rate_bps: float, burst_packets: int,
+                   packet_bytes: int, t_start: float,
+                   duration: float) -> List[List[float]]:
+    """Packet times grouped into bursts at the same average rate (§8.2).
+
+    Returns a list of bursts; each burst is a list of (near-simultaneous)
+    packet times. Total packets per second match a plain CBR of ``rate_bps``.
+    """
+    if burst_packets < 1:
+        raise ValueError("burst size must be >= 1")
+    burst_interval = burst_packets * packet_bytes * 8 / rate_bps
+    bursts: List[List[float]] = []
+    t = t_start
+    while t < t_start + duration:
+        bursts.append([t + 1e-5 * k for k in range(burst_packets)])
+        t += burst_interval
+    return bursts
+
+
+def packets_for_times(times: List[float], packet_bytes: int,
+                      flow_id: str, seq_start: int = 0) -> Iterator[Packet]:
+    """Materialise packets for a list of send times."""
+    for k, t in enumerate(times):
+        yield Packet(seq=seq_start + k, size_bytes=packet_bytes,
+                     created_at=t, flow_id=flow_id)

@@ -1,0 +1,35 @@
+"""Packets as the hybrid forwarding layer sees them.
+
+The paper's load balancer operates between IP and MAC (§7.4) and reorders at
+the destination using the IP identification sequence — so a packet here
+carries exactly that: a sequence number, a size and timestamps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class Packet:
+    """One IP packet in flight through the hybrid pipeline."""
+
+    seq: int                      # IP identification sequence
+    size_bytes: int = 1500
+    created_at: float = 0.0
+    flow_id: str = "flow-0"
+    medium: Optional[str] = None  # which interface carried it
+    delivered_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.seq < 0:
+            raise ValueError("sequence numbers are non-negative")
+        if self.size_bytes <= 0:
+            raise ValueError("packet size must be positive")
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.delivered_at is None:
+            return None
+        return self.delivered_at - self.created_at

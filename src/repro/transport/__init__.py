@@ -1,0 +1,11 @@
+"""Transport-layer models over hybrid links.
+
+The paper stops at UDP but flags TCP twice: PLC's low variance "can be
+beneficial for TCP" (§4.1) and link asymmetry "could affect bidirectional
+traffic, such as TCP, that requires routing in both directions" (Table 3).
+:mod:`repro.transport.tcp` turns those remarks into a model.
+"""
+
+from repro.transport.tcp import TcpPathModel, TcpPrediction
+
+__all__ = ["TcpPathModel", "TcpPrediction"]

@@ -1,0 +1,181 @@
+"""Steady-state TCP throughput over a bidirectional (and possibly
+asymmetric) link pair.
+
+Model: the Padhye-Firoiu-Towsley-Kurose response function
+
+    T = MSS / (RTT·sqrt(2p/3) + RTO·min(1, 3·sqrt(3p/8))·p·(1 + 32p²))
+
+capped by the forward link's UDP capacity, with the inputs derived from the
+paper's PLC link metrics:
+
+* **RTT** — forward data-frame service time (MAC exchange at the link's
+  BLE, inflated by U-ETX retransmissions) plus the *reverse* direction's
+  ACK service time (same machinery, 1-PB frames) plus a base stack delay.
+  This is where asymmetry bites: a dismal reverse link stretches every ACK.
+* **loss p** — the residual post-MAC loss (SACK recovers almost everything,
+  so this is tiny) plus the self-induced buffer-probing loss any saturated
+  TCP causes, plus a jitter term: RTT variance causes spurious timeouts, so
+  links with high service-time variability (WiFi; bad PLC links) pay extra.
+
+The model answers the paper's two TCP remarks quantitatively:
+low-variance PLC sustains a higher fraction of its UDP rate than
+equal-mean WiFi, and reverse-path degradation alone throttles forward TCP.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.plc import mac
+from repro.units import MBPS
+
+#: Maximum segment size (bytes): Ethernet MTU minus headers.
+MSS_BYTES = 1448
+#: TCP ACK wire size (bytes).
+ACK_BYTES = 66
+#: Base end-to-end stack latency (s): driver + IP + socket on both ends.
+BASE_DELAY_S = 1.5e-3
+#: Minimum retransmission timeout (RFC 6298).
+MIN_RTO_S = 0.2
+#: Bottleneck buffering a saturated flow keeps full (driver + AP queues).
+QUEUE_BYTES = 65536
+#: Spurious-timeout/rate-dip sensitivity: converts the forward link's
+#: relative throughput jitter into an equivalent loss rate.
+JITTER_LOSS_COEFF = 0.02
+#: Post-MAC residual loss floor (buffer probing of a saturated Reno flow).
+MIN_LOSS = 2e-4
+
+
+@dataclass(frozen=True)
+class TcpPrediction:
+    """One TCP steady-state evaluation."""
+
+    throughput_bps: float
+    rtt_s: float
+    rtt_cv: float
+    loss: float
+    udp_capacity_bps: float
+
+    @property
+    def efficiency(self) -> float:
+        """TCP throughput as a fraction of the UDP capacity."""
+        if self.udp_capacity_bps <= 0:
+            return 0.0
+        return self.throughput_bps / self.udp_capacity_bps
+
+
+def padhye_throughput_bps(mss_bytes: int, rtt_s: float, loss: float,
+                          rto_s: float = MIN_RTO_S) -> float:
+    """The PFTK steady-state Reno response function."""
+    if rtt_s <= 0:
+        raise ValueError("RTT must be positive")
+    if not 0.0 < loss < 1.0:
+        raise ValueError("loss must be in (0, 1)")
+    term1 = rtt_s * math.sqrt(2.0 * loss / 3.0)
+    term2 = (rto_s * min(1.0, 3.0 * math.sqrt(3.0 * loss / 8.0))
+             * loss * (1.0 + 32.0 * loss ** 2))
+    return mss_bytes * 8.0 / (term1 + term2)
+
+
+class TcpPathModel:
+    """TCP over a forward/reverse pair of measured links.
+
+    Works with anything exposing the link measurement surface
+    (``avg_ble_bps``/``throughput_bps``/``pb_err``/``u_etx`` for PLC links;
+    WiFi links provide ``throughput_bps`` and are treated as loss-free
+    post-MAC with jitter taken from throughput samples).
+    """
+
+    def __init__(self, fwd_link, rev_link,
+                 mss_bytes: int = MSS_BYTES):
+        self.fwd = fwd_link
+        self.rev = rev_link
+        self.mss_bytes = mss_bytes
+
+    # --- per-direction service model ------------------------------------------------
+
+    def _service_time_s(self, link, t: float, payload_bytes: int) -> float:
+        """One MAC exchange for a packet of ``payload_bytes`` on ``link``."""
+        timings = mac.DEFAULT_TIMINGS
+        if hasattr(link, "spec") and hasattr(link, "u_etx"):
+            spec = link.spec
+            ble = max(link.avg_ble_bps(t), 1 * MBPS)
+            n_pbs = mac.pbs_for_payload(payload_bytes, spec)
+            frame = mac.frame_duration_s(n_pbs, ble, spec.target_pb_error,
+                                         spec, timings)
+            exchange = frame + timings.exchange_overhead_s(3.5)
+            # Retransmissions repeat the exchange (§8.1's U-ETX).
+            etx = min(link.u_etx(t, payload_bytes), 10.0)
+            return exchange * etx
+        # WiFi: airtime from the instantaneous rate plus DCF overhead.
+        rate = max(link.throughput_bps(t, measured=False), 1 * MBPS)
+        return payload_bytes * 8.0 / rate + 0.3e-3
+
+    def rtt_s(self, t: float) -> float:
+        """Instantaneous RTT under saturation.
+
+        Data service forward + ACK service reverse + stack delay + the
+        standing-queue delay a saturated flow builds at the bottleneck
+        (bufferbloat: QUEUE_BYTES draining at the forward capacity).
+        """
+        capacity = max(self.fwd.throughput_bps(t, measured=False), 1 * MBPS)
+        queueing = QUEUE_BYTES * 8.0 / capacity
+        return (BASE_DELAY_S + queueing
+                + self._service_time_s(self.fwd, t, self.mss_bytes)
+                + self._service_time_s(self.rev, t, ACK_BYTES))
+
+    def rtt_statistics(self, t: float, window_s: float = 10.0,
+                       samples: int = 40) -> tuple:
+        """(mean, coefficient of variation) of the RTT around ``t``."""
+        ts = np.linspace(t, t + window_s, samples)
+        rtts = np.array([self.rtt_s(float(x)) for x in ts])
+        mean = float(rtts.mean())
+        cv = float(rtts.std() / mean) if mean > 0 else 0.0
+        return mean, cv
+
+    def throughput_cv(self, t: float, window_s: float = 10.0,
+                      samples: int = 40) -> float:
+        """Relative variability of the forward link's deliverable rate."""
+        ts = np.linspace(t, t + window_s, samples)
+        thr = np.array([self.fwd.throughput_bps(float(x), measured=False)
+                        for x in ts])
+        mean = float(thr.mean())
+        return float(thr.std() / mean) if mean > 0 else 0.0
+
+    def residual_loss(self, t: float, thr_cv: float) -> float:
+        """Post-MAC loss + variability-induced spurious-timeout/dip loss.
+
+        §4.1's TCP remark, operationalised: a link whose rate swings (WiFi
+        fading, bad PLC) causes RTO spikes and rate-dip losses that Reno
+        pays for with multiplicative decreases.
+        """
+        channel = 0.0
+        if hasattr(self.fwd, "pb_err"):
+            # SACK retransmits up to ~50 times; residual loss is the chance
+            # a PB fails that often — negligible unless the link is dying.
+            pb_err = min(self.fwd.pb_err(t), 0.95)
+            channel = pb_err ** 8
+        jitter = JITTER_LOSS_COEFF * thr_cv ** 2
+        return float(np.clip(channel + jitter + MIN_LOSS, MIN_LOSS, 0.5))
+
+    # --- prediction ------------------------------------------------------------------
+
+    def predict(self, t: float, window_s: float = 10.0) -> TcpPrediction:
+        """Steady-state TCP throughput around time ``t``."""
+        rtt, cv = self.rtt_statistics(t, window_s)
+        thr_cv = self.throughput_cv(t, window_s)
+        loss = self.residual_loss(t, thr_cv)
+        raw = padhye_throughput_bps(self.mss_bytes, rtt, loss)
+        capacity = float(np.mean(
+            [self.fwd.throughput_bps(float(x), measured=False)
+             for x in np.linspace(t, t + window_s, 20)]))
+        # A real Reno flow also cannot exceed ~94 % of the UDP rate
+        # (header overhead + ACK airtime on the shared medium).
+        throughput = min(raw, 0.94 * capacity)
+        return TcpPrediction(throughput_bps=max(throughput, 0.0),
+                             rtt_s=rtt, rtt_cv=cv, loss=loss,
+                             udp_capacity_bps=capacity)

@@ -1,0 +1,22 @@
+"""802.11n WiFi substrate.
+
+The paper's WiFi side (§4) uses 802.11n with 2 spatial streams, 20 MHz
+channels and a PHY peak of 130 Mbps, chosen to match the nominal capacity of
+the HPAV adapters. We model the indoor link budget (path loss + shadowing),
+temporally-correlated fast fading with a busy-hours interference component,
+MCS rate adaptation and DCF efficiency — enough to reproduce the qualitative
+contrast the paper draws: WiFi is faster at short range but far more variable
+(Fig. 3, 4), and dies beyond ~35 m where PLC still delivers (blind spots).
+"""
+
+from repro.wifi.channel import WifiChannel
+from repro.wifi.link import WifiLink
+from repro.wifi.phy import MCS_TABLE_2SS, McsEntry, select_mcs
+
+__all__ = [
+    "WifiChannel",
+    "WifiLink",
+    "MCS_TABLE_2SS",
+    "McsEntry",
+    "select_mcs",
+]

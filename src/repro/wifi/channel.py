@@ -1,0 +1,121 @@
+"""Indoor WiFi channel: link budget + temporally-correlated variability.
+
+Model components:
+
+* **Path loss**: log-distance with wall-rich indoor exponent, so links die
+  around 35–40 m — the paper's blind-spot threshold (§4.1);
+* **Shadowing**: one static per-link draw (the link's "personality");
+* **Fast fading**: block fading re-drawn per coherence interval;
+* **Interference/occupancy**: during working hours, people and other traffic
+  raise the variability a lot — this is the dominant reason the paper's σ_W
+  reaches ~19 Mbps while σ_P stays below 4 (Fig. 3, 4).
+
+Both directions share path loss and shadowing (reciprocity) but draw
+independent fading and small per-direction noise-figure offsets, giving the
+mild WiFi asymmetry the paper reports (§5: up to 1.5× for good links).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.sim.clock import MainsClock
+from repro.sim.random import RandomStreams
+
+#: Link-budget constants: 15 dBm TX EIRP, −90 dBm noise+NF over 20 MHz.
+TX_POWER_DBM = 15.0
+NOISE_FLOOR_DBM = -90.0
+
+#: Log-distance path loss: PL(d) = PL0 + 10·n·log10(d / 1 m).
+PATH_LOSS_EXPONENT = 4.3
+PATH_LOSS_1M_DB = 38.0
+
+#: Static shadowing std-dev (dB) across links. Positive excursions are
+#: capped: indoor links cannot beat free-space-like propagation by much,
+#: and the paper observes *no* WiFi connectivity beyond ~35 m.
+SHADOWING_STD_DB = 5.0
+SHADOWING_MAX_DB = 5.0
+SHADOWING_MIN_DB = -12.0
+
+#: Fast-fading block length (coherence time) in seconds.
+COHERENCE_TIME_S = 0.12
+
+#: Fading std-dev (dB): quiet vs working hours (people moving, doors, ...).
+FADING_STD_QUIET_DB = 1.5
+FADING_STD_BUSY_DB = 4.5
+
+#: Airtime availability during working hours dips when neighbours transmit.
+BUSY_AVAILABILITY_MEAN = 0.92
+QUIET_AVAILABILITY_MEAN = 0.97
+
+
+@dataclass(frozen=True)
+class WifiChannelState:
+    """Instantaneous channel snapshot for one direction."""
+
+    snr_db: float
+    availability: float
+
+
+class WifiChannel:
+    """A directed over-the-air channel between two floor positions."""
+
+    def __init__(self, src_pos: Tuple[float, float],
+                 dst_pos: Tuple[float, float], streams: RandomStreams,
+                 name: str, clock: MainsClock = MainsClock()):
+        self.src_pos = src_pos
+        self.dst_pos = dst_pos
+        self.name = name
+        self.clock = clock
+        self._streams = streams
+        rng = streams.fresh(f"wifi.structure.{_pair_key(name)}")
+        #: Shadowing is reciprocal: drawn once per unordered pair.
+        self._shadowing_db = float(np.clip(
+            rng.normal(0.0, SHADOWING_STD_DB),
+            SHADOWING_MIN_DB, SHADOWING_MAX_DB))
+        rng_dir = streams.fresh(f"wifi.direction.{name}")
+        #: Small per-direction noise-figure offset (asymmetry, §5).
+        self._direction_offset_db = float(rng_dir.normal(0.0, 0.8))
+
+    def distance_m(self) -> float:
+        dx = self.src_pos[0] - self.dst_pos[0]
+        dy = self.src_pos[1] - self.dst_pos[1]
+        return float(np.hypot(dx, dy))
+
+    def mean_snr_db(self) -> float:
+        """Long-term average SNR from the link budget."""
+        d = max(self.distance_m(), 1.0)
+        pl = PATH_LOSS_1M_DB + 10 * PATH_LOSS_EXPONENT * np.log10(d)
+        return (TX_POWER_DBM - pl - NOISE_FLOOR_DBM
+                + self._shadowing_db + self._direction_offset_db)
+
+    def state(self, t: float) -> WifiChannelState:
+        """Instantaneous SNR + airtime availability at simulated time ``t``.
+
+        Deterministic per (link, coherence interval): hashed block fading.
+        """
+        busy = self.clock.is_working_hours(t)
+        block = int(t / COHERENCE_TIME_S)
+        rng = self._streams.fresh(f"wifi.fading.{self.name}.{block}")
+        sigma = FADING_STD_BUSY_DB if busy else FADING_STD_QUIET_DB
+        fading = float(rng.normal(0.0, sigma))
+        # Occasional deep fade (person crossing the LoS).
+        if busy and rng.uniform() < 0.04:
+            fading -= float(rng.uniform(4.0, 12.0))
+        mean_avail = (BUSY_AVAILABILITY_MEAN if busy
+                      else QUIET_AVAILABILITY_MEAN)
+        availability = float(np.clip(
+            rng.normal(mean_avail, 0.10 if busy else 0.02), 0.2, 1.0))
+        return WifiChannelState(snr_db=self.mean_snr_db() + fading,
+                                availability=availability)
+
+
+def _pair_key(name: str) -> str:
+    """Order-independent key so both directions share reciprocal draws."""
+    if "->" in name:
+        a, b = name.split("->", 1)
+        return "<->".join(sorted((a, b)))
+    return name

@@ -1,0 +1,75 @@
+"""WiFi link facade: MCS and throughput measurements at time t."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.random import RandomStreams
+from repro.units import MBPS
+from repro.wifi import phy
+from repro.wifi.channel import WifiChannel
+
+
+@dataclass(frozen=True)
+class WifiSample:
+    """One measurement instant of a WiFi link."""
+
+    time: float
+    mcs_index: int
+    phy_rate_bps: float
+    throughput_bps: float
+
+    @property
+    def throughput_mbps(self) -> float:
+        return self.throughput_bps / MBPS
+
+    @property
+    def phy_rate_mbps(self) -> float:
+        return self.phy_rate_bps / MBPS
+
+
+class WifiLink:
+    """One direction of an 802.11n link."""
+
+    def __init__(self, channel: WifiChannel, streams: RandomStreams,
+                 name: Optional[str] = None):
+        self.channel = channel
+        self.name = name or channel.name
+        self._rng = streams.get(f"wifi.link.{self.name}")
+
+    def mcs_index(self, t: float) -> int:
+        """MCS the rate-adaptation picks at ``t`` (−1 = no association).
+
+        This is the frame-control field the paper reads for WiFi capacity
+        estimation (Table 2).
+        """
+        return phy.select_mcs(self.channel.state(t).snr_db).index
+
+    def phy_rate_bps(self, t: float) -> float:
+        """Instantaneous PHY rate — the WiFi capacity metric of Fig. 4."""
+        return phy.select_mcs(self.channel.state(t).snr_db).phy_rate_bps
+
+    def throughput_bps(self, t: float, measured: bool = True) -> float:
+        """Saturated UDP throughput at ``t``."""
+        state = self.channel.state(t)
+        thr = phy.throughput_from_snr(state.snr_db, state.availability)
+        if thr <= 0:
+            return 0.0
+        if measured:
+            thr += self._rng.normal(0.0, 0.4 * MBPS)
+        return max(thr, 0.0)
+
+    def is_connected(self, t: float) -> bool:
+        """Associated and passing traffic (paper's WiFi connectivity test)."""
+        return phy.select_mcs(self.channel.state(t).snr_db).index >= 0
+
+    def sample(self, t: float) -> WifiSample:
+        state = self.channel.state(t)
+        entry = phy.select_mcs(state.snr_db)
+        return WifiSample(
+            time=t,
+            mcs_index=entry.index,
+            phy_rate_bps=entry.phy_rate_bps,
+            throughput_bps=self.throughput_bps(t),
+        )

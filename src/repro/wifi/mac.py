@@ -1,0 +1,140 @@
+"""802.11n MAC detail: A-MPDU aggregation and Minstrel rate adaptation.
+
+The coarse WiFi model uses a flat DCF efficiency; this module provides the
+mechanisms behind that number, for analyses that need them:
+
+* :func:`ampdu_efficiency` — goodput/PHY-rate ratio as a function of the
+  aggregation depth: per-exchange overheads (DIFS, backoff, preamble,
+  Block ACK) amortise over the A-MPDU, which is why 802.11n needs
+  aggregation to be efficient at high MCS (and why the paper's ref [16]
+  says MAC enhancements broke classic metrics);
+* :class:`MinstrelRateControl` — the Linux rate-control algorithm in
+  miniature: per-rate EWMA success probabilities from ACK feedback,
+  occasional sampling of other rates, pick by expected throughput. Unlike
+  the idealised ``select_mcs`` (which reads the SNR directly), Minstrel
+  only sees ACKs — so it lags fading, which is part of WiFi's measured
+  throughput variance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.wifi.phy import MCS_TABLE_2SS, McsEntry
+from repro.units import US
+
+#: Per-exchange constants (802.11n, 20 MHz).
+DIFS_S = 34 * US
+SIFS_S = 16 * US
+SLOT_S = 9 * US
+PREAMBLE_S = 40 * US          # PLCP preamble + header (mixed mode)
+BLOCK_ACK_S = 32 * US
+AVG_BACKOFF_SLOTS = 7.5       # CWmin = 15
+MPDU_OVERHEAD_BYTES = 40      # MAC header + FCS + delimiter
+
+
+def ampdu_airtime_s(phy_rate_bps: float, mpdu_payload_bytes: int,
+                    n_mpdus: int) -> float:
+    """On-air duration of one A-MPDU exchange (data + Block ACK)."""
+    if phy_rate_bps <= 0:
+        raise ValueError("PHY rate must be positive")
+    if n_mpdus < 1:
+        raise ValueError("an A-MPDU aggregates at least one MPDU")
+    bits = n_mpdus * (mpdu_payload_bytes + MPDU_OVERHEAD_BYTES) * 8
+    return (DIFS_S + AVG_BACKOFF_SLOTS * SLOT_S + PREAMBLE_S
+            + bits / phy_rate_bps + SIFS_S + BLOCK_ACK_S)
+
+
+def ampdu_efficiency(phy_rate_bps: float, mpdu_payload_bytes: int = 1500,
+                     n_mpdus: int = 16) -> float:
+    """Application goodput / PHY rate for a given aggregation depth."""
+    airtime = ampdu_airtime_s(phy_rate_bps, mpdu_payload_bytes, n_mpdus)
+    payload_bits = n_mpdus * mpdu_payload_bytes * 8
+    return (payload_bits / phy_rate_bps) / airtime * (
+        mpdu_payload_bytes / (mpdu_payload_bytes + MPDU_OVERHEAD_BYTES))
+
+
+@dataclass
+class _RateState:
+    entry: McsEntry
+    success_ewma: float = 0.5
+    attempts: int = 0
+
+
+class MinstrelRateControl:
+    """ACK-driven rate control (Minstrel, simplified).
+
+    ``on_result(mcs_index, success)`` feeds transmission feedback;
+    ``pick()`` returns the MCS to use next — usually the
+    best-expected-throughput rate, but every ``sample_interval`` frames it
+    probes a random other rate (how Minstrel discovers recoveries).
+    """
+
+    def __init__(self, rng: np.random.Generator, ewma_weight: float = 0.25,
+                 sample_interval: int = 12):
+        if not 0.0 < ewma_weight <= 1.0:
+            raise ValueError("EWMA weight must be in (0, 1]")
+        if sample_interval < 2:
+            raise ValueError("sample interval must be >= 2")
+        self._rng = rng
+        self.ewma_weight = ewma_weight
+        self.sample_interval = sample_interval
+        self._rates = {e.index: _RateState(e) for e in MCS_TABLE_2SS}
+        self._frames = 0
+
+    def expected_throughput_bps(self, index: int) -> float:
+        state = self._rates[index]
+        return state.entry.phy_rate_bps * state.success_ewma
+
+    def best_rate(self) -> int:
+        return max(self._rates,
+                   key=lambda i: (self.expected_throughput_bps(i), i))
+
+    def pick(self) -> int:
+        """The MCS for the next frame (throughput leader or a sample)."""
+        self._frames += 1
+        if self._frames % self.sample_interval == 0:
+            others = [i for i in self._rates if i != self.best_rate()]
+            return int(self._rng.choice(others))
+        return self.best_rate()
+
+    def on_result(self, mcs_index: int, success: bool) -> None:
+        state = self._rates[mcs_index]
+        state.attempts += 1
+        w = self.ewma_weight
+        state.success_ewma = ((1 - w) * state.success_ewma
+                              + w * (1.0 if success else 0.0))
+
+
+def frame_success_probability(snr_db: float, entry: McsEntry,
+                              steepness: float = 1.2) -> float:
+    """Per-A-MPDU-subframe success probability at a given SNR.
+
+    A logistic around the rate's sensitivity threshold — the smooth
+    counterpart of the hard threshold in ``select_mcs``.
+    """
+    if entry.index < 0:
+        return 0.0
+    margin = snr_db - entry.min_snr_db
+    return float(1.0 / (1.0 + np.exp(-steepness * margin)))
+
+
+def run_rate_control(channel, rc: MinstrelRateControl,
+                     rng: np.random.Generator, t_start: float,
+                     duration: float, frame_interval_s: float = 0.002
+                     ) -> List[int]:
+    """Drive Minstrel against a WifiChannel; returns the chosen MCS trace."""
+    choices: List[int] = []
+    t = t_start
+    while t < t_start + duration:
+        index = rc.pick()
+        entry = next(e for e in MCS_TABLE_2SS if e.index == index)
+        snr = channel.state(t).snr_db
+        success = rng.uniform() < frame_success_probability(snr, entry)
+        rc.on_result(index, success)
+        choices.append(index)
+        t += frame_interval_s
+    return choices

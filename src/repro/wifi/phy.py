@@ -1,0 +1,79 @@
+"""802.11n PHY: MCS table and rate adaptation.
+
+The paper's setup (§4.1 footnote): 802.11n, 2 spatial streams, 20 MHz, with a
+maximum PHY rate of 130 Mbps (MCS 15 at 800 ns guard interval) — picked to
+match the HPAV adapters' 150 Mbps nominal rate. Unlike PLC's per-carrier
+modulation, a WiFi transmitter picks *one* MCS for all carriers (§2.1), which
+is why bursty narrowband errors force the whole link down — the mechanism the
+paper credits for WiFi's higher throughput variance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.units import MBPS
+
+
+@dataclass(frozen=True)
+class McsEntry:
+    """One row of the MCS table."""
+
+    index: int
+    streams: int
+    phy_rate_bps: float
+    min_snr_db: float
+
+
+def _table() -> Tuple[McsEntry, ...]:
+    # 20 MHz, 800 ns GI. Single-stream MCS 0-7 then dual-stream MCS 8-15.
+    one_ss = [6.5, 13.0, 19.5, 26.0, 39.0, 52.0, 58.5, 65.0]
+    two_ss = [13.0, 26.0, 39.0, 52.0, 78.0, 104.0, 117.0, 130.0]
+    # SNR needed: standard receiver-sensitivity ladder (~BPSK1/2 at 4 dB up
+    # to 64-QAM 5/6 at 27 dB; dual-stream needs ~3 dB more).
+    snr_1ss = [4.0, 7.0, 9.5, 12.5, 16.0, 20.0, 22.5, 25.0]
+    snr_2ss = [7.0, 10.0, 12.5, 15.5, 19.0, 23.0, 25.5, 28.0]
+    rows: List[McsEntry] = []
+    for i, (rate, snr) in enumerate(zip(one_ss, snr_1ss)):
+        rows.append(McsEntry(i, 1, rate * MBPS, snr))
+    for i, (rate, snr) in enumerate(zip(two_ss, snr_2ss)):
+        rows.append(McsEntry(8 + i, 2, rate * MBPS, snr))
+    return tuple(rows)
+
+
+#: Full MCS 0–15 table (1 and 2 spatial streams).
+MCS_TABLE_2SS: Tuple[McsEntry, ...] = _table()
+
+#: DCF + A-MPDU aggregation efficiency: UDP goodput / PHY rate for 802.11n
+#: with aggregation (~0.65 measured in clean channels).
+DCF_EFFICIENCY = 0.65
+
+
+def select_mcs(snr_db: float) -> McsEntry:
+    """Best MCS sustainable at ``snr_db`` (rate-maximising adaptation)."""
+    best = None
+    for entry in MCS_TABLE_2SS:
+        if snr_db >= entry.min_snr_db:
+            if best is None or entry.phy_rate_bps > best.phy_rate_bps:
+                best = entry
+    if best is None:
+        # Below MCS0 sensitivity: no association / no throughput.
+        return McsEntry(index=-1, streams=0, phy_rate_bps=0.0,
+                        min_snr_db=-np.inf)
+    return best
+
+
+def throughput_from_snr(snr_db: float,
+                        availability: float = 1.0) -> float:
+    """UDP throughput (bits/s) at a given instantaneous SNR.
+
+    ``availability`` ∈ [0, 1] scales for airtime lost to co-channel
+    contention (other networks, §4.1 runs during working hours).
+    """
+    if not 0.0 <= availability <= 1.0:
+        raise ValueError(f"availability must be in [0,1]: {availability}")
+    entry = select_mcs(snr_db)
+    return entry.phy_rate_bps * DCF_EFFICIENCY * availability

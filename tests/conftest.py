@@ -1,0 +1,32 @@
+"""Shared fixtures: one testbed per session, canonical measurement times."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.random import RandomStreams
+from repro.testbed import build_testbed
+from repro.testbed.experiments import night_start, working_hours_start
+
+
+@pytest.fixture(scope="session")
+def testbed():
+    """The 19-station HPAV testbed (expensive parts are lazy)."""
+    return build_testbed(seed=7)
+
+
+@pytest.fixture(scope="session")
+def t_work():
+    """Wednesday 2 pm — 'during working hours' (§4.1)."""
+    return working_hours_start()
+
+
+@pytest.fixture(scope="session")
+def t_night():
+    """Wednesday 11:30 pm — quiet hours (§6.2 protocol)."""
+    return night_start()
+
+
+@pytest.fixture()
+def streams():
+    return RandomStreams(seed=1234)

@@ -1,0 +1,78 @@
+"""Statistics helpers: fits, CDFs, asymmetry reports."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.asymmetry import asymmetry_report
+from repro.analysis.stats import (
+    empirical_cdf,
+    linear_fit,
+    pearson,
+    summarize,
+)
+
+
+def test_linear_fit_recovers_known_line():
+    rng = np.random.default_rng(0)
+    x = np.linspace(0, 100, 200)
+    y = 1.7 * x - 0.65 + rng.normal(0, 0.5, len(x))
+    fit = linear_fit(x, y)
+    assert fit.slope == pytest.approx(1.7, abs=0.05)
+    assert fit.intercept == pytest.approx(-0.65, abs=0.5)
+    assert fit.r_squared > 0.99
+    assert fit.residuals_normal
+    assert fit.predict(10.0) == pytest.approx(1.7 * 10 - 0.65, abs=0.6)
+
+
+def test_linear_fit_flags_non_normal_residuals():
+    rng = np.random.default_rng(1)
+    x = np.linspace(0, 100, 400)
+    y = 2 * x + rng.exponential(20.0, len(x))  # heavily skewed residuals
+    fit = linear_fit(x, y)
+    assert not fit.residuals_normal
+
+
+def test_linear_fit_needs_three_points():
+    with pytest.raises(ValueError):
+        linear_fit([1, 2], [1, 2])
+
+
+def test_empirical_cdf_monotone_and_normalised():
+    samples = [3.0, 1.0, 2.0, 2.0]
+    grid = [0.0, 1.5, 2.5, 10.0]
+    cdf = empirical_cdf(samples, grid)
+    assert list(cdf) == [0.0, 0.25, 0.75, 1.0]
+    with pytest.raises(ValueError):
+        empirical_cdf([], grid)
+
+
+def test_summarize():
+    s = summarize([1.0, 2.0, 3.0])
+    assert (s.n, s.mean, s.minimum, s.maximum) == (3, 2.0, 1.0, 3.0)
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_pearson_signs():
+    x = np.arange(10.0)
+    assert pearson(x, 2 * x) == pytest.approx(1.0)
+    assert pearson(x, -x) == pytest.approx(-1.0)
+
+
+def test_asymmetry_report_ratio_and_fraction():
+    fwd = {(0, 1): 60.0, (1, 0): 30.0,     # 2.0x
+           (2, 3): 50.0, (3, 2): 49.0,     # ~1.02x
+           (4, 5): 0.1, (5, 4): 0.2}       # both dead → skipped
+    report = asymmetry_report(fwd, threshold=1.5)
+    assert report.n_pairs == 2
+    assert report.severe_fraction == pytest.approx(0.5)
+    assert report.ratios.max() == pytest.approx(2.0)
+
+
+def test_asymmetry_worst_pairs_ordering():
+    fwd = {(0, 1): 90.0, (1, 0): 30.0,
+           (2, 3): 80.0, (3, 2): 60.0}
+    report = asymmetry_report(fwd)
+    names = ["0-1", "2-3"]
+    worst = report.worst_pairs(names, k=1)
+    assert worst[0][0] == "0-1"

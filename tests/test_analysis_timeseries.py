@@ -1,0 +1,93 @@
+"""Timescale-detection tools (§6's structure, recovered from data)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.timeseries import (
+    autocorrelation,
+    autocorrelation_time_s,
+    cusum_changepoints,
+    detect_periodicity_s,
+)
+from repro.core.metrics import MetricSeries
+from repro.plc.sniffer import capture_saturated
+from repro.units import HALF_MAINS_CYCLE
+
+
+def test_autocorrelation_of_white_noise_decays():
+    rng = np.random.default_rng(0)
+    acf = autocorrelation(rng.standard_normal(2000), max_lag=20)
+    assert acf[0] == pytest.approx(1.0)
+    assert abs(acf[5]) < 0.1
+
+
+def test_autocorrelation_validation():
+    with pytest.raises(ValueError):
+        autocorrelation([1.0, 2.0], max_lag=1)
+    with pytest.raises(ValueError):
+        autocorrelation([1.0, 2.0, 3.0, 4.0], max_lag=10)
+
+
+def test_autocorrelation_time_tracks_process_memory():
+    rng = np.random.default_rng(1)
+    times = np.arange(0, 200, 0.1)
+
+    def ou(tau):
+        x = np.zeros(len(times))
+        for k in range(1, len(times)):
+            x[k] = x[k - 1] * (1 - 0.1 / tau) + rng.standard_normal() * 0.3
+        return MetricSeries(times, x)
+
+    fast = autocorrelation_time_s(ou(0.5))
+    slow = autocorrelation_time_s(ou(8.0))
+    assert slow > 3 * fast
+
+
+def test_detect_mains_periodicity_from_sofs(testbed, t_work):
+    """The invariance scale is discoverable: 10 ms wins the periodogram."""
+    link = testbed.plc_link(0, 4)   # strong slot structure at work hours
+    sofs = capture_saturated(link, t_work, 0.6)
+    times = [s.timestamp for s in sofs]
+    values = [s.ble_bps for s in sofs]
+    candidates = [0.004, 0.007, HALF_MAINS_CYCLE, 0.013, 0.017, 0.023]
+    period, score = detect_periodicity_s(times, values, candidates)
+    assert period == HALF_MAINS_CYCLE
+    assert score > 0.5
+
+
+def test_detect_periodicity_validation():
+    with pytest.raises(ValueError):
+        detect_periodicity_s([0, 1], [1.0, 2.0], [0.5])
+    with pytest.raises(ValueError):
+        detect_periodicity_s(list(range(20)), [1.0] * 20, [0.5])
+
+
+def test_cusum_finds_a_step():
+    times = np.arange(0, 100, 0.5)
+    rng = np.random.default_rng(2)
+    values = 50.0 + 0.2 * rng.standard_normal(len(times))
+    values[times >= 60] += 8.0   # upward regime shift at t=60
+    cps = cusum_changepoints(MetricSeries(times, values))
+    assert len(cps) >= 1
+    first = cps[0]
+    assert first.direction == +1
+    assert 59.0 < first.time < 65.0
+
+
+def test_cusum_quiet_series_reports_nothing():
+    times = np.arange(0, 50, 0.5)
+    rng = np.random.default_rng(3)
+    values = 80.0 + 0.3 * rng.standard_normal(len(times))
+    assert cusum_changepoints(MetricSeries(times, values)) == []
+
+
+def test_cusum_detects_lights_off_event(testbed):
+    """The 9 pm event of Fig. 12 is recoverable by changepoint detection."""
+    from repro.testbed.experiments import long_run_series
+    from repro.sim.clock import MainsClock
+    t0 = MainsClock.at(day=1, hour=19.0)
+    series = long_run_series(testbed, 0, 3, t0, 4 * 3600.0, interval=60.0)
+    cps = cusum_changepoints(series, threshold_sigmas=6.0)
+    lights_off = MainsClock.at(day=1, hour=21.0)
+    assert any(abs(cp.time - lights_off) < 1800.0 and cp.direction == +1
+               for cp in cps)

@@ -1,0 +1,92 @@
+"""Campaign persistence (JSONL save/load)."""
+
+import json
+
+import pytest
+
+from repro.analysis.traces import (
+    Campaign,
+    iter_records,
+    load_campaign,
+    record_survey,
+    save_campaign,
+)
+from repro.core.metrics import LinkMetricRecord
+
+
+def _rec(t, src="0", dst="1", medium="plc", cap=80e6):
+    return LinkMetricRecord(time=t, src=src, dst=dst, medium=medium,
+                            capacity_bps=cap, pb_err=0.01)
+
+
+def test_roundtrip(tmp_path):
+    campaign = Campaign(name="night-run", description="test", seed=7)
+    for k in range(5):
+        campaign.add(_rec(float(k)))
+    path = tmp_path / "campaign.jsonl"
+    save_campaign(campaign, path)
+    loaded = load_campaign(path)
+    assert loaded.name == "night-run"
+    assert loaded.seed == 7
+    assert len(loaded) == 5
+    assert loaded.records[3] == campaign.records[3]
+
+
+def test_iter_records_streams(tmp_path):
+    campaign = Campaign(name="s")
+    campaign.add(_rec(1.0))
+    campaign.add(_rec(2.0, medium="wifi"))
+    path = tmp_path / "c.jsonl"
+    save_campaign(campaign, path)
+    times = [r.time for r in iter_records(path)]
+    assert times == [1.0, 2.0]
+
+
+def test_series_extraction(tmp_path):
+    campaign = Campaign(name="s")
+    for k in (3, 1, 2):
+        campaign.add(_rec(float(k), cap=k * 1e6))
+    series = campaign.series("0", "1", "plc")
+    assert list(series.times) == [1.0, 2.0, 3.0]   # sorted by time
+    assert list(series.values) == [1e6, 2e6, 3e6]
+    assert campaign.links() == [("0", "1", "plc")]
+
+
+def test_rejects_non_campaign_files(tmp_path):
+    path = tmp_path / "junk.jsonl"
+    path.write_text("not json at all\n")
+    with pytest.raises(ValueError):
+        load_campaign(path)
+    path.write_text(json.dumps({"format": "something-else"}) + "\n")
+    with pytest.raises(ValueError):
+        load_campaign(path)
+
+
+def test_rejects_future_version(tmp_path):
+    path = tmp_path / "future.jsonl"
+    path.write_text(json.dumps({"format": "repro-campaign",
+                                "version": 99}) + "\n")
+    with pytest.raises(ValueError, match="newer"):
+        load_campaign(path)
+
+
+def test_bad_record_line_reported_with_position(tmp_path):
+    campaign = Campaign(name="s")
+    campaign.add(_rec(1.0))
+    path = tmp_path / "c.jsonl"
+    save_campaign(campaign, path)
+    with path.open("a") as fh:
+        fh.write('{"nonsense": true}\n')
+    with pytest.raises(ValueError, match=":3"):
+        list(iter_records(path))
+
+
+def test_record_survey_covers_both_media(testbed, t_work, tmp_path):
+    campaign = record_survey(testbed, t_work, pairs=[(0, 1), (1, 0)])
+    assert len(campaign) == 4  # 2 pairs x 2 media
+    media = {r.medium for r in campaign.records}
+    assert media == {"plc", "wifi"}
+    # And it serialises cleanly.
+    path = tmp_path / "survey.jsonl"
+    save_campaign(campaign, path)
+    assert len(load_campaign(path)) == 4

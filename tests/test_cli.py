@@ -1,0 +1,55 @@
+"""CLI entry points (python -m repro ...)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_probe_prints_metrics_and_advice(capsys):
+    rc = main(["probe", "0", "1", "--seed", "7"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "avg BLE" in out
+    assert "probing advice" in out
+    assert "U-ETX" in out
+
+
+def test_probe_cross_board_refused(capsys):
+    rc = main(["probe", "0", "15"])
+    err = capsys.readouterr().err
+    assert rc == 1
+    assert "different boards" in err
+
+
+def test_route_cross_board_succeeds(capsys):
+    rc = main(["route", "0", "15"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "route 0 -> 15" in out
+    assert "[wifi]" in out
+
+
+def test_survey_save_and_report_roundtrip(tmp_path, capsys):
+    path = tmp_path / "c.jsonl"
+    rc = main(["survey", "--save", str(path), "--top", "5"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "Dual-medium survey" in out
+    assert path.exists()
+
+    rc = main(["report", str(path), "--top", "3"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "per-link summary" in out
+
+
+def test_survey_respects_time_options(capsys):
+    rc = main(["survey", "--day", "5", "--hour", "23.0", "--top", "3"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "day 5 23h" in out

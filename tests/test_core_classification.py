@@ -1,0 +1,42 @@
+"""Link-quality classes (§7.3 heuristics)."""
+
+import pytest
+
+from repro.core.classification import (
+    LinkQuality,
+    QualityThresholds,
+    classify_ble,
+    classify_ble_mbps,
+)
+from repro.units import MBPS
+
+
+def test_paper_thresholds():
+    """Bad < 60 ≤ average < 100 ≤ good (Mbps)."""
+    assert classify_ble_mbps(30.0) is LinkQuality.BAD
+    assert classify_ble_mbps(59.9) is LinkQuality.BAD
+    assert classify_ble_mbps(60.0) is LinkQuality.AVERAGE
+    assert classify_ble_mbps(99.9) is LinkQuality.AVERAGE
+    assert classify_ble_mbps(100.0) is LinkQuality.GOOD
+    assert classify_ble_mbps(150.0) is LinkQuality.GOOD
+
+
+def test_bps_and_mbps_agree():
+    assert classify_ble(75 * MBPS) is classify_ble_mbps(75.0)
+
+
+def test_negative_ble_rejected():
+    with pytest.raises(ValueError):
+        classify_ble(-1.0)
+
+
+def test_custom_thresholds():
+    th = QualityThresholds(bad_below_bps=100 * MBPS,
+                           good_above_bps=300 * MBPS)
+    assert classify_ble(150 * MBPS, th) is LinkQuality.AVERAGE
+
+
+def test_inverted_thresholds_rejected():
+    with pytest.raises(ValueError):
+        QualityThresholds(bad_below_bps=200 * MBPS,
+                          good_above_bps=100 * MBPS)

@@ -1,0 +1,66 @@
+"""Delay metrics (§8's delay-sensitive-application motivation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.delay import (
+    DelayEstimate,
+    delay_budget_ok,
+    estimate_delay,
+    service_time_s,
+)
+from repro.core.interference import AirtimeReport
+
+
+def test_service_time_scales_inversely_with_ble(testbed, t_work):
+    fast = service_time_s(testbed.plc_link(13, 14), t_work)
+    slow = service_time_s(testbed.plc_link(2, 7), t_work)
+    assert 0.0005 < fast < slow < 0.02
+
+
+def test_bad_links_pay_retransmission_delay(testbed, t_work):
+    good = estimate_delay(testbed.plc_link(13, 14), t_work)
+    bad = estimate_delay(testbed.plc_link(3, 8), t_work)
+    assert good.retx_s < bad.retx_s
+    assert good.total_s < bad.total_s
+    assert bad.jitter_s >= good.jitter_s
+
+
+def test_foreign_airtime_inflates_delay(testbed, t_work):
+    link = testbed.plc_link(0, 1)
+    quiet = estimate_delay(link, t_work)
+    busy = estimate_delay(link, t_work,
+                          airtime=AirtimeReport(1.0, 0.0, 0.6))
+    assert busy.contention_s > quiet.contention_s
+    assert busy.total_s > quiet.total_s
+
+
+def test_overload_yields_infinite_queueing(testbed, t_work):
+    link = testbed.plc_link(11, 4)  # nearly dead at working hours
+    est = estimate_delay(link, t_work, offered_bps=80e6)
+    assert est.queueing_s == float("inf")
+    assert not delay_budget_ok(est, budget_s=1.0)
+
+
+def test_validation(testbed, t_work):
+    with pytest.raises(ValueError):
+        estimate_delay(testbed.plc_link(0, 1), t_work, offered_bps=0.0)
+    with pytest.raises(ValueError):
+        delay_budget_ok(
+            DelayEstimate(1e-3, 0, 0, 0, 0), budget_s=0.0)
+
+
+def test_delay_budget_check(testbed, t_work):
+    link = testbed.plc_link(13, 14)
+    est = estimate_delay(link, t_work)
+    assert delay_budget_ok(est, budget_s=0.1)
+    assert not delay_budget_ok(est, budget_s=1e-6)
+    # A tight jitter budget can fail even when total delay passes.
+    assert not delay_budget_ok(est, budget_s=0.1,
+                               jitter_budget_s=0.0) or est.jitter_s == 0.0
+
+
+def test_total_decomposition_adds_up(testbed, t_work):
+    est = estimate_delay(testbed.plc_link(0, 3), t_work)
+    assert est.total_s == pytest.approx(
+        est.service_s + est.retx_s + est.contention_s + est.queueing_s)

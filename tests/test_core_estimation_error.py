@@ -1,0 +1,84 @@
+"""Accuracy-vs-overhead machinery (Fig. 19)."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimation_error import (
+    compare_policies,
+    estimation_errors_for_interval,
+    evaluate_policy,
+)
+from repro.core.metrics import MetricSeries
+from repro.core.probing import AdaptiveProbingPolicy, FixedProbingPolicy
+from repro.units import MBPS
+
+
+def _trace(mean_mbps, sigma_mbps, seed=0, duration=600.0,
+           correlation_s=10.0):
+    """Mean-reverting BLE trace: drifts over ~``correlation_s`` so slower
+    probing genuinely loses accuracy (white noise would not)."""
+    rng = np.random.default_rng(seed)
+    times = np.arange(0, duration, 0.05)
+    dt = 0.05
+    theta = 1.0 / correlation_s
+    step = sigma_mbps * np.sqrt(2 * theta * dt)
+    values = np.empty(len(times))
+    values[0] = mean_mbps
+    noise = rng.standard_normal(len(times))
+    for k in range(1, len(times)):
+        values[k] = (values[k - 1]
+                     + theta * (mean_mbps - values[k - 1]) * dt
+                     + step * noise[k])
+    return MetricSeries(times, np.maximum(values * MBPS, 0.0))
+
+
+def test_constant_trace_has_zero_error():
+    times = np.arange(0, 100, 0.05)
+    series = MetricSeries(times, np.full_like(times, 80 * MBPS))
+    errors = estimation_errors_for_interval(series, 5.0)
+    assert len(errors) > 0
+    assert (errors == 0).all()
+
+
+def test_error_grows_with_interval_on_drifting_trace():
+    times = np.arange(0, 200, 0.05)
+    values = (50 + 0.2 * times) * MBPS  # steady drift
+    series = MetricSeries(times, values)
+    fast = estimation_errors_for_interval(series, 5.0).mean()
+    slow = estimation_errors_for_interval(series, 80.0).mean()
+    assert slow > 10 * fast
+
+
+def test_interval_validation():
+    series = _trace(50, 1)
+    with pytest.raises(ValueError):
+        estimation_errors_for_interval(series, 0.0)
+    with pytest.raises(ValueError):
+        estimation_errors_for_interval(MetricSeries([0.0], [1.0]), 1.0)
+
+
+def test_evaluate_policy_accumulates_links():
+    traces = {"a": _trace(30, 4, seed=1), "b": _trace(120, 0.3, seed=2)}
+    result = evaluate_policy(FixedProbingPolicy(5.0), traces, "fast")
+    assert result.overhead_bps > 0
+    assert len(result.errors_bps) > 0
+    cdf = result.error_cdf(np.array([0.0, 1e12]))
+    assert cdf[-1] == 1.0
+    assert (np.diff(cdf) >= 0).all()
+
+
+def test_compare_policies_reproduces_fig19_shape():
+    """Adaptive ≈ fast accuracy at much lower overhead; slow is worst."""
+    traces = {
+        "bad-1": _trace(30, 5, seed=3),
+        "bad-2": _trace(45, 4, seed=4),
+        "avg-1": _trace(80, 1.5, seed=5),
+        "good-1": _trace(120, 0.3, seed=6),
+        "good-2": _trace(140, 0.2, seed=7),
+    }
+    results = compare_policies(traces)
+    ours, fast, slow = results["ours"], results["fast"], results["slow"]
+    assert ours.overhead_bps < 0.8 * fast.overhead_bps
+    assert ours.percentile_bps(90) < slow.percentile_bps(90)
+    # Accuracy within striking distance of the fast baseline.
+    assert ours.percentile_bps(90) < 2.5 * fast.percentile_bps(90)

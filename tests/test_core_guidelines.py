@@ -1,0 +1,80 @@
+"""Table 3 policy engine."""
+
+import pytest
+
+from repro.core.classification import LinkQuality
+from repro.core.guidelines import (
+    LinkState,
+    audit_schedule,
+    recommend,
+)
+from repro.core.probing import ProbeSchedule
+from repro.units import MBPS
+
+
+def test_recommend_enforces_probe_size():
+    rec = recommend(LinkState(ble_fwd_bps=120 * MBPS))
+    assert rec.schedule.payload_bytes > 520
+    assert rec.unicast
+    assert rec.average_over_slots
+    assert rec.metrics == ("BLE", "PBerr")
+
+
+def test_recommend_scales_interval_with_quality():
+    bad = recommend(LinkState(ble_fwd_bps=30 * MBPS))
+    good = recommend(LinkState(ble_fwd_bps=130 * MBPS))
+    assert good.schedule.interval_s > bad.schedule.interval_s
+
+
+def test_recommend_bursts_under_contention():
+    rec = recommend(LinkState(ble_fwd_bps=80 * MBPS, contended=True))
+    assert rec.schedule.burst_packets >= 20
+    assert any("burst" in n or "aggregation" in n for n in rec.notes)
+
+
+def test_recommend_flags_asymmetric_links():
+    rec = recommend(LinkState(ble_fwd_bps=100 * MBPS,
+                              ble_rev_bps=40 * MBPS))
+    assert any("asymmetric" in n for n in rec.notes)
+
+
+def test_audit_passes_compliant_setup():
+    schedule = ProbeSchedule(interval_s=80.0, payload_bytes=1500)
+    violations = audit_schedule(
+        schedule, unicast=True, averages_over_slots=True,
+        probes_both_directions=True, link_quality=LinkQuality.GOOD)
+    assert violations == []
+
+
+def test_audit_catches_every_violation():
+    schedule = ProbeSchedule(interval_s=60.0, payload_bytes=400)
+    violations = audit_schedule(
+        schedule, unicast=False, averages_over_slots=False,
+        probes_both_directions=False, link_quality=LinkQuality.BAD,
+        contended=True)
+    names = {v.guideline for v in violations}
+    assert names == {
+        "unicast probing only",
+        "shortest time-scale",
+        "size of probes",
+        "frequency of probes",
+        "burstiness of probes",
+        "asymmetry in probing",
+    }
+
+
+def test_audit_frequency_rules_are_quality_aware():
+    fast = ProbeSchedule(interval_s=5.0, payload_bytes=1500)
+    slow = ProbeSchedule(interval_s=60.0, payload_bytes=1500)
+    v_good = audit_schedule(fast, unicast=True, averages_over_slots=True,
+                            probes_both_directions=True,
+                            link_quality=LinkQuality.GOOD)
+    assert any(v.guideline == "frequency of probes" for v in v_good)
+    v_bad = audit_schedule(slow, unicast=True, averages_over_slots=True,
+                           probes_both_directions=True,
+                           link_quality=LinkQuality.BAD)
+    assert any(v.guideline == "frequency of probes" for v in v_bad)
+    v_ok = audit_schedule(slow, unicast=True, averages_over_slots=True,
+                          probes_both_directions=True,
+                          link_quality=LinkQuality.GOOD)
+    assert not any(v.guideline == "frequency of probes" for v in v_ok)

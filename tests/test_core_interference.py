@@ -1,0 +1,67 @@
+"""Interference-aware metrics (§8's future-work extension)."""
+
+import pytest
+
+from repro.core.interference import (
+    AirtimeReport,
+    airtime_report,
+    available_bandwidth_bps,
+    contention_aware_ett_s,
+)
+from repro.plc.frames import SofDelimiter
+from repro.plc.sniffer import capture_saturated
+
+
+def _sof(t, src, duration):
+    return SofDelimiter(timestamp=t, src=src, dst="x", tmi=1, ble_bps=1e8,
+                        slot=0, n_pbs=10, duration_s=duration)
+
+
+def test_airtime_report_partitions_own_and_foreign():
+    sofs = [_sof(0.0, "me", 0.002), _sof(0.01, "other", 0.003),
+            _sof(0.02, "other", 0.001)]
+    report = airtime_report(sofs, window_s=0.1, own_station="me")
+    assert report.own_airtime_s == pytest.approx(0.002)
+    assert report.foreign_airtime_s == pytest.approx(0.004)
+    assert report.busy_fraction == pytest.approx(0.06)
+    assert report.foreign_fraction == pytest.approx(0.04)
+    assert report.idle_fraction == pytest.approx(0.94)
+
+
+def test_airtime_report_validation():
+    with pytest.raises(ValueError):
+        airtime_report([], window_s=0.0, own_station="me")
+    with pytest.raises(ValueError):
+        AirtimeReport(window_s=1.0, own_airtime_s=-1.0,
+                      foreign_airtime_s=0.0)
+
+
+def test_available_bandwidth_scales_with_foreign_traffic():
+    quiet = AirtimeReport(1.0, 0.1, 0.0)
+    busy = AirtimeReport(1.0, 0.1, 0.6)
+    assert available_bandwidth_bps(100e6, quiet) == pytest.approx(100e6)
+    assert available_bandwidth_bps(100e6, busy) == pytest.approx(40e6)
+    with pytest.raises(ValueError):
+        available_bandwidth_bps(-1.0, quiet)
+
+
+def test_contention_aware_ett_grows_with_interference():
+    quiet = AirtimeReport(1.0, 0.0, 0.0)
+    busy = AirtimeReport(1.0, 0.0, 0.5)
+    base = contention_aware_ett_s(50e6, etx=1.0, report=None)
+    assert contention_aware_ett_s(50e6, 1.0, quiet) == pytest.approx(base)
+    assert contention_aware_ett_s(50e6, 1.0, busy) == pytest.approx(2 * base)
+    assert contention_aware_ett_s(
+        50e6, 1.0, AirtimeReport(1.0, 0.0, 1.0)) == float("inf")
+    with pytest.raises(ValueError):
+        contention_aware_ett_s(50e6, etx=0.5, report=None)
+
+
+def test_saturated_neighbour_consumes_airtime(testbed, t_work):
+    """A saturated neighbour's capture shows high foreign occupancy."""
+    link = testbed.plc_link(0, 1)
+    sofs = capture_saturated(link, t_work, 1.0, src="0", dst="1")
+    # From station 2's perspective, all of that traffic is foreign.
+    report = airtime_report(sofs, window_s=1.0, own_station="2")
+    assert report.foreign_fraction > 0.5
+    assert available_bandwidth_bps(60e6, report) < 30e6

@@ -1,0 +1,65 @@
+"""Metric records and series containers."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import LinkMetricRecord, MetricSeries
+
+
+def test_record_validation():
+    good = LinkMetricRecord(time=0.0, src="0", dst="1", medium="plc",
+                            capacity_bps=1e8, pb_err=0.02)
+    assert good.capacity_mbps == 100.0
+    with pytest.raises(ValueError):
+        LinkMetricRecord(0.0, "0", "1", "coax", 1e8)
+    with pytest.raises(ValueError):
+        LinkMetricRecord(0.0, "0", "1", "plc", -1.0)
+    with pytest.raises(ValueError):
+        LinkMetricRecord(0.0, "0", "1", "plc", 1e8, pb_err=1.5)
+
+
+def test_series_requires_aligned_monotone_times():
+    with pytest.raises(ValueError):
+        MetricSeries([0, 1], [1.0])
+    with pytest.raises(ValueError):
+        MetricSeries([1, 0], [1.0, 2.0])
+
+
+def test_series_stats():
+    s = MetricSeries([0, 1, 2, 3], [10.0, 20.0, 30.0, 40.0])
+    assert s.mean == 25.0
+    assert s.std == pytest.approx(np.std([10, 20, 30, 40]))
+    assert len(s) == 4
+
+
+def test_window_selects_half_open_interval():
+    s = MetricSeries([0, 1, 2, 3], [1.0, 2.0, 3.0, 4.0])
+    w = s.window(1, 3)
+    assert list(w.values) == [2.0, 3.0]
+
+
+def test_resample_mean_bins():
+    s = MetricSeries([0.0, 0.4, 1.1, 1.9], [2.0, 4.0, 10.0, 20.0])
+    r = s.resample_mean(1.0)
+    assert list(r.values) == [3.0, 15.0]
+    with pytest.raises(ValueError):
+        s.resample_mean(0.0)
+
+
+def test_change_times_detects_value_changes():
+    s = MetricSeries([0, 1, 2, 3, 4], [5.0, 5.0, 6.0, 6.0, 5.0])
+    changes = s.change_times()
+    assert list(changes) == [2, 4]
+
+
+def test_change_times_threshold_filters_noise():
+    s = MetricSeries([0, 1, 2], [100.0, 100.05, 120.0])
+    assert list(s.change_times(rel_threshold=0.01)) == [2]
+
+
+def test_from_samples_extracts_attributes(testbed, t_work):
+    link = testbed.plc_link(0, 1)
+    samples = [link.sample(t_work + k) for k in range(3)]
+    series = MetricSeries.from_samples(samples)
+    assert len(series) == 3
+    assert series.values[0] == samples[0].throughput_bps

@@ -1,0 +1,103 @@
+"""The two-metric abstraction (§2.2's modeling claim)."""
+
+import numpy as np
+import pytest
+
+from repro.core.two_metric_model import (
+    TwoMetricLinkModel,
+    TwoMetricParameters,
+    compare_models,
+    fit_two_metric_model,
+)
+from repro.sim.random import RandomStreams
+from repro.units import MBPS
+
+
+def _params(mean_mbps=100.0, sigma=0.01, hold=2.0, pb=0.01, spread=0.3):
+    slots = tuple(mean_mbps * MBPS * f for f in
+                  (0.9, 0.95, 1.0, 1.05, 1.05, 1.05))
+    return TwoMetricParameters(slot_ble_bps=slots, jitter_sigma_rel=sigma,
+                               jitter_hold_s=hold, pb_err_base=pb,
+                               pb_err_spread=spread)
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        TwoMetricParameters((), 0.01, 1.0, 0.01, 0.1)
+    with pytest.raises(ValueError):
+        TwoMetricParameters((1e6,), 0.01, 1.0, 1.0, 0.1)
+    with pytest.raises(ValueError):
+        TwoMetricParameters((1e6,), 0.01, 0.0, 0.1, 0.1)
+    with pytest.raises(ValueError):
+        TwoMetricParameters((-1e6,), 0.01, 1.0, 0.1, 0.1)
+
+
+def test_model_exposes_link_surface(streams):
+    model = TwoMetricLinkModel(_params(), streams)
+    t = 100.0
+    per_slot = model.ble_per_slot_bps(t)
+    assert per_slot.shape == (6,)
+    assert model.avg_ble_bps(t) == pytest.approx(float(per_slot.mean()))
+    assert 0.0 <= model.pb_err(t) <= 0.95
+    assert model.throughput_bps(t, measured=False) > 0
+    assert model.u_etx(t) >= 1.0
+    assert model.is_connected(t)
+
+
+def test_model_preserves_throughput_law(streams):
+    """The abstraction obeys the same BLE ≈ 1.7 T law by construction."""
+    model = TwoMetricLinkModel(_params(sigma=0.0, pb=0.001, spread=0.0),
+                               streams)
+    ratio = model.avg_ble_bps(0.0) / model.throughput_bps(
+        0.0, measured=False)
+    assert ratio == pytest.approx(1.7, rel=0.05)
+
+
+def test_jitter_is_replayable(streams):
+    a = TwoMetricLinkModel(_params(sigma=0.05), RandomStreams(3), name="x")
+    b = TwoMetricLinkModel(_params(sigma=0.05), RandomStreams(3), name="x")
+    for t in (0.0, 1.3, 7.7, 100.1):
+        assert a.avg_ble_bps(t) == b.avg_ble_bps(t)
+        assert a.pb_err(t) == b.pb_err(t)
+
+
+def test_jitter_scales_with_sigma(streams):
+    quiet = TwoMetricLinkModel(_params(sigma=0.005), streams, name="q")
+    noisy = TwoMetricLinkModel(_params(sigma=0.10), streams, name="n")
+    ts = np.arange(0, 60, 0.5)
+    std_q = np.std([quiet.avg_ble_bps(float(t)) for t in ts])
+    std_n = np.std([noisy.avg_ble_bps(float(t)) for t in ts])
+    assert std_n > 4 * std_q
+
+
+def test_fit_recovers_slot_structure(testbed, t_night):
+    link = testbed.plc_link(0, 4)
+    params = fit_two_metric_model(link, t_night, duration=30.0)
+    direct = link.ble_per_slot_bps(t_night)
+    assert len(params.slot_ble_bps) == 6
+    # Slot ordering preserved (noisy slots stay the weak ones).
+    assert np.argmin(params.slot_ble_bps) == int(np.argmin(direct))
+    assert params.mean_ble_bps == pytest.approx(
+        link.avg_ble_bps(t_night), rel=0.15)
+
+
+def test_fitted_model_reproduces_physical_statistics(testbed, t_night):
+    """§2.2's claim, end to end: fit on one window, compare on another."""
+    link = testbed.plc_link(2, 7)
+    params = fit_two_metric_model(link, t_night, duration=45.0)
+    model = TwoMetricLinkModel(params, testbed.streams, name="fit-2-7")
+    stats = compare_models(link, model, t_night + 60.0, duration=45.0)
+    assert stats["synthetic_mean_bps"] == pytest.approx(
+        stats["physical_mean_bps"], rel=0.15)
+    assert stats["synthetic_u_etx"] == pytest.approx(
+        stats["physical_u_etx"], rel=0.2)
+
+
+def test_bad_link_fit_keeps_variability(testbed, t_night):
+    link = testbed.plc_link(11, 4)
+    params = fit_two_metric_model(link, t_night, duration=45.0)
+    good_params = fit_two_metric_model(testbed.plc_link(13, 14), t_night,
+                                       duration=45.0)
+    # Quality/variability correlation survives the abstraction (§6.2).
+    assert params.jitter_sigma_rel > 2 * good_params.jitter_sigma_rel
+    assert params.mean_ble_bps < good_params.mean_ble_bps

@@ -1,0 +1,37 @@
+"""Every example script must run cleanly end to end.
+
+The examples are the library's front door; a broken example is a broken
+deliverable. Each ``main()`` is imported and executed (fast paths only —
+the scripts themselves keep their workloads small).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_directory_is_populated():
+    assert len(EXAMPLES) >= 3, "the deliverable requires >= 3 examples"
+    assert "quickstart" in EXAMPLES
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = _load(name)
+    assert hasattr(module, "main"), f"{name}.py must define main()"
+    module.main()
+    out = capsys.readouterr().out
+    assert len(out) > 50, f"{name}.py should print its findings"

@@ -1,0 +1,58 @@
+"""IEEE 1905 abstraction layer."""
+
+import pytest
+
+from repro.core.metrics import LinkMetricRecord
+from repro.hybrid.ieee1905 import AbstractionLayer
+
+
+def _rec(t, medium, capacity):
+    return LinkMetricRecord(time=t, src="0", dst="1", medium=medium,
+                            capacity_bps=capacity)
+
+
+def test_update_and_get():
+    layer = AbstractionLayer()
+    layer.update(_rec(1.0, "plc", 80e6))
+    record = layer.get("0", "1", "plc")
+    assert record.capacity_bps == 80e6
+    assert layer.get("0", "1", "wifi") is None
+    assert len(layer) == 1
+
+
+def test_stale_update_rejected():
+    layer = AbstractionLayer()
+    layer.update(_rec(5.0, "plc", 80e6))
+    with pytest.raises(ValueError):
+        layer.update(_rec(4.0, "plc", 70e6))
+
+
+def test_refresh_replaces():
+    layer = AbstractionLayer()
+    layer.update(_rec(1.0, "plc", 80e6))
+    layer.update(_rec(2.0, "plc", 60e6))
+    assert layer.get("0", "1", "plc").capacity_bps == 60e6
+    assert len(layer) == 1
+
+
+def test_staleness_limit_hides_old_records():
+    layer = AbstractionLayer(staleness_limit_s=10.0)
+    layer.update(_rec(0.0, "plc", 80e6))
+    assert layer.get("0", "1", "plc", now=5.0) is not None
+    assert layer.get("0", "1", "plc", now=20.0) is None
+
+
+def test_media_sorted_by_capacity():
+    layer = AbstractionLayer()
+    layer.update(_rec(1.0, "plc", 40e6))
+    layer.update(_rec(1.0, "wifi", 90e6))
+    media = layer.media_for("0", "1")
+    assert [r.medium for r in media] == ["wifi", "plc"]
+    assert layer.capacities("0", "1") == {"wifi": 90e6, "plc": 40e6}
+
+
+def test_links_enumerates_keys():
+    layer = AbstractionLayer()
+    layer.update(_rec(1.0, "plc", 40e6))
+    layer.update(_rec(1.0, "wifi", 90e6))
+    assert layer.links() == [("0", "1", "plc"), ("0", "1", "wifi")]

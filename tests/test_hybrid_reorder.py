@@ -1,0 +1,66 @@
+"""Destination-side reorder buffer."""
+
+import pytest
+
+from repro.hybrid.reorder import ReorderBuffer
+from repro.traffic.packet import Packet
+
+
+def _p(seq):
+    return Packet(seq=seq, created_at=0.0)
+
+
+def test_in_order_stream_passes_through():
+    buf = ReorderBuffer()
+    released = []
+    for k in range(5):
+        released += [p.seq for p in buf.push(_p(k), now=k * 0.01)]
+    assert released == [0, 1, 2, 3, 4]
+    assert buf.stats.reordered_arrivals == 0
+    assert buf.stats.holes_flushed == 0
+
+
+def test_out_of_order_is_held_then_released_in_order():
+    buf = ReorderBuffer()
+    assert buf.push(_p(1), now=0.0) == []       # hole at 0
+    released = buf.push(_p(0), now=0.01)
+    assert [p.seq for p in released] == [0, 1]
+    assert buf.stats.reordered_arrivals == 1
+
+
+def test_hole_timeout_flushes():
+    buf = ReorderBuffer(hole_timeout_s=0.05)
+    buf.push(_p(1), now=0.0)
+    released = buf.push(_p(2), now=0.1)  # timeout exceeded → skip seq 0
+    assert [p.seq for p in released] == [1, 2]
+    assert buf.stats.holes_flushed == 1
+
+
+def test_late_duplicate_of_flushed_packet_dropped():
+    buf = ReorderBuffer(hole_timeout_s=0.05)
+    buf.push(_p(1), now=0.0)
+    buf.push(_p(2), now=0.1)
+    assert buf.push(_p(0), now=0.2) == []  # too late; already skipped
+
+
+def test_window_overflow_flushes():
+    buf = ReorderBuffer(hole_timeout_s=10.0, max_window=3)
+    for k in (1, 2, 3):
+        assert buf.push(_p(k), now=0.001 * k) == []
+    released = buf.push(_p(4), now=0.004)
+    assert [p.seq for p in released] == [1, 2, 3, 4]
+
+
+def test_jitter_statistic():
+    buf = ReorderBuffer()
+    for k in range(10):
+        buf.push(_p(k), now=0.01 * k)
+    assert buf.stats.jitter_s() == pytest.approx(0.0, abs=1e-9)
+    assert buf.stats.delivered == 10
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        ReorderBuffer(hole_timeout_s=0.0)
+    with pytest.raises(ValueError):
+        ReorderBuffer(max_window=0)

@@ -1,0 +1,89 @@
+"""Hybrid mesh routing (§4.3 extension)."""
+
+import pytest
+
+from repro.core.metrics import LinkMetricRecord
+from repro.hybrid.ieee1905 import AbstractionLayer
+from repro.hybrid.routing import (
+    HybridMeshRouter,
+    ett_seconds,
+    populate_from_testbed,
+)
+
+
+def _rec(src, dst, medium, capacity_mbps, etx=1.0):
+    return LinkMetricRecord(time=0.0, src=src, dst=dst, medium=medium,
+                            capacity_bps=capacity_mbps * 1e6, etx=etx)
+
+
+def _toy_layer():
+    """a -plc- b -wifi- c, plus a slow direct a-wifi-c."""
+    layer = AbstractionLayer()
+    layer.update(_rec("a", "b", "plc", 60.0))
+    layer.update(_rec("b", "c", "wifi", 50.0))
+    layer.update(_rec("a", "c", "wifi", 2.0))
+    return layer
+
+
+def test_ett_formula():
+    record = _rec("a", "b", "plc", 12.0, etx=2.0)
+    assert ett_seconds(record, packet_bytes=1500) == pytest.approx(
+        2.0 * 1500 * 8 / 12e6)
+    dead = _rec("a", "b", "plc", 0.0)
+    assert ett_seconds(dead) == float("inf")
+
+
+def test_router_prefers_fast_two_hop_over_slow_direct():
+    router = HybridMeshRouter(_toy_layer())
+    path = router.best_path("a", "c")
+    assert path is not None
+    assert [h.dst for h in path.hops] == ["b", "c"]
+    assert path.alternates_media  # plc then wifi, as in ref [17]
+    assert len(path) == 2
+
+
+def test_router_returns_none_when_unreachable():
+    layer = AbstractionLayer()
+    layer.update(_rec("a", "b", "plc", 10.0))
+    router = HybridMeshRouter(layer)
+    assert router.best_path("b", "a") is None      # directed!
+    assert router.best_path("a", "zzz") is None
+
+
+def test_router_ignores_dead_links():
+    layer = _toy_layer()
+    layer.update(_rec("a", "d", "wifi", 0.5))      # below min capacity
+    router = HybridMeshRouter(layer)
+    assert router.best_path("a", "d") is None
+
+
+def test_high_etx_shifts_route():
+    layer = AbstractionLayer()
+    layer.update(_rec("a", "c", "plc", 40.0, etx=6.0))   # lossy direct
+    layer.update(_rec("a", "b", "wifi", 40.0, etx=1.0))
+    layer.update(_rec("b", "c", "wifi", 40.0, etx=1.0))
+    path = HybridMeshRouter(layer).best_path("a", "c")
+    assert len(path) == 2  # relay wins despite equal capacities
+
+
+def test_cross_board_pairs_reachable_through_wifi_relays(testbed, t_work):
+    """The two AVLNs can still talk: WiFi hops bridge the boards (§4.3)."""
+    layer = AbstractionLayer()
+    populate_from_testbed(layer, testbed, t_work)
+    router = HybridMeshRouter(layer)
+    # 0 (board B1) to 15 (board B2): no direct PLC, air distance too far
+    # for one WiFi hop — the mesh must relay.
+    path = router.best_path("0", "15")
+    assert path is not None
+    assert len(path) >= 2
+    assert any(h.medium == "wifi" for h in path.hops)
+
+
+def test_full_mesh_connectivity(testbed, t_work):
+    layer = AbstractionLayer()
+    populate_from_testbed(layer, testbed, t_work)
+    router = HybridMeshRouter(layer)
+    reachable = set(router.reachable_pairs())
+    all_pairs = {(str(i), str(j)) for i, j in testbed.all_pairs()}
+    # Seamless connectivity: ≥95 % of ordered pairs routable.
+    assert len(reachable & all_pairs) >= 0.95 * len(all_pairs)

@@ -1,0 +1,70 @@
+"""Packet schedulers and the fluid goodput law."""
+
+import numpy as np
+import pytest
+
+from repro.hybrid.schedulers import (
+    CapacityProportionalScheduler,
+    RoundRobinScheduler,
+    fluid_goodput_bps,
+)
+from repro.sim.random import RandomStreams
+
+
+def test_proportional_pick_follows_capacities():
+    rng = RandomStreams(4).get("sched")
+    sched = CapacityProportionalScheduler(rng)
+    caps = {"plc": 30e6, "wifi": 90e6}
+    picks = [sched.pick(caps) for _ in range(4000)]
+    wifi_share = picks.count("wifi") / len(picks)
+    assert wifi_share == pytest.approx(0.75, abs=0.03)
+
+
+def test_proportional_split_exact_counts():
+    rng = RandomStreams(4).get("sched2")
+    sched = CapacityProportionalScheduler(rng)
+    split = sched.split({"plc": 25e6, "wifi": 75e6}, 100)
+    assert split["wifi"] + split["plc"] == 100
+    assert split["wifi"] == 75
+
+
+def test_proportional_requires_positive_capacity():
+    rng = RandomStreams(4).get("sched3")
+    sched = CapacityProportionalScheduler(rng)
+    with pytest.raises(ValueError):
+        sched.pick({"plc": 0.0, "wifi": 0.0})
+
+
+def test_round_robin_alternates():
+    sched = RoundRobinScheduler()
+    caps = {"plc": 1.0, "wifi": 99.0}
+    picks = [sched.pick(caps) for _ in range(4)]
+    assert picks == ["plc", "wifi", "plc", "wifi"]
+    split = sched.split(caps, 10)
+    assert split == {"plc": 5, "wifi": 5}
+
+
+def test_round_robin_requires_media():
+    with pytest.raises(ValueError):
+        RoundRobinScheduler().pick({})
+
+
+def test_fluid_goodput_proportional_reaches_sum():
+    """§7.4: capacity-proportional split delivers ~the sum of capacities."""
+    caps = {"plc": 35e6, "wifi": 25e6}
+    total = sum(caps.values())
+    fractions = {m: c / total for m, c in caps.items()}
+    assert fluid_goodput_bps(fractions, caps) == pytest.approx(total)
+
+
+def test_fluid_goodput_round_robin_is_twice_min():
+    """§7.4: round-robin bottlenecks at 2 × min capacity."""
+    caps = {"plc": 35e6, "wifi": 10e6}
+    goodput = fluid_goodput_bps({"plc": 0.5, "wifi": 0.5}, caps)
+    assert goodput == pytest.approx(2 * 10e6)
+
+
+def test_fluid_goodput_validates_fractions():
+    with pytest.raises(ValueError):
+        fluid_goodput_bps({"plc": 0.7, "wifi": 0.7}, {"plc": 1.0,
+                                                      "wifi": 1.0})

@@ -1,0 +1,67 @@
+"""End-to-end determinism: identical seeds replay identical experiments."""
+
+import numpy as np
+
+from repro.core.capacity import ProbingCapacitySession
+from repro.plc.sniffer import capture_probe_flow, capture_saturated
+from repro.testbed import build_testbed
+from repro.testbed.experiments import working_hours_start
+
+
+def test_metric_sampling_replays_exactly():
+    t = working_hours_start()
+    a = build_testbed(seed=99)
+    b = build_testbed(seed=99)
+    for (i, j) in [(0, 1), (11, 4), (15, 18)]:
+        la, lb = a.plc_link(i, j), b.plc_link(i, j)
+        for k in range(5):
+            assert la.avg_ble_bps(t + k) == lb.avg_ble_bps(t + k)
+            assert la.pb_err(t + k) == lb.pb_err(t + k)
+            assert la.throughput_bps(t + k) == lb.throughput_bps(t + k)
+
+
+def test_sof_captures_replay_exactly():
+    t = working_hours_start()
+    a = build_testbed(seed=99)
+    b = build_testbed(seed=99)
+    sofs_a = capture_saturated(a.plc_link(0, 1), t, 0.3)
+    sofs_b = capture_saturated(b.plc_link(0, 1), t, 0.3)
+    assert [(s.timestamp, s.ble_bps, s.slot) for s in sofs_a] == \
+        [(s.timestamp, s.ble_bps, s.slot) for s in sofs_b]
+
+
+def test_probe_flow_with_seeded_rng_replays():
+    t = working_hours_start()
+    tb = build_testbed(seed=99)
+    link = tb.plc_link(2, 7)
+    sofs_a = capture_probe_flow(link, t, 10.0, 0.075,
+                                rng=np.random.default_rng(5))
+    sofs_b = capture_probe_flow(link, t, 10.0, 0.075,
+                                rng=np.random.default_rng(5))
+    assert len(sofs_a) == len(sofs_b)
+    assert all(x.timestamp == y.timestamp
+               for x, y in zip(sofs_a, sofs_b))
+
+
+def test_estimation_sessions_replay_exactly():
+    t = working_hours_start()
+    a = build_testbed(seed=99)
+    b = build_testbed(seed=99)
+    est_a = a.networks["B1"].estimator("0", "1")
+    est_b = b.networks["B1"].estimator("0", "1")
+    trace_a = ProbingCapacitySession(est_a, 1300, 10).run(
+        t, 500, sample_interval=100)
+    trace_b = ProbingCapacitySession(est_b, 1300, 10).run(
+        t, 500, sample_interval=100)
+    assert [e.capacity_bps for e in trace_a] == \
+        [e.capacity_bps for e in trace_b]
+
+
+def test_wifi_states_replay_exactly():
+    t = working_hours_start()
+    a = build_testbed(seed=99)
+    b = build_testbed(seed=99)
+    wa, wb = a.wifi_link(3, 8), b.wifi_link(3, 8)
+    for k in range(20):
+        assert wa.throughput_bps(t + 0.13 * k) == \
+            wb.throughput_bps(t + 0.13 * k)

@@ -1,0 +1,66 @@
+"""Beacon-period schedule (§2.2, Fig. 1 structure)."""
+
+import pytest
+
+from repro.plc.beacon import (
+    BEACON_AIRTIME_S,
+    BeaconSchedule,
+    Region,
+)
+from repro.plc.tdma import TdmaScheduler
+from repro.units import BEACON_PERIOD
+
+
+def test_region_validation():
+    with pytest.raises(ValueError):
+        Region("party", 0.0, 1e-3)
+    with pytest.raises(ValueError):
+        Region("csma", 0.0, 0.0)
+    with pytest.raises(ValueError):
+        Region("csma", BEACON_PERIOD, 1e-3)
+
+
+def test_beacon_period_is_two_mains_cycles():
+    assert BeaconSchedule.csma_only().spans_mains_cycles() == 2.0
+
+
+def test_csma_only_schedule_tiles_the_period():
+    schedule = BeaconSchedule.csma_only()
+    schedule.validate()
+    assert schedule.cfp_fraction() == 0.0
+    assert schedule.csma_fraction() == pytest.approx(
+        1.0 - BEACON_AIRTIME_S / BEACON_PERIOD)
+
+
+def test_schedule_with_tdma_allocations():
+    allocations = TdmaScheduler(
+        schedulable_fraction=0.5).allocate({"a": 10e6, "b": 10e6})
+    schedule = BeaconSchedule.with_allocations(allocations)
+    schedule.validate()
+    assert schedule.cfp_fraction() == pytest.approx(0.5, abs=0.05)
+    assert 0.4 < schedule.csma_fraction() < 0.6
+
+
+def test_region_at_walks_the_period():
+    schedule = BeaconSchedule.csma_only()
+    assert schedule.region_at(0.0).kind == "beacon"
+    assert schedule.region_at(BEACON_AIRTIME_S + 1e-6).kind == "csma"
+    # Periodic: the same offset two periods later.
+    assert schedule.region_at(2 * BEACON_PERIOD).kind == "beacon"
+
+
+def test_validate_rejects_gaps():
+    broken = BeaconSchedule(regions=[
+        Region("beacon", 0.0, 1e-3),
+        Region("csma", 2e-3, BEACON_PERIOD - 2e-3),  # 1 ms gap
+    ])
+    with pytest.raises(ValueError, match="gap"):
+        broken.validate()
+
+
+def test_overfull_allocations_rejected():
+    scheduler = TdmaScheduler(schedulable_fraction=1.0)
+    allocations = scheduler.allocate({"a": 1e6})
+    # Force an allocation that cannot fit after the beacon airtime.
+    with pytest.raises(ValueError):
+        BeaconSchedule.with_allocations(allocations + allocations)

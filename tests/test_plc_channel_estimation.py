@@ -1,0 +1,164 @@
+"""Channel-estimation dynamics: convergence, persistence, pathologies."""
+
+import numpy as np
+import pytest
+
+from repro.core.capacity import ProbingCapacitySession
+from repro.plc.channel_estimation import ChannelEstimator
+from repro.units import MBPS
+
+
+from repro.plc.channel import PlcChannel
+from repro.plc.spec import HPAV
+from repro.powergrid.activity import OfficeActivityModel
+from repro.powergrid.appliances import ApplianceInstance
+from repro.powergrid.load import ElectricalLoad
+from repro.powergrid.topology import GridTopology, Outlet
+from repro.sim.random import RandomStreams
+
+
+def _static_channel(noise_gap_m: float = 14.0) -> PlcChannel:
+    """A channel whose environment never changes (always-on appliances),
+    so multi-hour estimation dynamics are tested against a fixed target.
+
+    ``noise_gap_m``: cable distance from the noise source to the receiver —
+    closer means a worse link.
+    """
+    g = GridTopology()
+    g.add_outlet(Outlet("j0", (0, 0), "B"))
+    g.add_outlet(Outlet("j1", (10, 0), "B"))
+    g.add_outlet(Outlet("a", (0, 2), "B"))
+    g.add_outlet(Outlet("b", (10, 2), "B"))
+    g.add_outlet(Outlet("noise", (5, 3), "B"))
+    g.add_cable("j0", "j1", 10.0)
+    g.add_cable("j0", "a", 3.0)
+    g.add_cable("j1", "b", 3.0)
+    g.add_cable("j1", "noise", max(noise_gap_m - 3.0, 0.5))
+    apps = [ApplianceInstance.make("lab", "lab_equipment", "noise"),
+            ApplianceInstance.make("fridge", "fridge", "noise")]
+    load = ElectricalLoad(g, apps, OfficeActivityModel(RandomStreams(11)))
+    return PlcChannel(load, "a", "b", HPAV, RandomStreams(11))
+
+
+@pytest.fixture()
+def estimator():
+    from repro.plc.channel_estimation import ChannelEstimator
+    return ChannelEstimator(_static_channel(), RandomStreams(12))
+
+
+def test_margin_shrinks_with_observations(estimator, t_work):
+    m0 = estimator.margin_db
+    estimator.observe_clean_pbs(t_work, 50_000)
+    assert estimator.margin_db < m0 / 3
+
+
+def test_reset_restores_initial_margin(estimator, t_work):
+    estimator.observe_clean_pbs(t_work, 50_000)
+    estimator.reset()
+    assert estimator.margin_db == pytest.approx(6.0)
+
+
+def test_estimate_approaches_converged_value(estimator, t_work):
+    target = estimator.converged_capacity_bps(t_work)
+    start = estimator.estimated_capacity_bps(t_work)
+    estimator.observe_clean_pbs(t_work, 500_000)
+    end = estimator.estimated_capacity_bps(t_work)
+    assert start < end <= target * 1.02
+    assert end > 0.9 * target
+
+
+def test_faster_probing_converges_faster(estimator, t_work):
+    """Fig. 16: the convergence rate tracks received PBs per second."""
+    results = {}
+    for rate in (1, 50):
+        estimator.reset()
+        session = ProbingCapacitySession(estimator, payload_bytes=1300,
+                                         packets_per_second=rate)
+        trace = session.run(t_work, 2000, sample_interval=2000)
+        results[rate] = trace[-1].capacity_bps
+    assert results[50] > results[1]
+
+
+def test_estimation_state_survives_pause(estimator, t_work):
+    """Fig. 17: pausing probes does not regress the estimate."""
+    session = ProbingCapacitySession(estimator, payload_bytes=1300,
+                                     packets_per_second=20)
+    trace = session.run(t_work, 4000, sample_interval=100,
+                        pauses=[(t_work + 2300, t_work + 2300 + 420)])
+    values = {round(e.time - t_work): e.capacity_bps for e in trace}
+    before_pause = values[2300]
+    after_pause = values[2800]
+    assert after_pause >= before_pause * 0.98
+
+
+def test_one_pb_probes_pin_at_r1sym(t_work):
+    """Fig. 18: ≤520 B probes at 1 pkt/s stop at R_1sym on fast links."""
+    from repro.plc.channel_estimation import ChannelEstimator
+    est = ChannelEstimator(_static_channel(noise_gap_m=40.0),
+                           RandomStreams(12))
+    # The paper's "520 B" counts the 8 B PB header: 512 B of payload is
+    # the largest probe that still fits one physical block.
+    session = ProbingCapacitySession(est, payload_bytes=512,
+                                     packets_per_second=1)
+    trace = session.run(t_work, 60000, sample_interval=5000)
+    final = trace[-1].capacity_bps
+    r1sym = est.spec.one_symbol_rate_bps
+    assert final == pytest.approx(r1sym, rel=0.02)
+    assert est.converged_capacity_bps(t_work) > 1.2 * r1sym
+
+
+def test_multi_pb_probes_escape_the_pin(t_work):
+    """Fig. 18: 521 B (2 PBs) probes converge past R_1sym."""
+    from repro.plc.channel_estimation import ChannelEstimator
+    est = ChannelEstimator(_static_channel(noise_gap_m=40.0),
+                           RandomStreams(12))
+    session = ProbingCapacitySession(est, payload_bytes=513,
+                                     packets_per_second=1)
+    trace = session.run(t_work, 60000, sample_interval=5000)
+    assert trace[-1].capacity_bps > 1.05 * est.spec.one_symbol_rate_bps
+
+
+def test_short_frame_collisions_depress_estimate(estimator, t_work):
+    estimator.observe_clean_pbs(t_work, 1_000_000)
+    clean = estimator.estimated_capacity_bps(t_work)
+    for k in range(40):
+        estimator.observe_frame(t_work + k, 3, collided=True)
+    assert estimator.estimated_capacity_bps(t_work + 40) < 0.9 * clean
+
+
+def test_long_frame_collisions_do_not(estimator, t_work):
+    estimator.observe_clean_pbs(t_work, 1_000_000)
+    clean = estimator.estimated_capacity_bps(t_work)
+    for k in range(40):
+        estimator.observe_frame(t_work + k, 60, collided=True)
+    assert estimator.estimated_capacity_bps(t_work + 40) == pytest.approx(
+        clean, rel=0.02)
+
+
+def test_av500_overreacts_to_bursty_errors(t_work):
+    """§6.2's vendor quirk (Fig. 10, link 18-15)."""
+    from repro.plc.channel_estimation import ChannelEstimator
+    est = ChannelEstimator(_static_channel(), RandomStreams(12),
+                           overreact_to_bursts=True)
+    est.observe_clean_pbs(t_work, 1_000_000)
+    baseline = est.estimated_capacity_bps(t_work)
+    est.observe_frame(t_work, 3, collided=True)
+    collapsed = est.estimated_capacity_bps(t_work + 0.5)
+    assert collapsed < 0.3 * baseline  # collapse to near-ROBO floor
+    recovered = est.estimated_capacity_bps(t_work + 30.0)
+    assert recovered > 0.8 * baseline
+
+
+def test_diagnostics_expose_state(estimator, t_work):
+    estimator.observe_probe_packet(t_work, 1500)
+    d = estimator.diagnostics()
+    assert d.pbs_observed == 3
+    assert d.margin_db > 0
+    assert not d.one_symbol_pinned
+
+
+def test_observe_rejects_bad_inputs(estimator, t_work):
+    with pytest.raises(ValueError):
+        estimator.observe_frame(t_work, 0)
+    with pytest.raises(ValueError):
+        estimator.observe_clean_pbs(t_work, 0)

@@ -1,0 +1,42 @@
+"""Frame structures: SoF delimiters and SACKs."""
+
+import pytest
+
+from repro.plc.frames import PlcFrame, Sack, SofDelimiter
+
+
+def _sof(**kw):
+    base = dict(timestamp=1.0, src="a", dst="b", tmi=3, ble_bps=1e8,
+                slot=2, n_pbs=3, duration_s=2e-3)
+    base.update(kw)
+    return SofDelimiter(**base)
+
+
+def test_sof_validation():
+    with pytest.raises(ValueError):
+        _sof(ble_bps=-1.0)
+    with pytest.raises(ValueError):
+        _sof(n_pbs=0)
+
+
+def test_sof_flags_default_false():
+    sof = _sof()
+    assert not sof.is_retransmission
+    assert not sof.is_sound
+    assert not sof.is_broadcast
+
+
+def test_sack_counts_errored_pbs():
+    sack = Sack(timestamp=1.0, src="b", dst="a",
+                pb_ok=(True, False, True))
+    assert sack.errored_pbs == 1
+    assert not sack.all_ok
+    clean = Sack(timestamp=1.0, src="b", dst="a", pb_ok=(True, True))
+    assert clean.all_ok
+
+
+def test_frame_bundles_sof_and_sack():
+    frame = PlcFrame(sof=_sof(), payload_bytes=1500,
+                     sack=Sack(2.0, "b", "a", (True, True, True)))
+    assert frame.payload_bytes == 1500
+    assert frame.sack.all_ok

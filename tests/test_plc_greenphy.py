@@ -1,0 +1,42 @@
+"""HomePlug GreenPhy preset (paper footnote 1)."""
+
+import numpy as np
+import pytest
+
+from repro.plc.channel import PlcChannel
+from repro.plc.link import PlcLink
+from repro.plc.spec import GREENPHY, HPAV
+from repro.sim.random import RandomStreams
+from repro.units import MBPS
+
+
+def test_greenphy_caps_modulation_at_qpsk():
+    assert GREENPHY.max_modulation_bits == 2
+    # Ceiling: 917 carriers x 2 bits x 16/21 / 46.52 µs ≈ 30 Mbps raw BLE.
+    assert GREENPHY.max_ble_bps < 0.25 * HPAV.max_ble_bps
+
+
+def test_greenphy_link_is_slow_but_works(testbed, t_work):
+    site_a = testbed.sites[0].outlet_id
+    site_b = testbed.sites[1].outlet_id
+    streams = RandomStreams(5)
+    hpav_link = PlcLink(PlcChannel(testbed.load, site_a, site_b, HPAV,
+                                   streams, name="gp-h"), streams)
+    gp_link = PlcLink(PlcChannel(testbed.load, site_a, site_b, GREENPHY,
+                                 streams, name="gp-g"), streams)
+    assert gp_link.is_connected(t_work)
+    assert gp_link.avg_ble_bps(t_work) < 0.4 * hpav_link.avg_ble_bps(t_work)
+    # Per-slot BLE never exceeds the QPSK ceiling.
+    assert gp_link.ble_per_slot_bps(t_work).max() <= GREENPHY.max_ble_bps
+
+
+def test_greenphy_robustness_on_a_bad_link(testbed, t_work):
+    """Robust modulations → lower PBerr than HPAV on the same channel."""
+    site_a = testbed.sites[9].outlet_id
+    site_b = testbed.sites[4].outlet_id  # noisy corner
+    streams = RandomStreams(5)
+    hpav_link = PlcLink(PlcChannel(testbed.load, site_a, site_b, HPAV,
+                                   streams, name="gpb-h"), streams)
+    gp_link = PlcLink(PlcChannel(testbed.load, site_a, site_b, GREENPHY,
+                                 streams, name="gpb-g"), streams)
+    assert gp_link.pb_err(t_work) <= hpav_link.pb_err(t_work) + 1e-9

@@ -1,0 +1,63 @@
+"""PlcLink measurement facade."""
+
+import numpy as np
+import pytest
+
+from repro.units import MBPS
+
+
+def test_sample_bundles_consistent_metrics(testbed, t_work):
+    link = testbed.plc_link(0, 1)
+    sample = link.sample(t_work)
+    assert sample.ble_per_slot_bps.shape == (6,)
+    assert sample.avg_ble_bps == pytest.approx(
+        float(np.mean(sample.ble_per_slot_bps)))
+    assert 0.0 <= sample.pb_err <= 1.0
+    assert sample.throughput_bps >= 0.0
+    assert sample.avg_ble_mbps == sample.avg_ble_bps / MBPS
+
+
+def test_throughput_below_ble_over_1p6(testbed, t_work):
+    """BLE ≈ 1.7 T (Fig. 15): throughput sits well under BLE."""
+    for (i, j) in [(0, 1), (2, 3), (13, 14)]:
+        link = testbed.plc_link(i, j)
+        thr = link.throughput_bps(t_work, measured=False)
+        ble = link.avg_ble_bps(t_work)
+        if ble > 1 * MBPS:
+            assert thr < ble / 1.6
+
+
+def test_measured_throughput_adds_noise(testbed, t_work):
+    link = testbed.plc_link(0, 1)
+    clean = link.throughput_bps(t_work, measured=False)
+    noisy = [link.throughput_bps(t_work) for _ in range(10)]
+    assert np.std(noisy) > 0
+    assert np.mean(noisy) == pytest.approx(clean, rel=0.05)
+
+
+def test_u_etx_at_least_one(testbed, t_work):
+    for (i, j) in [(0, 1), (11, 4)]:
+        link = testbed.plc_link(i, j)
+        etx = link.u_etx(t_work)
+        assert etx >= 1.0
+        assert link.u_etx_std(t_work) >= 0.0
+
+
+def test_bad_link_has_higher_u_etx(testbed, t_work):
+    good = testbed.plc_link(13, 14)
+    bad = testbed.plc_link(11, 4)
+    assert bad.u_etx(t_work) > good.u_etx(t_work)
+
+
+def test_broadcast_loss_is_tiny_for_usable_links(testbed, t_work):
+    """§8.1: broadcast loss carries no quality signal for decent links."""
+    good = testbed.plc_link(13, 14).broadcast_loss_probability(t_work)
+    mid = testbed.plc_link(0, 3).broadcast_loss_probability(t_work)
+    assert good < 1e-3
+    assert mid < 1e-2
+
+
+def test_is_connected_threshold(testbed, t_work):
+    assert testbed.plc_link(0, 1).is_connected(t_work)
+    assert not testbed.plc_link(0, 1).is_connected(
+        t_work, min_throughput_bps=1e9)

@@ -1,0 +1,70 @@
+"""Management-message API: rate limit, metric reads, device control."""
+
+import pytest
+
+from repro.plc.mm import MM_MIN_INTERVAL_S, MmClient, MmRateLimitError
+
+
+def test_int6krate_returns_slot_averaged_ble(testbed, t_work):
+    mm = MmClient(testbed.networks["B1"])
+    ble = mm.int6krate("0", "1", t_work)
+    link = testbed.plc_link(0, 1)
+    assert ble == pytest.approx(link.avg_ble_bps(t_work) / 1e6, rel=0.05)
+
+
+def test_ble_per_slot_has_six_entries(testbed, t_work):
+    mm = MmClient(testbed.networks["B1"])
+    slots = mm.ble_per_slot("0", "1", t_work)
+    assert len(slots) == 6
+    assert all(b >= 0 for b in slots)
+
+
+def test_ampstat_returns_probability(testbed, t_work):
+    mm = MmClient(testbed.networks["B1"])
+    p = mm.ampstat("0", "1", t_work)
+    assert 0.0 <= p <= 1.0
+
+
+def test_rate_limit_enforced_per_station(testbed, t_work):
+    """§6.2: 50 ms is the fastest usable MM polling rate."""
+    mm = MmClient(testbed.networks["B1"])
+    mm.int6krate("0", "1", t_work)
+    with pytest.raises(MmRateLimitError):
+        mm.int6krate("0", "1", t_work + 0.01)
+    # A different station is a different device: no conflict.
+    mm.int6krate("2", "3", t_work + 0.01)
+    # And after the floor, fine again.
+    mm.int6krate("0", "1", t_work + MM_MIN_INTERVAL_S)
+
+
+def test_rate_limit_can_be_disabled(testbed, t_work):
+    mm = MmClient(testbed.networks["B1"], enforce_rate_limit=False)
+    mm.int6krate("0", "1", t_work)
+    mm.int6krate("0", "1", t_work + 0.001)  # no error
+    assert mm.log.count == 2
+
+
+def test_reset_device_clears_estimators(testbed, t_work):
+    net = testbed.networks["B1"]
+    est = net.estimator("0", "1")
+    est.observe_clean_pbs(t_work, 100_000)
+    assert est.margin_db < 2.0
+    MmClient(net).reset_device("1")
+    assert est.margin_db == pytest.approx(6.0)
+
+
+def test_estimated_capacity_reads_estimator_state(testbed, t_work):
+    net = testbed.networks["B1"]
+    mm = MmClient(net)
+    net.estimator("2", "4").reset()
+    fresh = mm.estimated_capacity("2", "4", t_work)
+    net.estimator("2", "4").observe_clean_pbs(t_work, 500_000)
+    converged = mm.estimated_capacity("2", "4", t_work + 1.0)
+    assert converged > fresh
+
+
+def test_set_cco_via_mm(testbed):
+    mm = MmClient(testbed.networks["B1"])
+    mm.set_cco("3")
+    assert testbed.networks["B1"].cco.station_id == "3"
+    mm.set_cco("11")  # restore the paper's pinning for other tests

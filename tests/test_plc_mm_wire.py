@@ -1,0 +1,98 @@
+"""Management-message wire format."""
+
+import pytest
+
+from repro.plc import mm_wire
+from repro.plc.mm_wire import (
+    MmDecodeError,
+    MmType,
+    decode_amp_stat_cnf,
+    decode_mm,
+    decode_nw_info_cnf,
+    decode_rs_dev_cnf,
+    encode_amp_stat_cnf,
+    encode_mm,
+    encode_nw_info_cnf,
+    encode_rs_dev_cnf,
+    mac_address,
+)
+
+
+def test_header_roundtrip():
+    frame = encode_mm(MmType.SNIFFER_REQ, b"\x01\x02")
+    mm = decode_mm(frame)
+    assert mm.mmtype is MmType.SNIFFER_REQ
+    assert mm.payload == b"\x01\x02"
+
+
+def test_decode_rejects_garbage():
+    with pytest.raises(MmDecodeError):
+        decode_mm(b"\x00")
+    with pytest.raises(MmDecodeError):
+        decode_mm(b"\x07" + b"\x00" * 10)          # bad version
+    bad_oui = bytearray(encode_mm(MmType.NW_INFO_CNF))
+    bad_oui[3] ^= 0xFF
+    with pytest.raises(MmDecodeError):
+        decode_mm(bytes(bad_oui))
+    unknown_type = bytearray(encode_mm(MmType.NW_INFO_CNF))
+    unknown_type[1] = 0xEE
+    with pytest.raises(MmDecodeError):
+        decode_mm(bytes(unknown_type))
+
+
+def test_request_confirm_convention():
+    for req, cnf in ((MmType.NW_INFO_REQ, MmType.NW_INFO_CNF),
+                     (MmType.AMP_STAT_REQ, MmType.AMP_STAT_CNF),
+                     (MmType.RS_DEV_REQ, MmType.RS_DEV_CNF)):
+        assert int(cnf) == int(req) + 1
+
+
+def test_nw_info_roundtrip_quantises_to_whole_mbps():
+    frame = encode_nw_info_cnf("7", tx_rate_mbps=113.7, rx_rate_mbps=88.2)
+    mac, tx, rx = decode_nw_info_cnf(frame)
+    assert mac == mac_address("7")
+    assert (tx, rx) == (114, 88)       # the chips report whole Mbps
+    # Clamped to the 8-bit field.
+    _, tx, _ = decode_nw_info_cnf(encode_nw_info_cnf("7", 900.0, 0.0))
+    assert tx == 255
+
+
+def test_nw_info_wrong_type_rejected():
+    with pytest.raises(MmDecodeError):
+        decode_nw_info_cnf(encode_rs_dev_cnf())
+
+
+def test_amp_stat_roundtrip():
+    frame = encode_amp_stat_cnf(pbs_received=100_000, pbs_errored=1_234)
+    received, errored, pb_err = decode_amp_stat_cnf(frame)
+    assert (received, errored) == (100_000, 1_234)
+    assert pb_err == pytest.approx(0.01234)
+
+
+def test_amp_stat_validation():
+    with pytest.raises(ValueError):
+        encode_amp_stat_cnf(10, 11)
+    with pytest.raises(ValueError):
+        encode_amp_stat_cnf(-1, 0)
+    received, errored, pb_err = decode_amp_stat_cnf(
+        encode_amp_stat_cnf(0, 0))
+    assert pb_err == 0.0
+
+
+def test_rs_dev_roundtrip():
+    assert decode_rs_dev_cnf(encode_rs_dev_cnf(True))
+    assert not decode_rs_dev_cnf(encode_rs_dev_cnf(False))
+
+
+def test_mac_addresses_stable_and_distinct():
+    assert mac_address("3") == mac_address("3")
+    macs = {mac_address(str(k)) for k in range(19)}
+    assert len(macs) == 19
+    for mac in macs:
+        assert len(mac) == 6
+        assert mac[0] & 0x02          # locally administered
+
+
+def test_roundtrip_rates_helper():
+    tx, rx = mm_wire.roundtrip_rates("5", 147.6, 93.1)
+    assert (tx, rx) == (148, 93)

@@ -1,0 +1,91 @@
+"""PLC network management: AVLNs, CCo, station membership."""
+
+import pytest
+
+from repro.plc.network import PlcNetwork
+from repro.plc.station import PlcStation
+
+
+def test_first_station_becomes_cco(testbed):
+    net = PlcNetwork("AVLN-test", testbed.load, testbed.streams)
+    s0 = net.add_station(PlcStation("a", testbed.sites[0].outlet_id))
+    assert net.cco is s0
+    assert s0.is_cco
+
+
+def test_static_cco_pinning(testbed):
+    """§3.1: the paper pins CCos at 11 (B1) and 15 (B2)."""
+    assert testbed.networks["B1"].cco.station_id == "11"
+    assert testbed.networks["B2"].cco.station_id == "15"
+
+
+def test_duplicate_station_rejected(testbed):
+    net = PlcNetwork("AVLN-dup", testbed.load, testbed.streams)
+    net.add_station(PlcStation("a", testbed.sites[0].outlet_id))
+    with pytest.raises(ValueError):
+        net.add_station(PlcStation("a", testbed.sites[1].outlet_id))
+
+
+def test_unknown_outlet_rejected(testbed):
+    net = PlcNetwork("AVLN-x", testbed.load, testbed.streams)
+    with pytest.raises(KeyError):
+        net.add_station(PlcStation("a", "no-such-outlet"))
+
+
+def test_cross_network_links_refused(testbed):
+    """Different encryption keys: no cross-AVLN communication (§3.1)."""
+    with pytest.raises(KeyError):
+        # Station 15 lives in B2, unknown to B1's network.
+        testbed.networks["B1"].link("0", "15")
+    assert testbed.plc_link(0, 15) is None
+
+
+def test_link_is_cached_and_directed(testbed):
+    net = testbed.networks["B1"]
+    fwd1 = net.link("0", "1")
+    fwd2 = net.link("0", "1")
+    rev = net.link("1", "0")
+    assert fwd1 is fwd2
+    assert rev is not fwd1
+
+
+def test_directed_pairs_count(testbed):
+    assert len(testbed.networks["B1"].directed_pairs()) == 12 * 11
+    assert len(testbed.networks["B2"].directed_pairs()) == 7 * 6
+
+
+def test_estimator_lives_at_receiver(testbed):
+    net = testbed.networks["B1"]
+    est = net.estimator("0", "1")
+    assert "0" in net.station("1").estimators
+    assert net.estimator("0", "1") is est
+
+
+def test_dynamic_cco_election_prefers_central_station(testbed, t_night):
+    net = PlcNetwork("AVLN-elect", testbed.load, testbed.streams)
+    for idx in (12, 13, 14):
+        net.add_station(PlcStation(str(idx),
+                                   testbed.sites[idx].outlet_id))
+    winner = net.elect_cco(t_night)
+    assert winner in ("12", "13", "14")
+    assert net.cco.station_id == winner
+
+
+def test_station_leave_clears_membership():
+    s = PlcStation("a", "outlet")
+    s.join("net-1")
+    assert s.network_key == "net-1"
+    s.leave()
+    assert s.network_key is None
+    assert not s.is_cco
+
+
+def test_can_communicate_requires_shared_key():
+    a = PlcStation("a", "o1")
+    b = PlcStation("b", "o2")
+    a.join("k1")
+    b.join("k2")
+    assert not a.can_communicate_with(b)
+    b.join("k1")
+    assert a.can_communicate_with(b)
+    assert not a.can_communicate_with(a)

@@ -1,0 +1,97 @@
+"""Bit loading, BLE Definition 1, PB error model."""
+
+import numpy as np
+import pytest
+
+from repro.plc import phy
+from repro.plc.spec import HPAV, MODULATION_SNR_THRESHOLDS_DB
+from repro.units import MBPS
+
+
+def test_select_bits_monotone_in_snr():
+    snr = np.linspace(-10, 45, 200)
+    bits = phy.select_bits(snr)
+    assert (np.diff(bits) >= 0).all()
+    assert bits[0] == 0
+    assert bits[-1] == 10
+
+
+def test_select_bits_respects_backoff():
+    snr = np.array([MODULATION_SNR_THRESHOLDS_DB[2] + 0.5])  # just above QPSK
+    assert phy.select_bits(snr, backoff_db=0.0)[0] == 2
+    assert phy.select_bits(snr, backoff_db=1.0)[0] == 1
+
+
+def test_ble_definition_1():
+    """BLE = B·R·(1−PBerr)/Tsym, exactly."""
+    assert phy.ble_bps(1000, 0.5, 0.1, 1e-3) == pytest.approx(
+        1000 * 0.5 * 0.9 / 1e-3)
+
+
+def test_ble_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        phy.ble_bps(100, 0.5, 1.5, 1e-3)
+    with pytest.raises(ValueError):
+        phy.ble_bps(100, 0.5, 0.1, 0.0)
+
+
+def test_pb_error_decreases_with_margin():
+    bits = np.full(HPAV.num_carriers, 4)
+    snr_low = np.full(HPAV.num_carriers, 11.0)
+    snr_high = np.full(HPAV.num_carriers, 20.0)
+    assert phy.pb_error_probability(snr_low, bits) > \
+        phy.pb_error_probability(snr_high, bits)
+
+
+def test_pb_error_is_one_with_no_loaded_carriers():
+    bits = np.zeros(HPAV.num_carriers, dtype=int)
+    snr = np.full(HPAV.num_carriers, -20.0)
+    assert phy.pb_error_probability(snr, bits) == 1.0
+
+
+def test_pb_error_floor_and_cap():
+    bits = np.full(HPAV.num_carriers, 2)
+    great = np.full(HPAV.num_carriers, 40.0)
+    awful = np.full(HPAV.num_carriers, -10.0)
+    assert phy.pb_error_probability(great, bits) == pytest.approx(5e-4)
+    assert phy.pb_error_probability(awful, bits) <= 0.95
+
+
+def test_impulsive_noise_raises_pb_error():
+    bits = np.full(HPAV.num_carriers, 4)
+    snr = np.full(HPAV.num_carriers, 18.0)
+    quiet = phy.pb_error_probability(snr, bits, impulsive_rate_hz=0.0)
+    noisy = phy.pb_error_probability(snr, bits, impulsive_rate_hz=50.0)
+    assert noisy > quiet
+
+
+def test_ble_from_snr_shape_and_monotonicity():
+    snr = np.tile(np.linspace(5, 30, HPAV.num_carriers)[:, None], (1, 6))
+    snr[:, 3] += 6.0  # one quiet slot
+    ble = phy.ble_from_snr(snr, HPAV)
+    assert ble.shape == (6,)
+    assert ble[3] == ble.max()
+
+
+def test_ble_from_snr_validates_carrier_count():
+    with pytest.raises(ValueError):
+        phy.ble_from_snr(np.zeros((10, 6)), HPAV)
+
+
+def test_max_snr_reaches_nominal_ble():
+    snr = np.full((HPAV.num_carriers, 6), 45.0)
+    ble = phy.ble_from_snr(snr, HPAV, pb_err=0.0)
+    assert ble[0] / MBPS == pytest.approx(150.0, abs=2.0)
+
+
+def test_robo_loss_low_for_decent_links_high_for_dead_ones():
+    good = np.full((HPAV.num_carriers, 6), 15.0)
+    dead = np.full((HPAV.num_carriers, 6), -25.0)
+    assert phy.robo_loss_probability(good, HPAV) < 1e-3
+    assert phy.robo_loss_probability(dead, HPAV) > 0.5
+
+
+def test_robo_loss_has_residual_floor():
+    """§8.1: even perfect links lose ~1e-4 of broadcasts."""
+    perfect = np.full((HPAV.num_carriers, 6), 40.0)
+    assert phy.robo_loss_probability(perfect, HPAV) >= 1e-4

@@ -1,0 +1,75 @@
+"""SoF sniffer: saturated captures, probe flows, retransmission detection."""
+
+import numpy as np
+import pytest
+
+from repro.plc.sniffer import (
+    capture_probe_flow,
+    capture_saturated,
+    classify_retransmissions,
+)
+from repro.units import HALF_MAINS_CYCLE
+
+
+def test_saturated_capture_yields_back_to_back_frames(testbed, t_work):
+    link = testbed.plc_link(0, 1)
+    sofs = capture_saturated(link, t_work, 0.5)
+    assert len(sofs) > 50
+    gaps = np.diff([s.timestamp for s in sofs])
+    assert (gaps > 0).all()
+    assert gaps.max() < 0.02  # frames every few ms under saturation
+
+
+def test_saturated_capture_carries_slot_ble(testbed, t_work):
+    """Fig. 9's mechanism: the SoF advertises the BLE of its slot."""
+    link = testbed.plc_link(0, 1)
+    sofs = capture_saturated(link, t_work, 0.2)
+    slots = {s.slot for s in sofs}
+    assert slots == set(range(6))  # frame cadence sweeps the mains cycle
+    per_slot = link.ble_per_slot_bps(t_work)
+    for sof in sofs[:20]:
+        assert sof.ble_bps == pytest.approx(per_slot[sof.slot], rel=0.2)
+
+
+def test_saturated_capture_respects_max_frames(testbed, t_work):
+    link = testbed.plc_link(0, 1)
+    sofs = capture_saturated(link, t_work, 10.0, max_frames=17)
+    assert len(sofs) == 17
+
+
+def test_capture_rejects_nonpositive_duration(testbed, t_work):
+    link = testbed.plc_link(0, 1)
+    with pytest.raises(ValueError):
+        capture_saturated(link, t_work, 0.0)
+
+
+def test_probe_flow_marks_retransmissions(testbed, t_work):
+    rng = np.random.default_rng(3)
+    link = testbed.plc_link(11, 4)  # bad link: retransmissions guaranteed
+    sofs = capture_probe_flow(link, t_work, 30.0, packet_interval_s=0.075,
+                              rng=rng)
+    assert any(s.is_retransmission for s in sofs)
+    flags = classify_retransmissions(sofs)
+    truth = [s.is_retransmission for s in sofs]
+    agreement = np.mean([f == t for f, t in zip(flags, truth)])
+    assert agreement > 0.95  # the 10 ms heuristic works
+
+
+def test_good_link_probe_flow_rarely_retransmits(testbed, t_work):
+    rng = np.random.default_rng(3)
+    link = testbed.plc_link(13, 14)
+    sofs = capture_probe_flow(link, t_work, 30.0, packet_interval_s=0.075,
+                              rng=rng)
+    retx = np.mean([s.is_retransmission for s in sofs])
+    assert retx < 0.1
+
+
+def test_classify_retransmissions_threshold():
+    from repro.plc.frames import SofDelimiter
+
+    def sof(t):
+        return SofDelimiter(timestamp=t, src="a", dst="b", tmi=1,
+                            ble_bps=1e8, slot=0, n_pbs=3, duration_s=1e-3)
+
+    sofs = [sof(0.0), sof(0.005), sof(0.075), sof(0.150)]
+    assert classify_retransmissions(sofs) == [False, True, False, False]

@@ -1,0 +1,73 @@
+"""The §2.1 sounding/tone-map handshake."""
+
+import pytest
+
+from repro.plc.sounding import (
+    SounderState,
+    SoundingExchange,
+    establish,
+)
+
+
+@pytest.fixture()
+def exchange(testbed):
+    est = testbed.networks["B1"].estimator("0", "1")
+    est.reset()
+    return SoundingExchange(est)
+
+
+def test_starts_in_default_robo(exchange, t_work):
+    assert exchange.state is SounderState.DEFAULT_ROBO
+    assert exchange.tone_map is None
+    assert exchange.want_to_send(t_work) is SounderState.DEFAULT_ROBO
+
+
+def test_handshake_adapts_after_enough_sounds(exchange, t_work):
+    tone_map = establish(exchange, t_work)
+    assert exchange.state is SounderState.ADAPTED
+    assert tone_map.tmi == 1
+    assert tone_map.avg_ble_bps() > 0
+    assert any("adapted" in h for h in exchange.history)
+
+
+def test_adapted_links_refuse_to_sound(exchange, t_work):
+    establish(exchange, t_work)
+    with pytest.raises(RuntimeError):
+        exchange.next_sound(t_work + 1.0)
+
+
+def test_expiry_forces_resounding(exchange, t_work):
+    establish(exchange, t_work)
+    expired_at = t_work + exchange.spec.tone_map_expiry_s + 1.0
+    assert exchange.want_to_send(expired_at) is SounderState.DEFAULT_ROBO
+    assert exchange.tone_map is None
+    # And a fresh handshake gets a new TMI.
+    tone_map = establish(exchange, expired_at)
+    assert tone_map.tmi == 2
+
+
+def test_error_monitor_invalidates(exchange, t_work):
+    establish(exchange, t_work)
+    exchange.on_data(t_work + 5.0, n_pbs=10, errored=True)
+    assert exchange.state is SounderState.DEFAULT_ROBO
+    assert any("errors" in h for h in exchange.history)
+
+
+def test_clean_data_keeps_the_tone_map(exchange, t_work):
+    establish(exchange, t_work)
+    for k in range(5):
+        exchange.on_data(t_work + k, n_pbs=40, errored=False)
+    assert exchange.state is SounderState.ADAPTED
+
+
+def test_destination_needs_multiple_sounds(exchange, t_work):
+    frame = exchange.next_sound(t_work)
+    exchange.on_sound(frame)
+    assert exchange.destination_response(t_work) is None  # 1 of 3
+
+
+def test_sounding_improves_the_estimate(exchange, t_work):
+    """Each handshake feeds PBs through the estimator: margins shrink."""
+    before = exchange.estimator.margin_db
+    establish(exchange, t_work)
+    assert exchange.estimator.margin_db < before

@@ -1,0 +1,62 @@
+"""PHY constants: the paper's own arithmetic must hold."""
+
+import numpy as np
+import pytest
+
+from repro.plc.spec import (
+    HPAV,
+    HPAV500,
+    MODULATION_BITS,
+    MODULATION_SNR_THRESHOLDS_DB,
+    PlcSpec,
+)
+from repro.units import MBPS
+
+
+def test_one_symbol_rate_matches_paper():
+    """§7.2: R_1sym = 520·8/Tsym ≈ 89.4 Mbps for HPAV."""
+    assert HPAV.one_symbol_rate_bps / MBPS == pytest.approx(89.4, abs=0.2)
+
+
+def test_hpav_ble_ceiling_matches_nominal_rate():
+    """All carriers at 1024-QAM with the 16/21 code ≈ 150 Mbps (§4.1)."""
+    assert HPAV.max_ble_bps / MBPS == pytest.approx(150.0, abs=2.0)
+
+
+def test_hpav500_extends_band_and_rate():
+    assert HPAV500.band_high_hz > HPAV.band_high_hz
+    assert HPAV500.num_carriers > HPAV.num_carriers
+    assert HPAV500.max_ble_bps > 2.2 * HPAV.max_ble_bps
+
+
+def test_carrier_frequencies_span_band():
+    f = HPAV.carrier_frequencies()
+    assert len(f) == HPAV.num_carriers == 917
+    assert f[0] == HPAV.band_low_hz
+    assert f[-1] == HPAV.band_high_hz
+    assert (np.diff(f) > 0).all()
+
+
+def test_modulation_tables_are_consistent():
+    assert len(MODULATION_BITS) == len(MODULATION_SNR_THRESHOLDS_DB)
+    assert list(MODULATION_BITS) == sorted(MODULATION_BITS)
+    assert list(MODULATION_SNR_THRESHOLDS_DB) == sorted(
+        MODULATION_SNR_THRESHOLDS_DB)
+    assert MODULATION_BITS[0] == 0 and MODULATION_BITS[-1] == 10
+
+
+def test_pb_total_is_520_bytes():
+    """The 520 B (512 payload + 8 header) §7.2 computes with."""
+    assert HPAV.pb_total_bytes == 520
+
+
+def test_max_pbs_per_frame_scales_with_ble():
+    low = HPAV.max_pbs_per_frame(20 * MBPS)
+    high = HPAV.max_pbs_per_frame(150 * MBPS)
+    assert 1 <= low < high
+    # At 150 Mbps a 2501 µs frame carries ~90 PBs.
+    assert high == int(150 * MBPS * HPAV.max_frame_duration_s / (520 * 8))
+
+
+def test_tone_map_expiry_is_30s():
+    assert HPAV.tone_map_expiry_s == 30.0

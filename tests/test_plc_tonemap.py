@@ -1,0 +1,81 @@
+"""Tone maps and their update dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.plc.tonemap import ToneMapProcess, generate_tone_map
+from repro.sim.clock import MainsClock
+from repro.units import MBPS
+
+NIGHT = MainsClock.at(day=2, hour=23.5)
+
+
+def _channel(testbed, src, dst):
+    link = testbed.plc_link(src, dst)
+    assert link is not None
+    return link.channel
+
+
+def test_tone_map_embeds_definition_1(testbed):
+    ch = _channel(testbed, 0, 1)
+    tm = generate_tone_map(ch, NIGHT, tmi=1)
+    per_slot = tm.ble_per_slot_bps()
+    assert per_slot.shape == (6,)
+    # Recompute Definition 1 by hand for slot 0.
+    expected = (tm.bits[:, 0].sum() * tm.fec_rate * (1 - tm.pb_err)
+                / tm.symbol_duration_s)
+    assert per_slot[0] == pytest.approx(expected)
+
+
+def test_tone_map_ids_increase(testbed):
+    ch = _channel(testbed, 0, 1)
+    process = ToneMapProcess(ch, start_time=NIGHT)
+    process.advance(NIGHT + 40.0)
+    tmis = [u.tmi for u in process.updates]
+    assert tmis == sorted(tmis)
+    assert len(set(tmis)) == len(tmis)
+
+
+def test_expiry_forces_update_within_30s(testbed):
+    ch = _channel(testbed, 0, 1)
+    process = ToneMapProcess(ch, start_time=NIGHT)
+    process.advance(NIGHT + 65.0)
+    # Whatever the drift, at least two more tone maps in 65 s (30 s expiry).
+    assert len(process.updates) >= 3
+    ages = np.diff([u.time for u in process.updates])
+    assert (ages <= ch.spec.tone_map_expiry_s + 0.1).all()
+
+
+def test_bad_link_updates_more_often_than_good(testbed, t_night):
+    good = ToneMapProcess(_channel(testbed, 15, 18), start_time=t_night)
+    bad = ToneMapProcess(_channel(testbed, 11, 4), start_time=t_night)
+    good.advance(t_night + 60.0)
+    bad.advance(t_night + 60.0)
+    assert len(bad.updates) > 2 * len(good.updates)
+
+
+def test_advance_backwards_rejected(testbed):
+    process = ToneMapProcess(_channel(testbed, 0, 1), start_time=NIGHT)
+    with pytest.raises(ValueError):
+        process.advance(NIGHT - 1.0)
+
+
+def test_ble_trace_matches_updates(testbed, t_night):
+    process = ToneMapProcess(_channel(testbed, 11, 4), start_time=t_night)
+    process.advance(t_night + 30.0)
+    trace = process.ble_trace()
+    assert trace.shape == (len(process.updates), 2)
+    assert (np.diff(trace[:, 0]) > 0).all()
+
+
+def test_interarrivals_positive(testbed, t_night):
+    process = ToneMapProcess(_channel(testbed, 11, 4), start_time=t_night)
+    process.advance(t_night + 30.0)
+    alphas = process.ble_update_interarrivals()
+    assert (alphas > 0).all()
+
+
+def test_realized_pb_error_in_unit_interval(testbed, t_night):
+    process = ToneMapProcess(_channel(testbed, 2, 7), start_time=t_night)
+    p = process.realized_pb_error(t_night + 1.0)
+    assert 0.0 <= p <= 1.0

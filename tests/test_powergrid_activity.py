@@ -1,0 +1,110 @@
+"""Human-activity model: schedules, determinism, the 9 pm event."""
+
+import numpy as np
+import pytest
+
+from repro.powergrid.activity import (
+    LIGHTS_OFF_HOUR,
+    LIGHTS_ON_HOUR,
+    OfficeActivityModel,
+)
+from repro.powergrid.appliances import ApplianceInstance
+from repro.sim.clock import MainsClock
+from repro.sim.random import RandomStreams
+from repro.units import DAY, HOUR, MINUTE
+
+
+@pytest.fixture()
+def model():
+    return OfficeActivityModel(RandomStreams(seed=3))
+
+
+def _mk(kind, name="a1"):
+    return ApplianceInstance.make(name, kind, "outlet-0")
+
+
+def test_always_on_is_always_on(model):
+    fridge = _mk("fridge")
+    for t in np.linspace(0, 7 * DAY, 50):
+        assert model.is_on(fridge, float(t))
+
+
+def test_lighting_follows_building_schedule(model):
+    light = _mk("fluorescent_lighting")
+    monday_noon = MainsClock.at(day=0, hour=12)
+    monday_late = MainsClock.at(day=0, hour=LIGHTS_OFF_HOUR + 0.5)
+    monday_early = MainsClock.at(day=0, hour=LIGHTS_ON_HOUR - 1.0)
+    assert model.is_on(light, monday_noon)
+    assert not model.is_on(light, monday_late)
+    assert not model.is_on(light, monday_early)
+
+
+def test_lights_off_event_is_building_wide(model):
+    # Every weekday fixture is off at 21:30 (Fig. 12's 9 pm cut).
+    lights = [_mk("fluorescent_lighting", f"L{k}") for k in range(10)]
+    t = MainsClock.at(day=2, hour=21.5)
+    assert not any(model.is_on(light, t) for light in lights)
+
+
+def test_office_gear_mostly_on_weekdays_off_weekends(model):
+    pcs = [_mk("desktop_pc", f"pc{k}") for k in range(40)]
+    weekday = MainsClock.at(day=1, hour=11)
+    weekend = MainsClock.at(day=5, hour=11)
+    on_weekday = sum(model.is_on(p, weekday) for p in pcs)
+    on_weekend = sum(model.is_on(p, weekend) for p in pcs)
+    assert on_weekday > 0.7 * len(pcs)
+    assert on_weekend < 0.3 * len(pcs)
+
+
+def test_overnight_fraction_keeps_some_pcs_on(model):
+    pcs = [_mk("desktop_pc", f"pc{k}") for k in range(60)]
+    night = MainsClock.at(day=1, hour=3)
+    on = sum(model.is_on(p, night) for p in pcs)
+    assert 0 < on < 0.35 * len(pcs)
+
+
+def test_intermittent_duty_cycle_is_respected(model):
+    micro = _mk("microwave")
+    times = np.arange(MainsClock.at(day=1, hour=8),
+                      MainsClock.at(day=1, hour=18), MINUTE)
+    duty = np.mean([model.is_on(micro, float(t)) for t in times])
+    assert duty < 0.15  # catalog duty cycle is 3 %
+
+
+def test_intermittent_quieter_at_night(model):
+    printer = _mk("printer")
+    day_times = np.arange(MainsClock.at(day=1, hour=9),
+                          MainsClock.at(day=1, hour=17), MINUTE)
+    night_times = np.arange(MainsClock.at(day=1, hour=0),
+                            MainsClock.at(day=1, hour=6), MINUTE)
+    day_duty = np.mean([model.is_on(printer, float(t)) for t in day_times])
+    night_duty = np.mean([model.is_on(printer, float(t))
+                          for t in night_times])
+    assert night_duty <= day_duty
+
+
+def test_state_is_deterministic_and_order_independent(model):
+    pc = _mk("desktop_pc")
+    t1 = MainsClock.at(day=3, hour=10.25)
+    t2 = MainsClock.at(day=3, hour=15.75)
+    forward = (model.is_on(pc, t1), model.is_on(pc, t2))
+    fresh = OfficeActivityModel(RandomStreams(seed=3))
+    backward = (fresh.is_on(pc, t2), fresh.is_on(pc, t1))
+    assert forward == (backward[1], backward[0])
+
+
+def test_switching_times_bracket_actual_transitions(model):
+    light = _mk("fluorescent_lighting")
+    t0 = MainsClock.at(day=1, hour=0)
+    times = model.switching_times(light, t0, t0 + DAY)
+    assert len(times) == 2  # on in the morning, off at 21:00
+    for ts in times:
+        assert model.is_on(light, ts - 2.0) != model.is_on(light, ts + 2.0)
+
+
+def test_active_count_tracks_population(model):
+    apps = [_mk("desktop_pc", f"p{k}") for k in range(10)]
+    apps += [_mk("fridge", f"f{k}") for k in range(3)]
+    noon = MainsClock.at(day=1, hour=12)
+    count = model.active_count(apps, noon)
+    assert 3 <= count <= 13

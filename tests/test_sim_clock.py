@@ -1,0 +1,67 @@
+"""Mains clock and calendar helpers."""
+
+import pytest
+
+from repro.sim.clock import MainsClock, tone_map_slot_at
+from repro.units import DAY, HALF_MAINS_CYCLE, HOUR
+
+
+def test_slot_period_is_half_mains_cycle():
+    # Slots repeat every 10 ms (§6.1, Fig. 9).
+    for t in (0.0, 0.123, 17.5):
+        assert tone_map_slot_at(t) == tone_map_slot_at(t + HALF_MAINS_CYCLE)
+
+
+def test_all_six_slots_appear_within_one_period():
+    slots = {tone_map_slot_at(k * HALF_MAINS_CYCLE / 6 + 1e-6)
+             for k in range(6)}
+    assert slots == set(range(6))
+
+
+def test_slot_boundary_rounding_never_overflows():
+    # Just inside the last slot (beyond the boundary-snap tolerance).
+    assert tone_map_slot_at(HALF_MAINS_CYCLE * (1 - 1e-4)) == 5
+    # Exactly at (or within float noise of) the boundary wraps to slot 0.
+    assert tone_map_slot_at(HALF_MAINS_CYCLE - 1e-12) == 0
+    assert tone_map_slot_at(0.0) == 0
+
+
+def test_invalid_slot_count_rejected():
+    with pytest.raises(ValueError):
+        tone_map_slot_at(0.0, num_slots=0)
+
+
+def test_calendar_anchor_is_monday_midnight():
+    clock = MainsClock()
+    assert clock.weekday(0.0) == 0
+    assert clock.weekday_name(0.0) == "Mon"
+    assert clock.hour_of_day(0.0) == 0.0
+
+
+def test_weekend_detection():
+    clock = MainsClock()
+    assert not clock.is_weekend(clock.at(day=4, hour=12))   # Friday
+    assert clock.is_weekend(clock.at(day=5, hour=12))       # Saturday
+    assert clock.is_weekend(clock.at(day=6, hour=12))       # Sunday
+    assert not clock.is_weekend(clock.at(day=7, hour=12))   # next Monday
+
+
+def test_working_hours_window():
+    clock = MainsClock()
+    assert clock.is_working_hours(clock.at(day=1, hour=9))
+    assert not clock.is_working_hours(clock.at(day=1, hour=7))
+    assert not clock.is_working_hours(clock.at(day=1, hour=19))
+    assert not clock.is_working_hours(clock.at(day=5, hour=9))  # Saturday
+
+
+def test_at_composes_day_and_hour():
+    clock = MainsClock()
+    t = MainsClock.at(day=1, hour=16.5)
+    assert t == DAY + 16.5 * HOUR
+    assert clock.hour_of_day(t) == 16.5
+
+
+def test_cycle_index_advances_every_20ms():
+    clock = MainsClock()
+    assert clock.cycle_index(0.019) == 0
+    assert clock.cycle_index(0.021) == 1

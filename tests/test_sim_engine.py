@@ -1,0 +1,125 @@
+"""Discrete-event engine semantics."""
+
+import pytest
+
+from repro.sim.engine import Simulator, run_sampler
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(2.0, lambda: order.append("b"))
+    sim.schedule(1.0, lambda: order.append("a"))
+    sim.schedule(3.0, lambda: order.append("c"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_simultaneous_events_fire_in_scheduling_order():
+    sim = Simulator()
+    order = []
+    for tag in ("first", "second", "third"):
+        sim.schedule(1.0, lambda tag=tag: order.append(tag))
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_scheduling_in_the_past_raises():
+    sim = Simulator(start_time=10.0)
+    with pytest.raises(ValueError):
+        sim.schedule(5.0, lambda: None)
+    with pytest.raises(ValueError):
+        sim.schedule_in(-1.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, lambda: fired.append(1))
+    event.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_run_until_advances_clock_even_without_events():
+    sim = Simulator()
+    sim.run(until=42.0)
+    assert sim.now == 42.0
+
+
+def test_run_until_does_not_fire_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, lambda: fired.append(5))
+    sim.schedule(15.0, lambda: fired.append(15))
+    sim.run(until=10.0)
+    assert fired == [5]
+    assert sim.now == 10.0
+    sim.run()
+    assert fired == [5, 15]
+
+
+def test_events_scheduled_during_run_are_processed():
+    sim = Simulator()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 3:
+            sim.schedule_in(1.0, lambda: chain(n + 1))
+
+    sim.schedule(0.0, lambda: chain(0))
+    sim.run()
+    assert seen == [0, 1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_periodic_task_fires_and_stops():
+    sim = Simulator()
+    ticks = []
+    task = sim.every(1.0, lambda: ticks.append(sim.now))
+    sim.run(until=3.5)
+    assert ticks == [1.0, 2.0, 3.0]
+    task.stop()
+    sim.run(until=10.0)
+    assert len(ticks) == 3
+    assert task.stopped
+
+
+def test_periodic_task_rejects_nonpositive_interval():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.every(0.0, lambda: None)
+
+
+def test_stop_halts_run_loop():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+    sim.schedule(2.0, lambda: fired.append(2))
+    sim.run()
+    assert fired == [1]
+    sim.run()
+    assert fired == [1, 2]
+
+
+def test_advance_to_refuses_to_skip_events():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    with pytest.raises(ValueError):
+        sim.advance_to(2.0)
+
+
+def test_pending_count_ignores_cancelled():
+    sim = Simulator()
+    e1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    e1.cancel()
+    assert sim.pending_count() == 1
+
+
+def test_run_sampler_collects_expected_samples():
+    samples = run_sampler(duration=1.0, interval=0.25,
+                          sample=lambda t: round(t, 6))
+    assert samples == [0.25, 0.5, 0.75, 1.0]

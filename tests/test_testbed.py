@@ -1,0 +1,98 @@
+"""Testbed construction: floor layout, stations, networks, census."""
+
+import numpy as np
+import pytest
+
+from repro.testbed import HPAV500_PRESET, build_testbed
+from repro.testbed.floorplan import CCO_BY_BOARD
+from repro.units import MBPS
+
+
+def test_nineteen_stations_two_boards(testbed):
+    assert testbed.station_indices() == list(range(19))
+    boards = {testbed.board_of(i) for i in testbed.station_indices()}
+    assert boards == {"B1", "B2"}
+    b1 = [i for i in testbed.station_indices()
+          if testbed.board_of(i) == "B1"]
+    assert b1 == list(range(12))  # 0–11 on B1, 12–18 on B2 (Fig. 2)
+
+
+def test_ccos_pinned_per_paper(testbed):
+    assert CCO_BY_BOARD == {"B1": 11, "B2": 15}
+    assert testbed.networks["B1"].cco.station_id == "11"
+    assert testbed.networks["B2"].cco.station_id == "15"
+
+
+def test_pair_enumeration(testbed):
+    assert len(testbed.all_pairs()) == 19 * 18
+    assert len(testbed.same_board_pairs()) == 12 * 11 + 7 * 6  # 174
+
+
+def test_cross_board_plc_impossible(testbed):
+    assert testbed.plc_link(0, 15) is None
+    assert testbed.plc_link(15, 0) is None
+    # But WiFi does not care about the wiring.
+    assert testbed.wifi_link(0, 15) is not None
+
+
+def test_cable_distances_span_paper_range(testbed):
+    dists = [testbed.cable_distance(i, j)
+             for i, j in testbed.same_board_pairs()]
+    assert min(dists) > 10.0
+    assert 70.0 < max(dists) < 120.0
+
+
+def test_cross_board_cable_distance_is_hopeless(testbed):
+    assert testbed.cable_distance(0, 15) > 200.0
+
+
+def test_air_distances_include_blind_spot_range(testbed):
+    dists = [testbed.air_distance(i, j)
+             for i, j in testbed.same_board_pairs()]
+    assert max(dists) > 35.0  # §4.1's >35 m blind-spot pairs exist
+
+
+def test_formed_links_census_near_paper_count(testbed, t_work):
+    """The paper forms 144 usable links out of the 174 candidates."""
+    formed = testbed.formed_plc_links(t_work)
+    assert 130 <= len(formed) <= 174
+
+
+def test_wifi_links_cached(testbed):
+    assert testbed.wifi_link(0, 1) is testbed.wifi_link(0, 1)
+    assert testbed.wifi_link(0, 1) is not testbed.wifi_link(1, 0)
+
+
+def test_mm_client_per_board(testbed):
+    assert testbed.mm_client("B1") is testbed.mm_client("B1")
+    assert testbed.mm_client("B1") is not testbed.mm_client("B2")
+
+
+def test_build_is_deterministic(t_work):
+    a = build_testbed(seed=21)
+    b = build_testbed(seed=21)
+    for (i, j) in [(0, 1), (11, 4), (15, 18)]:
+        assert a.plc_link(i, j).avg_ble_bps(t_work) == \
+            b.plc_link(i, j).avg_ble_bps(t_work)
+
+
+def test_seeds_change_the_world(t_work):
+    a = build_testbed(seed=21)
+    b = build_testbed(seed=22)
+    diffs = [abs(a.plc_link(i, j).avg_ble_bps(t_work)
+                 - b.plc_link(i, j).avg_ble_bps(t_work))
+             for (i, j) in [(0, 1), (2, 5), (15, 18)]]
+    assert max(diffs) > 0
+
+
+def test_av500_preset_raises_rates(t_work):
+    av500 = build_testbed(seed=7, preset=HPAV500_PRESET)
+    hpav_tb = build_testbed(seed=7)
+    faster = 0
+    pairs = [(13, 14), (0, 1), (2, 3), (15, 18)]
+    for (i, j) in pairs:
+        a = av500.plc_link(i, j).avg_ble_bps(t_work)
+        h = hpav_tb.plc_link(i, j).avg_ble_bps(t_work)
+        if a > 1.3 * h:
+            faster += 1
+    assert faster >= 3

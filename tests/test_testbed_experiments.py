@@ -1,0 +1,56 @@
+"""Measurement runners."""
+
+import numpy as np
+import pytest
+
+from repro.testbed.experiments import (
+    long_run_series,
+    night_start,
+    poll_ble_series,
+    survey_pairs,
+    working_hours_start,
+)
+from repro.units import HOUR, MINUTE
+
+
+def test_canonical_times_land_in_expected_windows():
+    from repro.sim.clock import MainsClock
+    clock = MainsClock()
+    assert clock.is_working_hours(working_hours_start())
+    assert not clock.is_working_hours(night_start())
+
+
+def test_survey_rows_carry_both_media(testbed, t_work):
+    rows = survey_pairs(testbed, t_work, duration=5.0,
+                        report_interval=0.5, pairs=[(0, 1), (1, 0)])
+    assert len(rows) == 2
+    row = rows[0]
+    assert row.src == 0 and row.dst == 1
+    assert row.plc_mean_mbps > 0
+    assert row.air_distance_m == testbed.air_distance(0, 1)
+    assert row.plc_connected and isinstance(row.wifi_connected, bool)
+
+
+def test_poll_ble_series_50ms_grid(testbed, t_night):
+    series = poll_ble_series(testbed, 0, 1, t_night, 2.0)
+    assert len(series) == 40
+    assert np.allclose(np.diff(series.times), 0.05)
+    assert (series.values > 0).all()
+
+
+def test_long_run_series_metrics(testbed, t_work):
+    for metric in ("ble", "throughput", "pberr"):
+        series = long_run_series(testbed, 0, 1, t_work, 10 * MINUTE,
+                                 interval=MINUTE, metric=metric)
+        assert len(series) == 10
+    with pytest.raises(ValueError):
+        long_run_series(testbed, 0, 1, t_work, MINUTE, metric="latency")
+
+
+def test_random_scale_lower_ble_during_working_hours(testbed):
+    """§6.3: higher electrical load (working hours) → lower µ."""
+    day = long_run_series(testbed, 0, 3, working_hours_start(),
+                          30 * MINUTE, interval=MINUTE)
+    night = long_run_series(testbed, 0, 3, night_start(),
+                            30 * MINUTE, interval=MINUTE)
+    assert night.mean > day.mean

@@ -1,0 +1,22 @@
+"""Calibration report against the paper's shapes."""
+
+from repro.testbed.validation import CalibrationCheck, calibrate
+
+
+def test_default_testbed_is_calibrated(testbed, t_work):
+    report = calibrate(testbed, t_work)
+    assert report.passed, f"out-of-band shapes: {report.failures()}"
+    names = {c.name for c in report.checks}
+    assert "BLE/T slope" in names
+    assert len(report.as_rows()) == len(report.checks)
+
+
+def test_check_banding():
+    good = CalibrationCheck("x", "1", measured=1.0, lo=0.5, hi=1.5)
+    bad = CalibrationCheck("x", "1", measured=2.0, lo=0.5, hi=1.5)
+    assert good.ok and not bad.ok
+
+
+def test_report_surfaces_failures(testbed, t_work):
+    report = calibrate(testbed, t_work)
+    assert report.failures() == []

@@ -1,0 +1,94 @@
+"""Traffic generators and the iperf meter."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.generators import (
+    CbrFlow,
+    FileTransfer,
+    SaturatedUdpFlow,
+    burst_schedule,
+    packets_for_times,
+)
+from repro.traffic.iperf import completion_time_s, run_udp_test
+from repro.traffic.packet import Packet
+from repro.units import MBPS
+
+
+def test_packet_validation():
+    with pytest.raises(ValueError):
+        Packet(seq=-1)
+    with pytest.raises(ValueError):
+        Packet(seq=0, size_bytes=0)
+    p = Packet(seq=0, created_at=1.0)
+    assert p.latency is None
+    p.delivered_at = 1.5
+    assert p.latency == pytest.approx(0.5)
+
+
+def test_cbr_flow_packet_times():
+    flow = CbrFlow(rate_bps=150e3, packet_bytes=1500)
+    assert flow.packet_interval_s == pytest.approx(0.08)
+    times = flow.packet_times(10.0, 1.0)
+    assert len(times) == 12
+    assert times[0] == 10.0
+    with pytest.raises(ValueError):
+        CbrFlow(rate_bps=0.0)
+
+
+def test_file_transfer_packet_count():
+    ft = FileTransfer(size_bytes=600 * 10 ** 6)
+    assert ft.n_packets == 400000
+    with pytest.raises(ValueError):
+        FileTransfer(size_bytes=0)
+
+
+def test_burst_schedule_preserves_rate():
+    bursts = burst_schedule(150e3, burst_packets=20, packet_bytes=1500,
+                            t_start=0.0, duration=60.0)
+    total_packets = sum(len(b) for b in bursts)
+    plain = CbrFlow(rate_bps=150e3).packet_times(0.0, 60.0)
+    assert total_packets == pytest.approx(len(plain), rel=0.1)
+    assert all(len(b) == 20 for b in bursts)
+
+
+def test_packets_for_times_sequence():
+    packets = list(packets_for_times([0.0, 0.1], 1500, "f", seq_start=5))
+    assert [p.seq for p in packets] == [5, 6]
+    assert packets[1].created_at == 0.1
+
+
+def test_run_udp_test_matches_link_mean(testbed, t_work):
+    link = testbed.plc_link(0, 1)
+    series = run_udp_test(link, t_work, 10.0, 0.1)
+    assert len(series) == 100
+    direct = np.mean([link.throughput_bps(t_work + k * 0.1)
+                      for k in range(100)])
+    assert series.mean == pytest.approx(direct, rel=0.1)
+    with pytest.raises(ValueError):
+        run_udp_test(link, t_work, 0.0)
+
+
+def test_completion_time_inverse_to_rate(testbed, t_work):
+    fast = testbed.plc_link(13, 14)
+    slow = testbed.plc_link(11, 4)
+    size = 50 * 10 ** 6
+    t_fast = completion_time_s(fast, t_work, size)
+    rate = fast.throughput_bps(t_work, measured=False)
+    assert t_fast == pytest.approx(size * 8 / rate, rel=0.2)
+    # A much slower link takes much longer (or never completes).
+    try:
+        t_slow = completion_time_s(slow, t_work, size, max_time_s=3600.0)
+        assert t_slow > 2 * t_fast
+    except RuntimeError:
+        pass  # dead during working hours — acceptable for the bad link
+
+
+def test_completion_time_validates_size(testbed, t_work):
+    with pytest.raises(ValueError):
+        completion_time_s(testbed.plc_link(0, 1), t_work, 0)
+
+
+def test_saturated_flow_descriptor():
+    flow = SaturatedUdpFlow()
+    assert flow.packet_bytes == 1500

@@ -1,0 +1,94 @@
+"""TCP model over hybrid links (the paper's §4.1/Table 3 TCP remarks)."""
+
+import numpy as np
+import pytest
+
+from repro.transport.tcp import (
+    TcpPathModel,
+    padhye_throughput_bps,
+)
+from repro.units import MBPS
+
+
+def test_padhye_formula_sanity():
+    # 10 ms RTT, 1 % loss: ~1.22·MSS/(RTT·sqrt(p)) ≈ 10 Mbps for MSS 1448.
+    t = padhye_throughput_bps(1448, 0.010, 0.01)
+    assert 5 * MBPS < t < 15 * MBPS
+    # Less loss, more throughput; longer RTT, less throughput.
+    assert padhye_throughput_bps(1448, 0.010, 0.001) > t
+    assert padhye_throughput_bps(1448, 0.050, 0.01) < t
+    with pytest.raises(ValueError):
+        padhye_throughput_bps(1448, 0.0, 0.01)
+    with pytest.raises(ValueError):
+        padhye_throughput_bps(1448, 0.01, 0.0)
+
+
+def test_rtt_includes_both_directions(testbed, t_work):
+    fwd = testbed.plc_link(0, 1)
+    rev = testbed.plc_link(1, 0)
+    model = TcpPathModel(fwd, rev)
+    rtt = model.rtt_s(t_work)
+    assert 0.002 < rtt < 0.2  # milliseconds-to-tens-of-ms (bufferbloat)
+
+
+def test_bad_reverse_link_throttles_forward_tcp(testbed, t_work):
+    """Table 3's asymmetry warning: the ACK path matters."""
+    fwd = testbed.plc_link(0, 1)          # good forward link
+    good_rev = testbed.plc_link(1, 0)
+    bad_rev = testbed.plc_link(11, 4)     # dead-at-work reverse path
+    symmetric = TcpPathModel(fwd, good_rev).predict(t_work)
+    asymmetric = TcpPathModel(fwd, bad_rev).predict(t_work)
+    assert asymmetric.rtt_s > symmetric.rtt_s
+    assert asymmetric.throughput_bps < symmetric.throughput_bps
+
+
+def test_plc_tcp_efficiency_beats_wifi_at_similar_capacity(testbed, t_work):
+    """§4.1: PLC's low variance is 'beneficial for TCP'.
+
+    Compare TCP efficiency (TCP/UDP ratio) on a PLC pair and a WiFi pair
+    with broadly similar capacities: the jitterier WiFi path loses more.
+    """
+    import numpy as np
+
+    def mean_thr(link):
+        return float(np.mean([link.throughput_bps(t_work + k * 0.5,
+                                                   measured=False)
+                              for k in range(20)]))
+
+    # A WiFi pair in its variable (rate-adapting) regime...
+    wifi_pair = next((i, j) for i, j in testbed.same_board_pairs()
+                     if 15e6 < mean_thr(testbed.wifi_link(i, j)) < 55e6)
+    target = mean_thr(testbed.wifi_link(*wifi_pair))
+    # ... and a PLC pair of broadly similar capacity.
+    plc_pair = next((i, j) for i, j in testbed.same_board_pairs()
+                    if abs(mean_thr(testbed.plc_link(i, j)) - target)
+                    < 0.35 * target)
+    plc = TcpPathModel(testbed.plc_link(*plc_pair),
+                       testbed.plc_link(*plc_pair[::-1])).predict(t_work)
+    wifi = TcpPathModel(testbed.wifi_link(*wifi_pair),
+                        testbed.wifi_link(*wifi_pair[::-1])).predict(t_work)
+    assert plc.efficiency > wifi.efficiency
+    assert plc.efficiency > 0.5
+
+
+def test_prediction_capped_by_capacity(testbed, t_work):
+    model = TcpPathModel(testbed.plc_link(13, 14),
+                         testbed.plc_link(14, 13))
+    prediction = model.predict(t_work)
+    assert prediction.throughput_bps <= 0.95 * prediction.udp_capacity_bps
+    assert 0.0 < prediction.loss < 0.5
+
+
+def test_works_with_two_metric_abstraction(streams, t_work):
+    """The transport layer runs on the §2.2 abstraction unchanged."""
+    from repro.core.two_metric_model import (
+        TwoMetricLinkModel,
+        TwoMetricParameters,
+    )
+    params = TwoMetricParameters(
+        slot_ble_bps=tuple([100 * MBPS] * 6), jitter_sigma_rel=0.01,
+        jitter_hold_s=2.0, pb_err_base=0.01, pb_err_spread=0.2)
+    fwd = TwoMetricLinkModel(params, streams, name="f")
+    rev = TwoMetricLinkModel(params, streams, name="r")
+    prediction = TcpPathModel(fwd, rev).predict(t_work)
+    assert prediction.throughput_bps > 10 * MBPS

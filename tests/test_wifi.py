@@ -1,0 +1,97 @@
+"""WiFi substrate: MCS table, channel model, link behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.sim.random import RandomStreams
+from repro.units import MBPS
+from repro.wifi.channel import WifiChannel
+from repro.wifi.link import WifiLink
+from repro.wifi.phy import MCS_TABLE_2SS, select_mcs, throughput_from_snr
+
+
+def test_mcs_table_shape():
+    assert len(MCS_TABLE_2SS) == 16
+    assert MCS_TABLE_2SS[15].phy_rate_bps == 130 * MBPS  # paper's max (§4.1)
+    rates = [e.phy_rate_bps for e in MCS_TABLE_2SS[8:]]
+    assert rates == sorted(rates)
+
+
+def test_select_mcs_monotone_and_bounded():
+    prev_rate = 0.0
+    for snr in np.linspace(-5, 40, 60):
+        entry = select_mcs(float(snr))
+        assert entry.phy_rate_bps >= prev_rate
+        prev_rate = entry.phy_rate_bps
+    assert select_mcs(50.0).index == 15
+    assert select_mcs(-10.0).index == -1
+    assert select_mcs(-10.0).phy_rate_bps == 0.0
+
+
+def test_throughput_from_snr_scales_with_availability():
+    full = throughput_from_snr(30.0, availability=1.0)
+    half = throughput_from_snr(30.0, availability=0.5)
+    assert half == pytest.approx(full / 2)
+    with pytest.raises(ValueError):
+        throughput_from_snr(30.0, availability=1.5)
+
+
+def _channel(streams, d, name="1->2"):
+    return WifiChannel((0.0, 0.0), (d, 0.0), streams, name=name)
+
+
+def test_snr_decreases_with_distance(streams):
+    snrs = [_channel(streams, d, name=f"d{d}").mean_snr_db()
+            for d in (3.0, 10.0, 30.0)]
+    # Shadowing varies per link, but 10x distance is ~37 dB: ordering holds.
+    assert snrs[0] > snrs[2]
+
+
+def test_links_die_beyond_35m(testbed, t_work):
+    """§4.1: no wireless connectivity beyond ~35 m."""
+    dead = 0
+    total = 0
+    for i, j in testbed.all_pairs():
+        if testbed.air_distance(i, j) >= 38.0:
+            total += 1
+            if not testbed.wifi_link(i, j).is_connected(t_work):
+                dead += 1
+    assert total > 0
+    assert dead / total > 0.8
+
+
+def test_shadowing_is_reciprocal_but_fading_is_not(streams, t_work):
+    fwd = WifiChannel((0, 0), (12, 0), streams, name="5->6")
+    rev = WifiChannel((12, 0), (0, 0), streams, name="6->5")
+    assert fwd._shadowing_db == rev._shadowing_db
+    # Instantaneous states differ (independent fading draws).
+    assert fwd.state(t_work).snr_db != rev.state(t_work).snr_db
+
+
+def test_busy_hours_increase_variability(streams):
+    clockless = WifiChannel((0, 0), (10, 0), streams, name="7->8")
+    from repro.sim.clock import MainsClock
+    busy_t = MainsClock.at(day=1, hour=11)
+    quiet_t = MainsClock.at(day=1, hour=23)
+    busy = [clockless.state(busy_t + k * 0.13).snr_db for k in range(300)]
+    quiet = [clockless.state(quiet_t + k * 0.13).snr_db for k in range(300)]
+    assert np.std(busy) > np.std(quiet)
+
+
+def test_wifi_link_sample_consistency(testbed, t_work):
+    link = testbed.wifi_link(0, 1)
+    s = link.sample(t_work)
+    assert s.mcs_index >= -1
+    assert s.phy_rate_bps >= 0
+    assert s.throughput_bps >= 0
+    assert s.throughput_mbps == s.throughput_bps / MBPS
+
+
+def test_wifi_throughput_variance_exceeds_plc(testbed, t_work):
+    """Fig. 3/4's core contrast: σ_W ≫ σ_P on short good links."""
+    wifi = testbed.wifi_link(0, 1)
+    plc = testbed.plc_link(0, 1)
+    ts = np.arange(t_work, t_work + 60, 0.1)
+    w = np.array([wifi.throughput_bps(float(t)) for t in ts])
+    p = np.array([plc.throughput_bps(float(t)) for t in ts])
+    assert w.std() > 2 * p.std()
