@@ -50,6 +50,13 @@ def main() -> None:
     print(f"\npeak concurrent flows: {peak}; "
           f"peak B1 contention domain load: {b1_peak}")
 
+    stats = runner.stats
+    print(f"quanta: {stats.quanta}; capacity-cache hit rate: "
+          f"{stats.cache.hit_rate:.0%}; starved quanta: "
+          f"{stats.starved_quanta}")
+    for domain, utilisation in sorted(stats.domain_utilisation().items()):
+        print(f"  {domain:<10} mean airtime utilisation {utilisation:.2f}")
+
 
 if __name__ == "__main__":
     main()

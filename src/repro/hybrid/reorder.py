@@ -57,20 +57,31 @@ class ReorderBuffer:
         if packet.seq != self._next_seq:
             self.stats.reordered_arrivals += 1
         self._pending[packet.seq] = packet
+        seq_before = self._next_seq
         released = self._drain(now)
+        # The hole timer measures how long the hole at ``_next_seq`` has
+        # been the head of the buffer. Whenever ``_next_seq`` advances, a
+        # *new* hole is at the head, so its clock restarts at ``now`` —
+        # leaving the old baseline (or deferring the restart to the next
+        # push, as before) lets a packet behind a second hole wait far
+        # past ``hole_timeout_s``.
+        self._reset_timer(now, advanced=self._next_seq != seq_before)
         # Hole handling: timeout or window overflow skips the gap.
         if self._pending:
-            if self._oldest_wait_since is None:
-                self._oldest_wait_since = now
             timed_out = now - self._oldest_wait_since > self.hole_timeout_s
             overflow = len(self._pending) > self.max_window
             if timed_out or overflow:
                 self._next_seq = min(self._pending)
                 self.stats.holes_flushed += 1
                 released.extend(self._drain(now))
-        else:
-            self._oldest_wait_since = None
+                self._reset_timer(now, advanced=True)
         return released
+
+    def _reset_timer(self, now: float, advanced: bool) -> None:
+        if not self._pending:
+            self._oldest_wait_since = None
+        elif advanced or self._oldest_wait_since is None:
+            self._oldest_wait_since = now
 
     def _drain(self, now: float) -> List[Packet]:
         released: List[Packet] = []
@@ -81,7 +92,6 @@ class ReorderBuffer:
             self.stats.delivered += 1
             self.stats.release_times.append(now)
             self._next_seq += 1
-            self._oldest_wait_since = None
         return released
 
     @property

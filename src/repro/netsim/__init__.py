@@ -9,6 +9,13 @@ models, which is exactly the use the paper projects for its metrics
 """
 
 from repro.netsim.scenario import FlowRequest, FlowResult, Scenario
-from repro.netsim.runner import ScenarioRunner
+from repro.netsim.runner import (
+    RunnerStats,
+    ScenarioRunner,
+    WorkConservationError,
+    results_to_campaign,
+)
 
-__all__ = ["FlowRequest", "FlowResult", "Scenario", "ScenarioRunner"]
+__all__ = ["FlowRequest", "FlowResult", "RunnerStats", "Scenario",
+           "ScenarioRunner", "WorkConservationError",
+           "results_to_campaign"]

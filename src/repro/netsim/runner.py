@@ -9,9 +9,18 @@ The runner advances in fixed quanta (default 0.5 s). In each quantum:
    long-term behaviour, without paying its per-frame cost);
 3. WiFi flows share the (single) channel the same way;
 4. hybrid flows take their share on both media (§7.4's bond);
-5. CBR flows consume at most their offered rate — leftover airtime goes
-   back to the saturated flows in a second pass (work-conserving);
+5. CBR flows consume at most their offered rate — the *airtime* they do
+   not need goes back to the saturated flows in a second pass
+   (work-conserving). Accounting is done in airtime fractions, not bits:
+   a domain's airtime sums to at most 1, so no pass can mint capacity;
 6. file flows retire once their bytes are moved.
+
+Per-quantum link-capacity lookups are memoised in a shared
+:class:`~repro.cache.WindowedLruCache` (channel drift is minutes-scale,
+so capacities are effectively constant over a few seconds) and the
+allocation passes are batched with numpy across all (flow, medium) pairs.
+:class:`RunnerStats` exposes cache hit rates, per-domain utilisation and
+the work-conservation invariant for observability.
 
 This is deliberately fluid-level: the frame-level dynamics live in
 :mod:`repro.plc.csma`; the runner answers capacity-planning questions
@@ -21,21 +30,35 @@ paper's metrics exist to serve.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.cache import CacheStats, WindowedLruCache
 from repro.netsim.scenario import FlowRequest, FlowResult, Scenario
 
 
 def results_to_campaign(results: Dict[str, "FlowResult"],
-                        name: str = "scenario"):
-    """Export scenario outcomes as a persistable measurement campaign."""
+                        name: str = "scenario",
+                        stats: Optional["RunnerStats"] = None):
+    """Export scenario outcomes as a persistable measurement campaign.
+
+    When ``stats`` (the runner's :class:`RunnerStats`) is given, a summary
+    of the run — quanta executed, cache hit rate, invariant violations —
+    is recorded in the campaign description so archived campaigns carry
+    their execution provenance.
+    """
     from repro.analysis.traces import Campaign
     from repro.core.metrics import LinkMetricRecord
 
-    campaign = Campaign(name=name, description="netsim scenario results")
+    description = "netsim scenario results"
+    if stats is not None:
+        description += (
+            f" [quanta={stats.quanta}"
+            f" cache_hit_rate={stats.cache.hit_rate:.3f}"
+            f" invariant_violations={stats.invariant_violations}]")
+    campaign = Campaign(name=name, description=description)
     for flow_name, result in sorted(results.items()):
         request = result.request
         campaign.add(LinkMetricRecord(
@@ -48,6 +71,10 @@ def results_to_campaign(results: Dict[str, "FlowResult"],
     return campaign
 
 
+class WorkConservationError(RuntimeError):
+    """A quantum allocated more airtime in a domain than the domain has."""
+
+
 @dataclass
 class QuantumLog:
     """Per-quantum utilisation snapshot (for time-series inspection)."""
@@ -57,20 +84,89 @@ class QuantumLog:
     domain_load: Dict[str, int]
 
 
-class ScenarioRunner:
-    """Execute a :class:`Scenario` against a testbed."""
+@dataclass
+class RunnerStats:
+    """Aggregate observability for one :meth:`ScenarioRunner.run` call.
 
-    def __init__(self, testbed, quantum_s: float = 0.5):
+    ``domain_airtime`` sums each domain's used airtime fraction over the
+    quanta in which it was active; divide by ``domain_quanta`` (see
+    :meth:`domain_utilisation`) for its mean utilisation. The invariant
+    fields track the work-conservation check: per domain and quantum, the
+    allocated airtime must not exceed 1 + epsilon.
+    """
+
+    quanta: int = 0
+    starved_quanta: int = 0
+    domain_airtime: Dict[str, float] = field(default_factory=dict)
+    domain_quanta: Dict[str, int] = field(default_factory=dict)
+    max_domain_airtime: float = 0.0
+    invariant_violations: int = 0
+    cache: CacheStats = field(default_factory=CacheStats)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache.hit_rate
+
+    def domain_utilisation(self) -> Dict[str, float]:
+        """Mean airtime fraction used per domain while it was active."""
+        return {d: self.domain_airtime[d] / self.domain_quanta[d]
+                for d in self.domain_airtime if self.domain_quanta.get(d)}
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict summary (for reports / JSON export)."""
+        return {
+            "quanta": self.quanta,
+            "starved_quanta": self.starved_quanta,
+            "cache_hits": self.cache.hits,
+            "cache_misses": self.cache.misses,
+            "cache_hit_rate": self.cache.hit_rate,
+            "max_domain_airtime": self.max_domain_airtime,
+            "invariant_violations": self.invariant_violations,
+            "domain_utilisation": self.domain_utilisation(),
+        }
+
+
+class ScenarioRunner:
+    """Execute a :class:`Scenario` against a testbed.
+
+    ``cache_window_s`` controls how long a link-capacity reading is
+    reused before being recomputed from the channel model; the default
+    (5 s, ten quanta) tracks the minutes-scale appliance/channel drift
+    while cutting the dominant cost of long scenarios. Set it to
+    ``quantum_s`` to recompute every quantum.
+
+    ``check_invariants=True`` raises :class:`WorkConservationError` if a
+    quantum ever allocates more than ``1 + invariant_epsilon`` of any
+    domain's airtime; the violation count is always tracked in
+    :attr:`stats` either way.
+    """
+
+    def __init__(self, testbed, quantum_s: float = 0.5,
+                 cache_window_s: float = 5.0,
+                 cache_entries: int = 50_000,
+                 check_invariants: bool = False,
+                 invariant_epsilon: float = 1e-6):
         if quantum_s <= 0:
             raise ValueError("quantum must be positive")
         self.testbed = testbed
         self.quantum_s = quantum_s
+        self.check_invariants = check_invariants
+        self.invariant_epsilon = invariant_epsilon
+        self._capacity_cache = WindowedLruCache(cache_window_s,
+                                                max_entries=cache_entries)
         self.log: List[QuantumLog] = []
+        self.stats = RunnerStats(cache=self._capacity_cache.stats)
 
     # --- per-flow capacity on one medium at time t ------------------------------
 
     def _link_capacity(self, flow: FlowRequest, medium: str,
                        t: float) -> float:
+        return self._capacity_cache.get(
+            (medium, flow.src, flow.dst), t,
+            lambda: self._compute_capacity(flow, medium, t))
+
+    def _compute_capacity(self, flow: FlowRequest, medium: str,
+                          t: float) -> float:
         if medium == "plc":
             link = self.testbed.plc_link(flow.src, flow.dst)
             if link is None:
@@ -88,15 +184,31 @@ class ScenarioRunner:
 
     def run(self, scenario: Scenario, horizon_s: Optional[float] = None
             ) -> Dict[str, FlowResult]:
-        """Run to ``horizon_s`` (default: scenario end + 60 s slack)."""
+        """Run the scenario and return per-flow results.
+
+        ``horizon_s`` is **relative**: the maximum simulated duration
+        measured from the first flow's start time. When omitted, the
+        runner stops at ``scenario.end_time() + 60.0`` — an *absolute*
+        deadline of "last scheduled flow end plus 60 s slack", which
+        bounds file flows that never complete (e.g. on a dead link)
+        without double-counting a late scenario start.
+
+        Each call resets :attr:`log` and :attr:`stats`; the capacity
+        cache persists across calls (it is keyed by absolute time).
+        """
         if not scenario.flows:
             return {}
         t0 = min(f.start_s for f in scenario.flows)
-        horizon = horizon_s if horizon_s is not None else (
-            scenario.end_time() + 60.0)
+        if horizon_s is not None:
+            deadline = t0 + horizon_s
+        else:
+            deadline = scenario.end_time() + 60.0
+        self.log = []
+        self._capacity_cache.stats.reset()
+        self.stats = RunnerStats(cache=self._capacity_cache.stats)
         results = {f.name: FlowResult(request=f) for f in scenario.flows}
         t = t0
-        while t < t0 + horizon:
+        while t < deadline:
             active = [f for f in scenario.flows
                       if f.start_s <= t and not self._done(results[f.name],
                                                            f, t)]
@@ -136,43 +248,19 @@ class ScenarioRunner:
     def _media(flow: FlowRequest) -> Tuple[str, ...]:
         return ("plc", "wifi") if flow.medium == "hybrid" else (flow.medium,)
 
+    # --- one quantum --------------------------------------------------------------
+
     def _step(self, active: List[FlowRequest],
               results: Dict[str, FlowResult], t: float) -> None:
-        # Pass 1: equal airtime shares per domain.
-        census = self._domain_census(active)
-        allocation: Dict[str, float] = {f.name: 0.0 for f in active}
-        spare: Dict[str, float] = {}
-        for flow in active:
-            for medium in self._media(flow):
-                domain = self._domain(flow, medium)
-                n = census[domain]
-                share = self._link_capacity(flow, medium, t) / n
-                allocation[flow.name] += share
-        # Pass 2: CBR flows cap at their offered rate; spare airtime is
-        # redistributed to saturated/file flows in the same domains.
-        for flow in active:
-            if flow.kind == "cbr" and flow.rate_bps is not None:
-                granted = allocation[flow.name]
-                if granted > flow.rate_bps:
-                    excess = granted - flow.rate_bps
-                    allocation[flow.name] = flow.rate_bps
-                    for medium in self._media(flow):
-                        domain = self._domain(flow, medium)
-                        spare[domain] = spare.get(domain, 0.0) + excess
-        greedy = [f for f in active if f.kind != "cbr"]
-        for flow in greedy:
-            for medium in self._media(flow):
-                domain = self._domain(flow, medium)
-                if spare.get(domain, 0.0) > 0:
-                    bonus = spare[domain] / sum(
-                        1 for g in greedy
-                        if domain in (self._domain(g, m)
-                                      for m in self._media(g)))
-                    allocation[flow.name] += bonus
+        airtime, rates, fidx, didx, caps, domain_names = (
+            self._allocate(active, t))
+        n_flows = len(active)
+        totals = np.bincount(fidx, weights=rates, minlength=n_flows)
+        self._account(active, airtime, didx, domain_names, t)
         # Book the quantum.
-        for flow in active:
+        for i, flow in enumerate(active):
             result = results[flow.name]
-            rate = allocation[flow.name]
+            rate = float(totals[i])
             moved = rate * self.quantum_s / 8.0
             if flow.kind == "file" and flow.size_bytes is not None:
                 remaining = flow.size_bytes - result.delivered_bytes
@@ -186,3 +274,85 @@ class ScenarioRunner:
             result.active_time_s += self.quantum_s
             if rate <= 0:
                 result.starved_quanta += 1
+                self.stats.starved_quanta += 1
+
+    def _allocate(self, active: List[FlowRequest], t: float):
+        """Two-pass airtime allocation over all (flow, medium) pairs.
+
+        Returns per-pair arrays: airtime fractions, rates (bps), flow
+        indices, domain indices, capacities, plus the domain name list.
+        """
+        pair_flow: List[int] = []
+        pair_domain: List[int] = []
+        caps_list: List[float] = []
+        domain_ids: Dict[str, int] = {}
+        for i, flow in enumerate(active):
+            for medium in self._media(flow):
+                pair_flow.append(i)
+                domain = self._domain(flow, medium)
+                pair_domain.append(
+                    domain_ids.setdefault(domain, len(domain_ids)))
+                caps_list.append(self._link_capacity(flow, medium, t))
+        fidx = np.asarray(pair_flow, dtype=np.intp)
+        didx = np.asarray(pair_domain, dtype=np.intp)
+        caps = np.asarray(caps_list, dtype=float)
+        n_domains = len(domain_ids)
+        # Pass 1: equal airtime shares per domain.
+        members = np.bincount(didx, minlength=n_domains)
+        airtime = 1.0 / members[didx]
+        rates = caps * airtime
+        # Pass 2: CBR flows cap at their offered rate. A capped flow keeps
+        # only the airtime fraction it needs on *each* of its media and
+        # returns the rest to that medium's domain — returning airtime
+        # (not bits) and splitting per medium keeps every domain's total
+        # at 1, where the old code credited a hybrid flow's full excess
+        # to both domains at once.
+        totals = np.bincount(fidx, weights=rates, minlength=len(active))
+        spare = np.zeros(n_domains)
+        for i, flow in enumerate(active):
+            if (flow.kind != "cbr" or flow.rate_bps is None
+                    or totals[i] <= flow.rate_bps):
+                continue
+            mask = fidx == i
+            keep = flow.rate_bps / totals[i]
+            np.add.at(spare, didx[mask], airtime[mask] * (1.0 - keep))
+            airtime[mask] *= keep
+            rates[mask] *= keep
+        if spare.any():
+            greedy_pair = np.array(
+                [active[i].kind != "cbr" for i in pair_flow], dtype=bool)
+            greedy_members = np.bincount(didx[greedy_pair],
+                                         minlength=n_domains)
+            bonus = np.divide(spare, greedy_members,
+                              out=np.zeros(n_domains),
+                              where=greedy_members > 0)
+            extra = bonus[didx] * greedy_pair
+            airtime = airtime + extra
+            rates = rates + extra * caps
+        domain_names = [None] * n_domains
+        for name, k in domain_ids.items():
+            domain_names[k] = name
+        return airtime, rates, fidx, didx, caps, domain_names
+
+    def _account(self, active: List[FlowRequest], airtime: np.ndarray,
+                 didx: np.ndarray, domain_names: List[str],
+                 t: float) -> None:
+        """Record per-domain utilisation and check work conservation."""
+        stats = self.stats
+        stats.quanta += 1
+        used = np.bincount(didx, weights=airtime,
+                           minlength=len(domain_names))
+        for k, name in enumerate(domain_names):
+            stats.domain_airtime[name] = (
+                stats.domain_airtime.get(name, 0.0) + float(used[k]))
+            stats.domain_quanta[name] = (
+                stats.domain_quanta.get(name, 0) + 1)
+        peak = float(used.max()) if len(used) else 0.0
+        stats.max_domain_airtime = max(stats.max_domain_airtime, peak)
+        if peak > 1.0 + self.invariant_epsilon:
+            stats.invariant_violations += 1
+            if self.check_invariants:
+                worst = domain_names[int(np.argmax(used))]
+                raise WorkConservationError(
+                    f"domain {worst} allocated {peak:.6f} airtime at "
+                    f"t={t:.3f} (> 1 + {self.invariant_epsilon})")

@@ -22,10 +22,18 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.cache import WindowedLruCache
 from repro.plc import mac
 from repro.plc.channel_estimation import ChannelEstimator
 from repro.plc.link import PlcLink
 from repro.sim.random import RandomStreams
+
+#: Cap on per-flow transmit timestamps kept for offline analysis. Beyond
+#: this (~1.6 MB of floats per flow) the list stops growing and
+#: ``transmit_times_dropped`` counts the overflow; the streaming
+#: :attr:`FlowStats.short_term_jitter` accumulator keeps covering every
+#: frame regardless, so Fig. 24-length runs never hold every timestamp.
+MAX_TRACKED_TRANSMIT_TIMES = 200_000
 
 
 @dataclass
@@ -60,13 +68,47 @@ class FlowSpec:
 
 @dataclass
 class FlowStats:
-    """Accumulated per-flow results."""
+    """Accumulated per-flow results.
+
+    ``transmit_times`` is bounded at :data:`MAX_TRACKED_TRANSMIT_TIMES`
+    entries; inter-transmission jitter is additionally accumulated in
+    streaming (Welford) form so :attr:`short_term_jitter` stays exact for
+    arbitrarily long runs.
+    """
 
     frames_sent: int = 0
     collisions: int = 0
     pbs_delivered: int = 0
     payload_bits_delivered: float = 0.0
     transmit_times: List[float] = field(default_factory=list)
+    transmit_times_dropped: int = 0
+    _last_transmit: Optional[float] = field(default=None, repr=False)
+    _gap_count: int = field(default=0, repr=False)
+    _gap_mean: float = field(default=0.0, repr=False)
+    _gap_m2: float = field(default=0.0, repr=False)
+
+    def record_transmit(self, now: float) -> None:
+        """Book one frame transmission at ``now``."""
+        if self._last_transmit is not None:
+            gap = now - self._last_transmit
+            self._gap_count += 1
+            delta = gap - self._gap_mean
+            self._gap_mean += delta / self._gap_count
+            self._gap_m2 += delta * (gap - self._gap_mean)
+        self._last_transmit = now
+        if len(self.transmit_times) < MAX_TRACKED_TRANSMIT_TIMES:
+            self.transmit_times.append(now)
+        else:
+            self.transmit_times_dropped += 1
+
+    @property
+    def short_term_jitter(self) -> float:
+        """Std of inter-transmission gaps (s), computed streaming —
+        identical to ``short_term_jitter(transmit_times)`` while the
+        timestamp list is complete, and still exact once it is capped."""
+        if self._gap_count < 2:
+            return 0.0
+        return float(np.sqrt(self._gap_m2 / self._gap_count))
 
     def throughput_bps(self, duration: float) -> float:
         return self.payload_bits_delivered / duration if duration > 0 else 0.0
@@ -108,19 +150,17 @@ class CsmaSimulator:
             st.redraw(self.config, self._rng, new_stage=0)
         self.stats: Dict[str, FlowStats] = {f.name: FlowStats() for f in flows}
         # Link metrics are effectively constant within a 100 ms window;
-        # caching them keeps frame-level runs tractable.
-        self._metric_cache: Dict[Tuple[str, int], Tuple[float, float]] = {}
+        # caching them keeps frame-level runs tractable. LRU eviction
+        # (shared cache module) keeps the hot window resident instead of
+        # clearing everything when the bound is hit.
+        self._metric_cache = WindowedLruCache(window_s=0.1,
+                                              max_entries=50_000)
 
     def _link_metrics(self, flow: FlowSpec, t: float) -> Tuple[float, float]:
         """(avg BLE, PBerr) of a flow's link, cached per 100 ms window."""
-        key = (flow.name, int(t * 10))
-        cached = self._metric_cache.get(key)
-        if cached is None:
-            if len(self._metric_cache) > 50_000:
-                self._metric_cache.clear()
-            cached = (flow.link.avg_ble_bps(t), flow.link.pb_err(t))
-            self._metric_cache[key] = cached
-        return cached
+        return self._metric_cache.get(
+            flow.name, t,
+            lambda: (flow.link.avg_ble_bps(t), flow.link.pb_err(t)))
 
     # --- traffic ------------------------------------------------------------------
 
@@ -223,7 +263,7 @@ class CsmaSimulator:
             for st in winners:
                 stats = self.stats[st.flow.name]
                 stats.frames_sent += 1
-                stats.transmit_times.append(now)
+                stats.record_transmit(now)
                 n_pbs = frame_pbs[id(st)]
                 if not collision:
                     pb_err = self._link_metrics(st.flow, now)[1]

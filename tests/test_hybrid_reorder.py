@@ -59,6 +59,44 @@ def test_jitter_statistic():
     assert buf.stats.delivered == 10
 
 
+def test_hole_timer_restarts_when_next_seq_advances():
+    """Regression: after one flush, the *next* hole's timer stayed unset
+    until the following push, so a packet behind a second hole waited
+    ~2-3x ``hole_timeout_s`` — inflating the Fig. 20 jitter statistics.
+    The timer must restart whenever ``_next_seq`` advances."""
+    buf = ReorderBuffer(hole_timeout_s=0.05)
+    buf.push(_p(1), now=0.00)
+    buf.push(_p(3), now=0.01)                 # holes at 0 and 2
+    released = buf.push(_p(5), now=0.06)      # hole 0 times out
+    assert [p.seq for p in released] == [1]
+    assert buf.stats.holes_flushed == 1
+    # The hole at 2 became head-of-buffer at the flush (t=0.06); by 0.13
+    # it has waited 0.07 > hole_timeout_s and must flush, releasing 3.
+    released = buf.push(_p(6), now=0.13)
+    assert [p.seq for p in released] == [3]
+    assert buf.stats.holes_flushed == 2
+    # Bounded added delay (Fig. 20's jitter guarantee): packet 3 leaves at
+    # the first push after flush-time + timeout, not several pushes later.
+    assert released[0].delivered_at == pytest.approx(0.13)
+    assert buf.stats.delivered == 2
+
+
+def test_hole_timer_restarts_after_partial_catch_up():
+    """Draining part of the buffer starts the clock of the newly exposed
+    hole at the drain time, not at the old hole's baseline."""
+    buf = ReorderBuffer(hole_timeout_s=0.05)
+    buf.push(_p(1), now=0.00)
+    buf.push(_p(3), now=0.01)
+    released = buf.push(_p(0), now=0.04)      # fills hole 0 → release 0,1
+    assert [p.seq for p in released] == [0, 1]
+    # Hole at 2 became head at t=0.04; 0.08 is only 0.04 later → no flush.
+    assert buf.push(_p(4), now=0.08) == []
+    assert buf.stats.holes_flushed == 0
+    released = buf.push(_p(5), now=0.10)      # 0.06 elapsed → flush
+    assert [p.seq for p in released] == [3, 4, 5]
+    assert buf.stats.holes_flushed == 1
+
+
 def test_constructor_validation():
     with pytest.raises(ValueError):
         ReorderBuffer(hole_timeout_s=0.0)

@@ -123,6 +123,73 @@ def test_results_export_to_campaign(testbed, t_work, tmp_path):
     assert len(load_campaign(path)) == 2
 
 
+def test_late_start_scenario_stops_at_end_plus_slack(testbed):
+    """Regression: the default horizon used to be double-offset — an
+    absolute deadline (``end_time() + 60``) treated as relative to the
+    first start, so a scenario starting at t0 ran until
+    ``t0 + end_time() + 60`` whenever t0 > 0."""
+    t0 = 300.0
+    scenario = (Scenario("late")
+                .add(FlowRequest("sat", 0, 1, t0, duration_s=10.0))
+                .add(FlowRequest("big", 2, 3, t0, kind="file",
+                                 size_bytes=1e13)))   # never completes
+    runner = ScenarioRunner(testbed)
+    runner.run(scenario)
+    last = runner.log[-1].time
+    assert last < scenario.end_time() + 60.0
+    assert last >= scenario.end_time() + 60.0 - 2 * runner.quantum_s
+
+
+def test_hybrid_cbr_excess_is_not_minted_into_both_domains(testbed, t_work):
+    """Regression: a hybrid CBR flow's excess was credited *in full* to
+    both its PLC and WiFi domains, letting a saturated neighbour exceed
+    its own link capacity. Excess must be returned as per-medium airtime."""
+    scenario = (Scenario("mint")
+                .add(FlowRequest("cbr", 0, 1, t_work, kind="cbr",
+                                 medium="hybrid", rate_bps=0.5 * MBPS,
+                                 duration_s=10.0))
+                .add(FlowRequest("sat_plc", 2, 3, t_work, duration_s=10.0))
+                .add(FlowRequest("sat_wifi", 4, 5, t_work, medium="wifi",
+                                 duration_s=10.0)))
+    runner = ScenarioRunner(testbed, check_invariants=True)
+    results = runner.run(scenario)
+    plc_cap = testbed.plc_link(2, 3).throughput_bps(t_work, measured=False)
+    wifi_cap = testbed.wifi_link(4, 5).throughput_bps(t_work,
+                                                      measured=False)
+    # No flow may beat its own link capacity (20% slack for channel drift).
+    assert results["sat_plc"].mean_rate_bps <= 1.2 * plc_cap
+    assert results["sat_wifi"].mean_rate_bps <= 1.2 * wifi_cap
+    assert runner.stats.invariant_violations == 0
+    assert runner.stats.max_domain_airtime <= 1.0 + 1e-6
+
+
+def test_runner_stats_report_cache_hits_and_utilisation(testbed, t_work):
+    scenario = Scenario("obs").add(FlowRequest(
+        "solo", 0, 1, t_work, duration_s=20.0))
+    runner = ScenarioRunner(testbed)
+    runner.run(scenario)
+    stats = runner.stats
+    assert stats.quanta == 40
+    assert stats.cache.hit_rate > 0.5          # 5 s window, 0.5 s quantum
+    assert stats.cache.misses > 0
+    util = stats.domain_utilisation()
+    assert util["plc:B1"] == pytest.approx(1.0)
+    assert stats.to_dict()["quanta"] == 40
+
+
+def test_campaign_export_records_runner_stats(testbed, t_work):
+    from repro.netsim.runner import results_to_campaign
+
+    scenario = Scenario("prov").add(FlowRequest(
+        "solo", 0, 1, t_work, duration_s=5.0))
+    runner = ScenarioRunner(testbed)
+    results = runner.run(scenario)
+    campaign = results_to_campaign(results, name="prov",
+                                   stats=runner.stats)
+    assert "cache_hit_rate=" in campaign.description
+    assert "quanta=10" in campaign.description
+
+
 def test_many_flows_share_one_domain(testbed, t_work):
     """Five saturated flows on B1: each gets ~a fifth of its solo rate."""
     scenario = Scenario("five")

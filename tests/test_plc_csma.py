@@ -111,6 +111,48 @@ def test_bursts_protect_the_estimator(testbed, t_work):
     assert after == pytest.approx(before, rel=0.05)
 
 
+def test_metric_cache_eviction_preserves_current_window(testbed, t_work):
+    """Regression: the old cache hit its size bound and cleared
+    *everything*, including the hot 100 ms window the very next frame
+    re-reads. LRU eviction must keep the in-use window resident."""
+    link = testbed.networks["B1"].link("0", "1")
+    flow = FlowSpec("solo", link)
+    sim = CsmaSimulator([flow], RandomStreams(seed=5), name="evict")
+    sim._metric_cache.max_entries = 4
+    hot = sim._link_metrics(flow, t_work)
+    for k in range(12):   # 12 cold windows through a 4-entry cache
+        sim._link_metrics(flow, t_work + 1.0 + 0.1 * k)
+        assert sim._link_metrics(flow, t_work) == hot
+    assert sim._metric_cache.stats.evictions > 0
+    hits_before = sim._metric_cache.stats.hits
+    assert sim._link_metrics(flow, t_work) == hot
+    assert sim._metric_cache.stats.hits == hits_before + 1
+
+
+def test_streaming_jitter_matches_list_statistic(testbed, streams, t_work):
+    """The Welford accumulator must agree with the list-based formula
+    while ``transmit_times`` is complete."""
+    sim = CsmaSimulator(_two_saturated_flows(testbed), streams, name="jit")
+    stats = sim.run(t_work, 3.0)
+    for flow_stats in stats.values():
+        assert flow_stats.frames_sent > 2
+        assert flow_stats.short_term_jitter == pytest.approx(
+            short_term_jitter(flow_stats.transmit_times), rel=1e-9)
+
+
+def test_transmit_times_growth_is_bounded(monkeypatch):
+    from repro.plc import csma as csma_mod
+
+    monkeypatch.setattr(csma_mod, "MAX_TRACKED_TRANSMIT_TIMES", 5)
+    stats = csma_mod.FlowStats()
+    for k in range(12):
+        stats.record_transmit(0.5 * k)
+    assert len(stats.transmit_times) == 5
+    assert stats.transmit_times_dropped == 7
+    # The streaming jitter still covers every frame: constant gaps → 0.
+    assert stats.short_term_jitter == pytest.approx(0.0, abs=1e-12)
+
+
 def test_jain_fairness_bounds():
     assert jain_fairness([1.0, 1.0, 1.0]) == pytest.approx(1.0)
     assert jain_fairness([1.0, 0.0]) == pytest.approx(0.5)
