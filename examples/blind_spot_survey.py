@@ -1,39 +1,44 @@
 #!/usr/bin/env python3
 """Coverage survey: where does PLC rescue WiFi blind spots? (§4.1)
 
-Sweeps every station pair, measures short saturated tests on both media and
-prints the coverage census the paper reports: pairs served by both, by PLC
-only (WiFi blind spots), by WiFi only, or by neither.
+Sweeps every same-board station pair through the campaign engine, measuring
+short saturated tests on both media, and prints the coverage census the
+paper reports: pairs served by both, by PLC only (WiFi blind spots), by
+WiFi only, or by neither. The survey itself runs as a resumable campaign —
+rerunning against the same artifact file would skip completed pairs.
 
 Run:  python examples/blind_spot_survey.py
 """
 
-import numpy as np
+import tempfile
+from pathlib import Path
 
-from repro.testbed import build_testbed
-from repro.testbed.experiments import working_hours_start
-from repro.units import MBPS
-
-
-def mean_throughput(link, t, samples=10, step=0.5):
-    return float(np.mean([link.throughput_bps(t + k * step)
-                          for k in range(samples)]))
+from repro.campaign import read_artifacts, survey_campaign
+from repro.testbed import build_preset_testbed
 
 
 def main() -> None:
-    testbed = build_testbed(seed=7)
-    t = working_hours_start()
+    testbed = build_preset_testbed("office", seed=7)
+    pairs = testbed.same_board_pairs()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        out = Path(tmp) / "blind_spots.jsonl"
+        stats = survey_campaign("office", [7], out, pairs=pairs,
+                                workers=0, duration_s=2.0, interval_s=0.5)
+        _, tasks = read_artifacts(out)
+
+    print(f"surveyed {stats.completed} same-board directed pairs in "
+          f"{stats.wall_seconds:.1f} s")
 
     census = {"both": [], "plc-only": [], "wifi-only": [], "neither": []}
-    for i, j in testbed.same_board_pairs():
-        plc = mean_throughput(testbed.plc_link(i, j), t) / MBPS
-        wifi = mean_throughput(testbed.wifi_link(i, j), t) / MBPS
-        plc_ok, wifi_ok = plc > 1.0, wifi > 1.0
+    for task in tasks:
+        row = task.records[0]
+        plc_ok = row["plc_mean_mbps"] > 1.0
+        wifi_ok = row["wifi_mean_mbps"] > 1.0
         key = ("both" if plc_ok and wifi_ok else
                "plc-only" if plc_ok else
                "wifi-only" if wifi_ok else "neither")
-        census[key].append((i, j, plc, wifi,
-                            testbed.air_distance(i, j)))
+        census[key].append(row)
 
     total = sum(len(v) for v in census.values())
     print(f"{total} same-board directed pairs:")
@@ -41,10 +46,13 @@ def main() -> None:
         print(f"  {key:<10} {len(rows):4d}  ({100 * len(rows) / total:.0f}%)")
 
     print("\nWiFi blind spots rescued by PLC (air distance, PLC rate):")
-    for i, j, plc, wifi, dist in sorted(census["plc-only"],
-                                        key=lambda r: -r[4])[:10]:
-        print(f"  {i:>2} -> {j:<2}  {dist:4.0f} m   {plc:5.1f} Mbps "
-              f"(WiFi: {wifi:.1f})")
+    rescued = sorted(census["plc-only"],
+                     key=lambda r: -r["air_distance_m"])[:10]
+    for row in rescued:
+        print(f"  {row['src']:>2} -> {row['dst']:<2}  "
+              f"{row['air_distance_m']:4.0f} m   "
+              f"{row['plc_mean_mbps']:5.1f} Mbps "
+              f"(WiFi: {row['wifi_mean_mbps']:.1f})")
 
 
 if __name__ == "__main__":

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence],
@@ -42,3 +43,60 @@ def format_series(name: str, xs: Sequence[float], ys: Sequence[float],
     stride = max(1, n // max_points)
     rows = [(xs[k], ys[k]) for k in range(0, n, stride)]
     return format_table([x_label, y_label], rows, title=name)
+
+
+def summarize_artifacts(path: Union[str, Path],
+                        top: int = 15) -> Tuple[str, Dict[str, int]]:
+    """Summarise a campaign-artifact JSONL file for ``repro report``.
+
+    Returns the formatted text plus a per-kind task census. Survey tasks
+    get a per-link throughput table; other kinds are counted.
+    """
+    from repro.campaign.artifacts import read_artifacts
+
+    header, tasks = read_artifacts(path)
+    census: Dict[str, int] = {}
+    for task in tasks:
+        kind = task.spec.get("kind", "?")
+        census[kind] = census.get(kind, 0) + 1
+    lines = [f"campaign {header.get('name')!r}: {len(tasks)} tasks "
+             f"(root seed {header.get('root_seed')})"]
+    lines.append(format_table(
+        ["task kind", "tasks"], sorted(census.items()),
+        title="task census"))
+
+    survey_rows = []
+    for task in tasks:
+        if task.spec.get("kind") != "survey_pair":
+            continue
+        for rec in task.records:
+            survey_rows.append([
+                f"{rec['src']}->{rec['dst']}",
+                task.spec.get("seed"),
+                rec["cable_distance_m"],
+                rec["plc_mean_mbps"], rec["wifi_mean_mbps"]])
+    if survey_rows:
+        survey_rows.sort(key=lambda r: -r[3])
+        lines.append("")
+        lines.append(format_table(
+            ["link", "seed", "cable (m)", "PLC (Mbps)", "WiFi (Mbps)"],
+            survey_rows[:top],
+            title=f"survey results — top {min(top, len(survey_rows))} "
+                  f"of {len(survey_rows)}"))
+
+    flow_rows = []
+    for task in tasks:
+        if task.spec.get("kind") != "scenario":
+            continue
+        for rec in task.records:
+            flow_rows.append([
+                task.spec["params"].get("scenario", "?"),
+                task.spec.get("seed"), rec["flow"], rec["kind"],
+                rec["mean_rate_bps"] / 1e6,
+                "done" if rec["finished"] else "running"])
+    if flow_rows:
+        lines.append("")
+        lines.append(format_table(
+            ["scenario", "seed", "flow", "kind", "rate (Mbps)", "state"],
+            flow_rows[:top], title="scenario flows"))
+    return "\n".join(lines), census

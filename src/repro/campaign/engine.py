@@ -1,0 +1,334 @@
+"""The parallel campaign engine.
+
+Fans a list of :class:`ExperimentSpec` out across a process pool and
+collects artifacts, with:
+
+* **deterministic seeding** — every task's world is a pure function of its
+  spec (`seed` + :meth:`ExperimentSpec.task_seed`), so artifacts are
+  bit-identical at any worker count (``workers=0`` runs inline in this
+  process, any other count uses a pool);
+* **per-task timeout and retry** — failed or timed-out attempts are
+  resubmitted with exponential backoff, up to ``retries`` times;
+* **a circuit breaker** — more than ``max_failures`` permanently failed
+  tasks abort the campaign (completed artifacts survive for resume);
+* **resume** — specs whose task keys already sit in the artifact file are
+  skipped, so an interrupted campaign continues where it stopped.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.campaign.artifacts import ArtifactWriter, TaskArtifact
+from repro.campaign.spec import (
+    ExperimentSpec,
+    check_specs,
+    scenario_specs,
+    survey_specs,
+)
+from repro.campaign.stats import CampaignStats, TaskFailure
+from repro.campaign.tasks import execute_spec
+
+ProgressFn = Callable[[str, str, CampaignStats], None]
+
+
+class CampaignAborted(RuntimeError):
+    """The circuit breaker opened: too many tasks failed permanently."""
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tunables of one campaign run."""
+
+    #: 0 = inline (no pool, timeouts not enforced); N >= 1 = process pool.
+    workers: int = 1
+    #: Wall-clock budget per attempt; ``None`` disables the check.
+    timeout_s: Optional[float] = None
+    #: Re-submissions allowed per task after its first attempt.
+    retries: int = 2
+    #: Backoff before retry k is ``min(cap, base * 2**k)`` seconds.
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    #: Permanently failed tasks tolerated before aborting the campaign.
+    max_failures: int = 0
+    resume: bool = True
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout must be positive")
+
+
+def _run_task_payload(spec_dict: Dict[str, object],
+                      attempt: int) -> Dict[str, object]:
+    """Worker-side entry point (module-level: it must pickle by name)."""
+    t0 = time.perf_counter()
+    spec = ExperimentSpec.from_dict(spec_dict)
+    out = execute_spec(spec, attempt)
+    return {"task_key": spec.task_key(), "spec": spec.to_dict(),
+            "task_seed": spec.task_seed(), "records": out.records,
+            "stats": out.stats,
+            "elapsed_s": time.perf_counter() - t0}
+
+
+class CampaignEngine:
+    """Run a spec list to a finalized artifact file."""
+
+    def __init__(self, specs: Sequence[ExperimentSpec],
+                 out_path: Union[str, Path], name: str = "campaign",
+                 config: EngineConfig = EngineConfig(),
+                 progress: Optional[ProgressFn] = None):
+        check_specs(specs)
+        self.specs = list(specs)
+        self.out_path = Path(out_path)
+        self.name = name
+        self.config = config
+        self.progress = progress or (lambda event, detail, stats: None)
+        seeds = {s.seed for s in self.specs}
+        self._root_seed = seeds.pop() if len(seeds) == 1 else None
+
+    # --- public API -----------------------------------------------------------
+
+    def run(self) -> CampaignStats:
+        """Execute all pending specs; returns the run's statistics.
+
+        Raises :class:`CampaignAborted` when the circuit breaker opens;
+        artifacts completed before the abort remain on disk and a rerun
+        resumes from them.
+        """
+        start = time.perf_counter()
+        cfg = self.config
+        stats = CampaignStats(total_specs=len(self.specs),
+                              workers=max(1, cfg.workers))
+        writer = ArtifactWriter(self.out_path, name=self.name,
+                                root_seed=self._root_seed,
+                                resume=cfg.resume)
+        try:
+            done_keys = writer.completed_keys()
+            pending = [s for s in self.specs
+                       if s.task_key() not in done_keys]
+            stats.resumed = len(self.specs) - len(pending)
+            if stats.resumed:
+                self.progress("resumed", f"{stats.resumed} tasks", stats)
+            if cfg.workers == 0:
+                self._run_inline(pending, writer, stats)
+            else:
+                self._run_pool(pending, writer, stats)
+            writer.finalize()
+        finally:
+            writer.close()
+            stats.wall_seconds = time.perf_counter() - start
+        return stats
+
+    # --- shared bookkeeping ---------------------------------------------------
+
+    def _record_success(self, payload: Dict[str, object],
+                        writer: ArtifactWriter,
+                        stats: CampaignStats) -> None:
+        stats.task_seconds += float(payload.pop("elapsed_s", 0.0))
+        artifact = TaskArtifact(
+            task_key=payload["task_key"], spec=payload["spec"],
+            task_seed=payload["task_seed"],
+            records=payload["records"], stats=payload["stats"])
+        writer.write(artifact)
+        stats.completed += 1
+        stats.merge_task_stats(artifact.stats)
+        self.progress("done", artifact.task_key, stats)
+
+    def _record_permanent_failure(self, spec: ExperimentSpec,
+                                  attempts: int, error: str,
+                                  stats: CampaignStats) -> None:
+        stats.failed += 1
+        stats.failures.append(TaskFailure(
+            task_key=spec.task_key(), attempts=attempts, error=error))
+        self.progress("fail", spec.task_key(), stats)
+        if stats.failed > self.config.max_failures:
+            raise CampaignAborted(
+                f"{stats.failed} tasks failed permanently "
+                f"(max_failures={self.config.max_failures}); "
+                f"last: {spec.task_key()}: {error}")
+
+    def _backoff_s(self, attempt: int) -> float:
+        return min(self.config.backoff_cap_s,
+                   self.config.backoff_base_s * (2.0 ** attempt))
+
+    # --- inline execution (workers=0) ----------------------------------------
+
+    def _run_inline(self, pending: Sequence[ExperimentSpec],
+                    writer: ArtifactWriter, stats: CampaignStats) -> None:
+        for spec in pending:
+            attempt = 0
+            while True:
+                try:
+                    payload = _run_task_payload(spec.to_dict(), attempt)
+                except Exception as exc:  # noqa: BLE001 — task sandbox
+                    if attempt < self.config.retries:
+                        stats.retries += 1
+                        self.progress("retry", spec.task_key(), stats)
+                        time.sleep(self._backoff_s(attempt))
+                        attempt += 1
+                        continue
+                    self._record_permanent_failure(
+                        spec, attempt + 1, repr(exc), stats)
+                    break
+                self._record_success(payload, writer, stats)
+                break
+
+    # --- pooled execution -----------------------------------------------------
+
+    def _run_pool(self, pending: Sequence[ExperimentSpec],
+                  writer: ArtifactWriter, stats: CampaignStats) -> None:
+        cfg = self.config
+        queue = deque((spec, 0) for spec in pending)
+        #: (ready_time, tiebreak, spec, attempt) — retries waiting out
+        #: their backoff.
+        retry_heap: List[Tuple[float, int, ExperimentSpec, int]] = []
+        tiebreak = itertools.count()
+        in_flight: Dict[object, Tuple[ExperimentSpec, int, float]] = {}
+        abandoned = 0
+        pool = ProcessPoolExecutor(max_workers=cfg.workers)
+        try:
+            while queue or retry_heap or in_flight:
+                now = time.perf_counter()
+                while retry_heap and retry_heap[0][0] <= now:
+                    _, _, spec, attempt = heapq.heappop(retry_heap)
+                    queue.appendleft((spec, attempt))
+                # Keep at most ``workers`` tasks in flight so a
+                # submitted task starts ~immediately and its timeout
+                # clock measures compute, not queueing.
+                while queue and len(in_flight) < cfg.workers:
+                    spec, attempt = queue.popleft()
+                    future = pool.submit(_run_task_payload,
+                                         spec.to_dict(), attempt)
+                    in_flight[future] = (spec, attempt, now)
+                wait_s = self._wait_budget(retry_heap, in_flight, now)
+                if not in_flight:
+                    time.sleep(wait_s)
+                    continue
+                done, _ = wait(set(in_flight), timeout=wait_s,
+                               return_when=FIRST_COMPLETED)
+                for future in done:
+                    spec, attempt, _ = in_flight.pop(future)
+                    error = future.exception()
+                    if error is None:
+                        self._record_success(future.result(),
+                                             writer, stats)
+                    else:
+                        self._handle_failure(spec, attempt,
+                                             repr(error), retry_heap,
+                                             tiebreak, stats)
+                abandoned += self._expire_timeouts(
+                    in_flight, retry_heap, tiebreak, stats)
+        except BaseException:
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        # Timed-out attempts may still be running in the pool; don't
+        # block campaign completion on them (the interpreter reaps the
+        # stragglers at exit).
+        pool.shutdown(wait=(abandoned == 0),
+                      cancel_futures=(abandoned > 0))
+
+    def _handle_failure(self, spec: ExperimentSpec, attempt: int,
+                        error: str, retry_heap, tiebreak,
+                        stats: CampaignStats) -> None:
+        if attempt < self.config.retries:
+            stats.retries += 1
+            self.progress("retry", spec.task_key(), stats)
+            ready = time.perf_counter() + self._backoff_s(attempt)
+            heapq.heappush(retry_heap,
+                           (ready, next(tiebreak), spec, attempt + 1))
+        else:
+            self._record_permanent_failure(spec, attempt + 1, error,
+                                           stats)
+
+    def _expire_timeouts(self, in_flight, retry_heap, tiebreak,
+                         stats: CampaignStats) -> int:
+        if self.config.timeout_s is None:
+            return 0
+        now = time.perf_counter()
+        expired = [f for f, (_, _, submitted) in in_flight.items()
+                   if now - submitted > self.config.timeout_s]
+        for future in expired:
+            spec, attempt, _ = in_flight.pop(future)
+            future.cancel()  # a no-op if already running — we abandon it
+            stats.timeouts += 1
+            self.progress("timeout", spec.task_key(), stats)
+            self._handle_failure(
+                spec, attempt,
+                f"TimeoutError(attempt exceeded "
+                f"{self.config.timeout_s:g}s)", retry_heap, tiebreak,
+                stats)
+        return len(expired)
+
+    def _wait_budget(self, retry_heap, in_flight, now: float) -> float:
+        """How long the completion wait may block before bookkeeping."""
+        budget = 0.25
+        if retry_heap:
+            budget = min(budget, max(0.0, retry_heap[0][0] - now))
+        if self.config.timeout_s is not None and in_flight:
+            next_deadline = min(
+                submitted + self.config.timeout_s
+                for _, _, submitted in in_flight.values())
+            budget = min(budget, max(0.0, next_deadline - now))
+        return max(budget, 0.01)
+
+
+# --- convenience front doors --------------------------------------------------
+
+
+def run_campaign(specs: Sequence[ExperimentSpec],
+                 out_path: Union[str, Path], name: str = "campaign",
+                 workers: int = 1, progress: Optional[ProgressFn] = None,
+                 **config_kwargs) -> CampaignStats:
+    """One-call engine: build the config, run, return stats."""
+    config = EngineConfig(workers=workers, **config_kwargs)
+    return CampaignEngine(specs, out_path, name=name, config=config,
+                          progress=progress).run()
+
+
+def survey_campaign(preset: str, seeds: Iterable[int],
+                    out_path: Union[str, Path],
+                    pairs: Optional[Sequence[Tuple[int, int]]] = None,
+                    workers: int = 1, day: int = 2, hour: float = 14.0,
+                    duration_s: float = 30.0, interval_s: float = 1.0,
+                    progress: Optional[ProgressFn] = None,
+                    **config_kwargs) -> CampaignStats:
+    """Fan the §4.1 dual-medium survey out across worker processes.
+
+    ``pairs=None`` surveys every directed same-board pair of the preset.
+    """
+    seeds = list(seeds)
+    if pairs is None:
+        from repro.testbed.builder import build_preset_testbed
+        world = build_preset_testbed(preset, seed=seeds[0] if seeds else 7)
+        pairs = world.same_board_pairs()
+    specs = survey_specs(preset, seeds, pairs, day=day, hour=hour,
+                         duration_s=duration_s, interval_s=interval_s)
+    return run_campaign(specs, out_path, name=f"survey-{preset}",
+                        workers=workers, progress=progress,
+                        **config_kwargs)
+
+
+def scenario_campaign(preset: str, seeds: Iterable[int],
+                      scenarios: Iterable[str],
+                      out_path: Union[str, Path], workers: int = 1,
+                      day: int = 2, hour: float = 14.0,
+                      horizon_s: float = 900.0,
+                      progress: Optional[ProgressFn] = None,
+                      **config_kwargs) -> CampaignStats:
+    """Fan named library scenarios out across worker processes."""
+    specs = scenario_specs(preset, list(seeds), list(scenarios), day=day,
+                           hour=hour, horizon_s=horizon_s)
+    return run_campaign(specs, out_path, name=f"scenario-{preset}",
+                        workers=workers, progress=progress,
+                        **config_kwargs)

@@ -1,0 +1,102 @@
+"""Structured progress and outcome statistics for a campaign run.
+
+Everything here is *observability*, not results: wall-clock timings and
+worker utilisation never enter the artifact file (they would break the
+bit-identical-across-worker-counts contract); they are reported to the
+operator at the end of the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class TaskFailure:
+    """One task that exhausted its retries (or tripped the breaker)."""
+
+    task_key: str
+    attempts: int
+    error: str
+
+
+@dataclass
+class CampaignStats:
+    """Aggregate counters for one :class:`CampaignEngine.run` call."""
+
+    total_specs: int = 0
+    #: Tasks skipped because a resumable artifact already had them.
+    resumed: int = 0
+    completed: int = 0
+    failed: int = 0
+    #: Re-submissions after a failed/timed-out attempt.
+    retries: int = 0
+    #: Attempts that timed out (each also counts as a failed attempt).
+    timeouts: int = 0
+    wall_seconds: float = 0.0
+    #: Sum of in-worker task durations (busy time across all workers).
+    task_seconds: float = 0.0
+    workers: int = 1
+    failures: List[TaskFailure] = field(default_factory=list)
+    #: Aggregated :class:`repro.netsim.runner.RunnerStats` counters from
+    #: every scenario task that reported them.
+    runner: Dict[str, float] = field(default_factory=dict)
+
+    # --- updates -------------------------------------------------------------
+
+    def merge_task_stats(self, stats: Optional[Dict[str, object]]) -> None:
+        """Fold one task's deterministic stats dict into the aggregate.
+
+        Scenario tasks report ``RunnerStats.to_dict()``; the scalar
+        counters sum, nested mappings are ignored (per-domain detail stays
+        in the artifact lines).
+        """
+        if not stats:
+            return
+        for key, value in stats.items():
+            if isinstance(value, bool) or not isinstance(value,
+                                                         (int, float)):
+                continue
+            if key.endswith("_rate"):
+                continue  # recompute ratios from the summed counters
+            if key.startswith("max_"):
+                self.runner[key] = max(self.runner.get(key, value), value)
+            else:
+                self.runner[key] = self.runner.get(key, 0) + value
+        hits = self.runner.get("cache_hits")
+        misses = self.runner.get("cache_misses")
+        if hits is not None and misses is not None and hits + misses > 0:
+            self.runner["cache_hit_rate"] = hits / (hits + misses)
+
+    # --- derived -------------------------------------------------------------
+
+    @property
+    def done(self) -> int:
+        """Tasks accounted for so far (completed + resumed + failed)."""
+        return self.completed + self.resumed + self.failed
+
+    def utilisation(self) -> float:
+        """Mean busy fraction of the worker pool (0..1)."""
+        if self.wall_seconds <= 0 or self.workers <= 0:
+            return 0.0
+        return min(1.0, self.task_seconds
+                   / (self.wall_seconds * self.workers))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "total_specs": self.total_specs,
+            "resumed": self.resumed,
+            "completed": self.completed,
+            "failed": self.failed,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "workers": self.workers,
+            "wall_seconds": self.wall_seconds,
+            "task_seconds": self.task_seconds,
+            "worker_utilisation": self.utilisation(),
+            "failures": [
+                {"task_key": f.task_key, "attempts": f.attempts,
+                 "error": f.error} for f in self.failures],
+            "runner": dict(self.runner),
+        }

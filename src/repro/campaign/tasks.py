@@ -1,0 +1,184 @@
+"""Task kinds: how one :class:`ExperimentSpec` becomes artifact records.
+
+Executors run inside worker processes. They must be pure functions of the
+spec (plus the attempt number, which only the failure-injection kind reads):
+no globals, no wall clock, no OS randomness — that is what lets the engine
+promise bit-identical artifacts at any worker count.
+
+Custom kinds can be registered with :func:`register_task`; under the
+(POSIX-default) ``fork`` start method test-registered kinds are visible in
+workers, otherwise they must live in an importable module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.campaign.spec import ExperimentSpec
+from repro.sim.clock import MainsClock
+from repro.sim.random import RandomStreams
+from repro.testbed.builder import Testbed, build_preset_testbed
+
+
+@dataclass
+class TaskOutput:
+    """What an executor hands back across the process boundary."""
+
+    records: List[dict]
+    stats: Dict[str, object] = field(default_factory=dict)
+
+
+TaskFn = Callable[[ExperimentSpec, int], TaskOutput]
+
+TASK_REGISTRY: Dict[str, TaskFn] = {}
+
+
+def register_task(kind: str):
+    """Decorator registering an executor for a spec ``kind``."""
+    def wrap(fn: TaskFn) -> TaskFn:
+        if kind in TASK_REGISTRY:
+            raise ValueError(f"duplicate task kind {kind!r}")
+        TASK_REGISTRY[kind] = fn
+        return fn
+    return wrap
+
+
+def execute_spec(spec: ExperimentSpec, attempt: int = 0) -> TaskOutput:
+    """Dispatch one spec to its registered executor."""
+    try:
+        fn = TASK_REGISTRY[spec.kind]
+    except KeyError:
+        known = ", ".join(sorted(TASK_REGISTRY))
+        raise KeyError(
+            f"unknown task kind {spec.kind!r} (known: {known})") from None
+    return fn(spec, attempt)
+
+
+def _start_time(params: Dict[str, object]) -> float:
+    return MainsClock.at(day=int(params.get("day", 2)),
+                         hour=float(params.get("hour", 14.0)))
+
+
+# --- survey -------------------------------------------------------------------
+
+
+def run_survey_inline(testbed: Testbed, t_start: float, duration: float,
+                      report_interval: float,
+                      pairs: Sequence[Tuple[int, int]]):
+    """Serial survey over a prebuilt testbed (the engine's inline path).
+
+    :func:`repro.testbed.experiments.survey_pairs` delegates here so the
+    one-process survey and the parallel campaign share the measurement
+    code; importing lazily avoids a cycle with ``testbed.experiments``.
+    """
+    from repro.testbed.experiments import measure_pair
+
+    return [measure_pair(testbed, i, j, t_start, duration,
+                         report_interval) for i, j in pairs]
+
+
+@register_task("survey_pair")
+def _survey_pair(spec: ExperimentSpec, attempt: int) -> TaskOutput:
+    """§4.1 dual-medium measurement of one directed pair."""
+    from repro.testbed.experiments import measure_pair
+
+    p = spec.params_dict
+    testbed = build_preset_testbed(spec.preset, seed=spec.seed)
+    row = measure_pair(testbed, int(p["src"]), int(p["dst"]),
+                       _start_time(p),
+                       duration=float(p.get("duration_s", 30.0)),
+                       report_interval=float(p.get("interval_s", 1.0)))
+    return TaskOutput(records=[row.to_dict()])
+
+
+# --- scenario -----------------------------------------------------------------
+
+
+@register_task("scenario")
+def _scenario(spec: ExperimentSpec, attempt: int) -> TaskOutput:
+    """Run a named library scenario through the fluid runner."""
+    from repro.netsim.runner import ScenarioRunner
+    from repro.netsim.scenario import build_scenario
+
+    p = spec.params_dict
+    testbed = build_preset_testbed(spec.preset, seed=spec.seed)
+    scenario = build_scenario(str(p["scenario"]), _start_time(p))
+    runner = ScenarioRunner(testbed, check_invariants=True)
+    results = runner.run(scenario,
+                         horizon_s=float(p.get("horizon_s", 900.0)))
+    records = [results[name].to_dict() for name in sorted(results)]
+    return TaskOutput(records=records, stats=runner.stats.to_dict())
+
+
+# --- BLE polling --------------------------------------------------------------
+
+
+@register_task("ble_series")
+def _ble_series(spec: ExperimentSpec, attempt: int) -> TaskOutput:
+    """§6.2 MM polling of one link's average BLE."""
+    from repro.testbed.experiments import poll_ble_series
+
+    p = spec.params_dict
+    testbed = build_preset_testbed(spec.preset, seed=spec.seed)
+    series = poll_ble_series(testbed, int(p["src"]), int(p["dst"]),
+                             _start_time(p),
+                             duration=float(p.get("duration_s", 2.0)),
+                             interval=float(p.get("interval_s", 0.05)))
+    return TaskOutput(records=[{
+        "src": int(p["src"]), "dst": int(p["dst"]),
+        "times": [float(t) for t in series.times],
+        "ble_bps": [float(v) for v in series.values]}])
+
+
+# --- diagnostics --------------------------------------------------------------
+
+
+@register_task("rng_probe")
+def _rng_probe(spec: ExperimentSpec, attempt: int) -> TaskOutput:
+    """Draw from the task's derived streams — no testbed, near-zero cost.
+
+    Exists for the property-test harness: it exposes exactly the seed
+    derivation the heavyweight kinds rely on, so determinism across worker
+    counts can be checked thousands of times per second.
+    """
+    p = spec.params_dict
+    streams = RandomStreams(seed=spec.task_seed())
+    draws = int(p.get("draws", 4))
+    return TaskOutput(records=[{
+        "task_seed": spec.task_seed(),
+        "uniform": [float(x) for x in
+                    streams.get("probe").uniform(size=draws)],
+        "normal": [float(x) for x in
+                   streams.get("noise").normal(size=draws)]}])
+
+
+@register_task("sleepy")
+def _sleepy(spec: ExperimentSpec, attempt: int) -> TaskOutput:
+    """Block for ``sleep_s`` seconds — exercises the timeout path.
+
+    (Wall-clock sleep, so never use it in a determinism-sensitive
+    campaign; it exists for engine tests and operational smoke checks.)
+    """
+    import time
+
+    sleep_s = float(spec.params_dict.get("sleep_s", 1.0))
+    time.sleep(sleep_s)
+    return TaskOutput(records=[{"slept_s": sleep_s}])
+
+
+@register_task("flaky")
+def _flaky(spec: ExperimentSpec, attempt: int) -> TaskOutput:
+    """Deterministic failure injection for retry/circuit-breaker tests.
+
+    Fails the first ``fail_attempts`` attempts, then succeeds — so with
+    enough retries the final artifact is identical to a never-failing
+    run's, which is precisely the retry contract worth testing.
+    """
+    fails = int(spec.params_dict.get("fail_attempts", 0))
+    if attempt < fails:
+        raise RuntimeError(
+            f"injected failure {attempt + 1}/{fails} for "
+            f"{spec.task_key()}")
+    return TaskOutput(records=[{"survived_attempt": attempt,
+                                "task_seed": spec.task_seed()}])

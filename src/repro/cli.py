@@ -5,6 +5,7 @@ Subcommands mirror the paper's workflows::
     python -m repro survey  [--save FILE]      # §4.1 dual-medium survey
     python -m repro probe SRC DST              # Table 2 metrics + Table 3 advice
     python -m repro route SRC DST              # §4.3 hybrid mesh route
+    python -m repro campaign --out FILE        # parallel experiment campaign
     python -m repro report FILE                # summarise a saved campaign
 
 Common options: ``--seed`` (testbed world), ``--day``/``--hour``
@@ -14,12 +15,13 @@ Common options: ``--seed`` (testbed world), ``--day``/``--hour``
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.analysis.reporting import format_table
+from repro.analysis.reporting import format_table, summarize_artifacts
 from repro.analysis.traces import load_campaign, record_survey, save_campaign
 from repro.sim.clock import MainsClock
 from repro.testbed import HPAV500_PRESET, HPAV_PRESET, build_testbed
@@ -44,11 +46,40 @@ def _build(args) -> tuple:
     return testbed, t
 
 
+def _parse_pairs(text: Optional[str]) -> Optional[List[Tuple[int, int]]]:
+    """Parse ``"0-1,1-0,2-5"`` into directed pairs (None passes through)."""
+    if text is None:
+        return None
+    pairs: List[Tuple[int, int]] = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            src, dst = token.split("-")
+            pairs.append((int(src), int(dst)))
+        except ValueError:
+            raise ValueError(
+                f"bad pair {token!r} (expected SRC-DST, e.g. 0-1)") \
+                from None
+    return pairs
+
+
 def cmd_survey(args) -> int:
     testbed, t = _build(args)
-    campaign = record_survey(testbed, t)
+    try:
+        pairs = _parse_pairs(args.pairs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    survey_pairs = (pairs if pairs is not None
+                    else testbed.same_board_pairs())
+    if not survey_pairs:
+        print("error: empty survey (no pairs selected)", file=sys.stderr)
+        return 1
+    campaign = record_survey(testbed, t, pairs=survey_pairs)
     rows = []
-    for i, j in testbed.same_board_pairs():
+    for i, j in survey_pairs:
         plc = campaign.series(str(i), str(j), "plc",
                               "throughput_bps")
         wifi = campaign.series(str(i), str(j), "wifi",
@@ -67,7 +98,12 @@ def cmd_survey(args) -> int:
     print(f"\n{len(rows)} links; PLC faster on "
           f"{100 * np.mean(plc_thr > wifi_thr):.0f}%")
     if args.save:
-        save_campaign(campaign, args.save)
+        try:
+            save_campaign(campaign, args.save)
+        except OSError as exc:
+            print(f"error: cannot write {args.save}: {exc}",
+                  file=sys.stderr)
+            return 1
         print(f"campaign saved to {args.save}")
     return 0
 
@@ -128,8 +164,116 @@ def cmd_route(args) -> int:
     return 0
 
 
+def cmd_campaign(args) -> int:
+    """Run a parallel experiment campaign to a JSONL artifact file."""
+    from repro.campaign import (
+        CampaignAborted,
+        run_campaign,
+        scenario_specs,
+        survey_specs,
+    )
+    from repro.testbed import build_preset_testbed, resolve_testbed_preset
+
+    try:
+        resolve_testbed_preset(args.preset)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    try:
+        seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+        pairs = _parse_pairs(args.pairs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not seeds:
+        print("error: empty campaign (no seeds)", file=sys.stderr)
+        return 1
+
+    if args.kind == "survey":
+        if pairs is None:
+            world = build_preset_testbed(args.preset, seed=seeds[0])
+            pairs = world.same_board_pairs()
+            if args.max_pairs:
+                pairs = pairs[: args.max_pairs]
+        if not pairs:
+            print("error: empty campaign (no pairs to survey)",
+                  file=sys.stderr)
+            return 1
+        specs = survey_specs(args.preset, seeds, pairs, day=args.day,
+                             hour=args.hour, duration_s=args.duration,
+                             interval_s=args.interval)
+    else:
+        from repro.netsim.scenario import SCENARIO_LIBRARY
+        scenarios = [s for s in args.scenarios.split(",") if s.strip()]
+        if not scenarios:
+            print("error: empty campaign (no scenarios)", file=sys.stderr)
+            return 1
+        unknown = [s for s in scenarios if s not in SCENARIO_LIBRARY]
+        if unknown:
+            print(f"error: unknown scenario(s) {', '.join(unknown)} "
+                  f"(known: {', '.join(sorted(SCENARIO_LIBRARY))})",
+                  file=sys.stderr)
+            return 1
+        specs = scenario_specs(args.preset, seeds, scenarios,
+                               day=args.day, hour=args.hour,
+                               horizon_s=args.horizon)
+
+    def progress(event: str, detail: str, stats) -> None:
+        if args.quiet:
+            return
+        print(f"[{stats.done}/{stats.total_specs}] {event}: {detail}")
+
+    try:
+        stats = run_campaign(
+            specs, args.out, name=f"{args.kind}-{args.preset}",
+            workers=args.workers, progress=progress,
+            timeout_s=args.timeout, retries=args.retries,
+            max_failures=args.max_failures, resume=not args.no_resume)
+    except OSError as exc:
+        print(f"error: cannot write {args.out}: {exc}", file=sys.stderr)
+        return 1
+    except (CampaignAborted, KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    summary = stats.to_dict()
+    print(format_table(
+        ["stat", "value"],
+        [["specs", summary["total_specs"]],
+         ["completed", summary["completed"]],
+         ["resumed (skipped)", summary["resumed"]],
+         ["failed", summary["failed"]],
+         ["retries", summary["retries"]],
+         ["timeouts", summary["timeouts"]],
+         ["workers", summary["workers"]],
+         ["wall (s)", summary["wall_seconds"]],
+         ["worker utilisation", summary["worker_utilisation"]]],
+        title=f"campaign {args.kind}-{args.preset} -> {args.out}"))
+    if stats.runner:
+        rows = sorted((k, v) for k, v in stats.runner.items()
+                      if isinstance(v, (int, float)))
+        print(format_table(["runner stat", "value"], rows,
+                           title="aggregated scenario-runner stats"))
+    return 0
+
+
 def cmd_report(args) -> int:
-    campaign = load_campaign(args.file)
+    from repro.campaign.artifacts import is_artifact_file
+
+    try:
+        if is_artifact_file(args.file):
+            text, _ = summarize_artifacts(args.file, top=args.top)
+        else:
+            text, campaign = None, load_campaign(args.file)
+    except OSError as exc:
+        print(f"error: cannot read {args.file}: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if text is not None:
+        print(text)
+        return 0
     print(f"campaign {campaign.name!r}: {len(campaign)} records, "
           f"seed={campaign.seed}")
     rows = []
@@ -154,7 +298,54 @@ def build_parser() -> argparse.ArgumentParser:
     p_survey.add_argument("--save", help="write campaign JSONL here")
     p_survey.add_argument("--top", type=int, default=15,
                           help="rows to print (default 15)")
+    p_survey.add_argument("--pairs",
+                          help="directed pairs to survey, e.g. 0-1,1-0 "
+                               "(default: all same-board pairs)")
     p_survey.set_defaults(func=cmd_survey)
+
+    p_campaign = sub.add_parser(
+        "campaign", help="parallel experiment campaign")
+    p_campaign.add_argument("--preset", default="office",
+                            help="testbed preset name (default office)")
+    p_campaign.add_argument("--kind", choices=("survey", "scenario"),
+                            default="survey")
+    p_campaign.add_argument("--seeds", default="7",
+                            help="comma-separated world seeds "
+                                 "(default 7)")
+    p_campaign.add_argument("--out", required=True,
+                            help="JSONL artifact output path")
+    p_campaign.add_argument("--workers", type=int, default=1,
+                            help="worker processes; 0 = run inline "
+                                 "(default 1)")
+    p_campaign.add_argument("--pairs",
+                            help="survey: directed pairs, e.g. 0-1,1-0")
+    p_campaign.add_argument("--max-pairs", type=int, default=0,
+                            help="survey: cap auto-enumerated pairs")
+    p_campaign.add_argument("--scenarios", default="office-afternoon",
+                            help="scenario: comma-separated library "
+                                 "names")
+    p_campaign.add_argument("--day", type=int, default=2)
+    p_campaign.add_argument("--hour", type=float, default=14.0)
+    p_campaign.add_argument("--duration", type=float, default=30.0,
+                            help="survey: seconds per medium "
+                                 "(default 30)")
+    p_campaign.add_argument("--interval", type=float, default=1.0,
+                            help="survey: report interval (default 1)")
+    p_campaign.add_argument("--horizon", type=float, default=900.0,
+                            help="scenario: runner horizon (default "
+                                 "900)")
+    p_campaign.add_argument("--timeout", type=float, default=None,
+                            help="per-task timeout in seconds")
+    p_campaign.add_argument("--retries", type=int, default=2)
+    p_campaign.add_argument("--max-failures", type=int, default=0,
+                            help="circuit breaker: permanent failures "
+                                 "tolerated (default 0)")
+    p_campaign.add_argument("--no-resume", action="store_true",
+                            help="ignore existing artifacts and redo "
+                                 "everything")
+    p_campaign.add_argument("--quiet", action="store_true",
+                            help="suppress per-task progress lines")
+    p_campaign.set_defaults(func=cmd_campaign)
 
     p_probe = sub.add_parser("probe", help="measure one PLC link")
     _add_common(p_probe)
@@ -177,7 +368,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `repro report ... | head`) went away;
+        # stdout is unusable, so detach it before interpreter shutdown
+        # tries to flush and raises again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

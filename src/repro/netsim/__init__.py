@@ -8,7 +8,14 @@ models, which is exactly the use the paper projects for its metrics
 ("routing and load balancing algorithms", §4.3).
 """
 
-from repro.netsim.scenario import FlowRequest, FlowResult, Scenario
+from repro.netsim.scenario import (
+    SCENARIO_LIBRARY,
+    FlowRequest,
+    FlowResult,
+    Scenario,
+    build_scenario,
+    register_scenario,
+)
 from repro.netsim.runner import (
     RunnerStats,
     ScenarioRunner,
@@ -18,4 +25,5 @@ from repro.netsim.runner import (
 
 __all__ = ["FlowRequest", "FlowResult", "RunnerStats", "Scenario",
            "ScenarioRunner", "WorkConservationError",
-           "results_to_campaign"]
+           "results_to_campaign", "SCENARIO_LIBRARY", "build_scenario",
+           "register_scenario"]

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional
 
 from repro.units import MBPS
 
@@ -46,6 +46,16 @@ class FlowRequest:
         if self.src == self.dst:
             raise ValueError("src and dst must differ")
 
+    # --- pickle-friendly boundary (campaign workers exchange plain dicts) ----
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form, safe to JSON-serialise and ship to a worker."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FlowRequest":
+        return cls(**data)
+
 
 @dataclass
 class FlowResult:
@@ -71,6 +81,23 @@ class FlowResult:
     def finished(self) -> bool:
         return self.completed_at is not None
 
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form for campaign artifacts (derived fields
+        included so artifact consumers never recompute them)."""
+        return {
+            "flow": self.request.name,
+            "src": self.request.src,
+            "dst": self.request.dst,
+            "kind": self.request.kind,
+            "medium": self.request.medium,
+            "delivered_bytes": self.delivered_bytes,
+            "active_time_s": self.active_time_s,
+            "completed_at": self.completed_at,
+            "starved_quanta": self.starved_quanta,
+            "mean_rate_bps": self.mean_rate_bps,
+            "finished": self.finished,
+        }
+
 
 @dataclass
 class Scenario:
@@ -90,3 +117,81 @@ class Scenario:
         bounded by the runner's horizon)."""
         ends = [f.start_s + (f.duration_s or 0.0) for f in self.flows]
         return max(ends) if ends else 0.0
+
+
+# --- named scenario library ---------------------------------------------------
+#
+# Campaign specs reference scenarios by name: a builder takes the measurement
+# start time and returns a fresh Scenario, so the same workload can be re-run
+# at any point of the simulated week, on any preset that has the stations.
+
+ScenarioBuilder = Callable[[float], Scenario]
+
+SCENARIO_LIBRARY: Dict[str, ScenarioBuilder] = {}
+
+
+def register_scenario(name: str):
+    """Decorator adding a builder to :data:`SCENARIO_LIBRARY`."""
+    def wrap(builder: ScenarioBuilder) -> ScenarioBuilder:
+        if name in SCENARIO_LIBRARY:
+            raise ValueError(f"duplicate scenario name {name!r}")
+        SCENARIO_LIBRARY[name] = builder
+        return builder
+    return wrap
+
+
+def build_scenario(name: str, t_start: float) -> Scenario:
+    """Instantiate a library scenario at ``t_start``."""
+    try:
+        builder = SCENARIO_LIBRARY[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIO_LIBRARY))
+        raise KeyError(
+            f"unknown scenario {name!r} (known: {known})") from None
+    return builder(t_start)
+
+
+@register_scenario("office-afternoon")
+def _office_afternoon(t: float) -> Scenario:
+    """The whole-office slice the examples use: a hybrid video stream, two
+    contending bulk transfers, a B2 sync and a background probe flow."""
+    return (
+        Scenario("office-afternoon")
+        .add(FlowRequest("video", 0, 2, t, medium="hybrid",
+                         kind="cbr", rate_bps=25 * MBPS, duration_s=600))
+        .add(FlowRequest("bulk-a", 1, 3, t + 60, kind="file",
+                         size_bytes=400e6, medium="plc"))
+        .add(FlowRequest("bulk-b", 6, 9, t + 90, kind="file",
+                         size_bytes=400e6, medium="plc"))
+        .add(FlowRequest("sync", 13, 16, t + 120, kind="file",
+                         size_bytes=150e6, medium="plc"))
+        .add(FlowRequest("probe", 2, 7, t, kind="cbr",
+                         rate_bps=150e3, duration_s=600))
+    )
+
+
+@register_scenario("bulk-contention")
+def _bulk_contention(t: float) -> Scenario:
+    """Three saturated PLC flows in one contention domain (B1 north leg)."""
+    return (
+        Scenario("bulk-contention")
+        .add(FlowRequest("s0", 0, 1, t, kind="saturated", duration_s=120))
+        .add(FlowRequest("s1", 1, 2, t, kind="saturated", duration_s=120))
+        .add(FlowRequest("s2", 2, 0, t + 30, kind="saturated",
+                         duration_s=120))
+    )
+
+
+@register_scenario("mini3-mixed")
+def _mini3_mixed(t: float) -> Scenario:
+    """A short mixed workload confined to stations 0-2 — runs on every
+    preset, sized for CI smoke tests of the campaign engine."""
+    return (
+        Scenario("mini3-mixed")
+        .add(FlowRequest("cbr", 0, 1, t, kind="cbr", rate_bps=10 * MBPS,
+                         duration_s=60))
+        .add(FlowRequest("file", 1, 2, t + 10, kind="file",
+                         size_bytes=40e6, medium="plc"))
+        .add(FlowRequest("wifi", 2, 0, t, kind="saturated", medium="wifi",
+                         duration_s=60))
+    )

@@ -20,6 +20,28 @@ def _name_key(name: str) -> int:
     return zlib.crc32(name.encode("utf-8"))
 
 
+def derive_seed(root_seed: int, *names: str) -> int:
+    """Derive a child seed from ``root_seed`` and a path of names.
+
+    The derivation feeds the root seed plus the stable 32-bit key of every
+    path component into a :class:`numpy.random.SeedSequence` spawn key, so:
+
+    * it is a pure function of ``(root_seed, names)`` — independent of
+      process, platform, worker count, and evaluation order;
+    * distinct paths yield statistically independent seeds (SeedSequence's
+      entropy mixing, not ad-hoc arithmetic);
+    * the result fits in a non-negative 63-bit int, safe for JSON and for
+      re-use as another ``RandomStreams``/``SeedSequence`` root.
+
+    This is the contract the parallel campaign engine builds on: every task
+    seeds its world with ``derive_seed(spec_seed, task_key)``, which makes
+    results bit-identical at any worker count.
+    """
+    keys = [_name_key(n) for n in names]
+    seq = np.random.SeedSequence([int(root_seed) & ((1 << 63) - 1), *keys])
+    return int(seq.generate_state(1, np.uint64)[0] >> 1)
+
+
 class RandomStreams:
     """Factory of independent, reproducible random generators.
 
@@ -56,6 +78,10 @@ class RandomStreams:
         return np.random.Generator(np.random.PCG64(seq))
 
     def spawn(self, name: str) -> "RandomStreams":
-        """Derive a child factory whose streams are independent of ours."""
-        return RandomStreams(seed=(self.seed * 0x9E3779B1 + _name_key(name))
-                             % (2 ** 63))
+        """Derive a child factory whose streams are independent of ours.
+
+        Uses :func:`derive_seed`, so the child's seed depends only on
+        ``(self.seed, name)`` — never on how many streams were drawn, in
+        what order, or in which process the spawn happens.
+        """
+        return RandomStreams(seed=derive_seed(self.seed, name))

@@ -10,13 +10,24 @@ stations + PLC networks + WiFi links; :mod:`repro.testbed.experiments` holds
 the measurement runners the benchmarks share.
 """
 
-from repro.testbed.builder import Testbed, build_testbed
-from repro.testbed.presets import HPAV500_PRESET, HPAV_PRESET, VendorPreset
+from repro.testbed.builder import Testbed, build_preset_testbed, build_testbed
+from repro.testbed.presets import (
+    HPAV500_PRESET,
+    HPAV_PRESET,
+    TESTBED_PRESETS,
+    TestbedPreset,
+    VendorPreset,
+    resolve_testbed_preset,
+)
 
 __all__ = [
     "Testbed",
     "build_testbed",
+    "build_preset_testbed",
     "VendorPreset",
     "HPAV_PRESET",
     "HPAV500_PRESET",
+    "TestbedPreset",
+    "TESTBED_PRESETS",
+    "resolve_testbed_preset",
 ]

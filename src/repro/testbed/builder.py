@@ -20,7 +20,11 @@ from repro.testbed.floorplan import (
     build_floor_grid,
     populate_appliances,
 )
-from repro.testbed.presets import HPAV_PRESET, VendorPreset
+from repro.testbed.presets import (
+    HPAV_PRESET,
+    VendorPreset,
+    resolve_testbed_preset,
+)
 from repro.units import MBPS
 from repro.wifi.channel import WifiChannel
 from repro.wifi.link import WifiLink
@@ -112,13 +116,31 @@ class Testbed:
 
 
 def build_testbed(seed: int = 7,
-                  preset: VendorPreset = HPAV_PRESET) -> Testbed:
-    """Build the 19-station testbed with the given adapter preset."""
+                  preset: VendorPreset = HPAV_PRESET,
+                  stations: Optional[Iterable[int]] = None) -> Testbed:
+    """Build the testbed with the given adapter preset.
+
+    ``stations`` restricts the build to a subset of the 19 floor stations
+    (e.g. a 3-station smoke-test world). The floor wiring, appliance
+    population and activity model are always the full office — a subset
+    changes who measures, not the electrical environment — so metrics for
+    the surviving stations are identical to their full-floor values.
+    """
     streams = RandomStreams(seed=seed)
-    grid, sites = build_floor_grid()
-    appliances = populate_appliances(grid, sites)
+    grid, all_sites = build_floor_grid()
+    appliances = populate_appliances(grid, all_sites)
     activity = OfficeActivityModel(streams)
     load = ElectricalLoad(grid, appliances, activity)
+
+    if stations is None:
+        sites = all_sites
+    else:
+        wanted = set(stations)
+        unknown = wanted - set(all_sites)
+        if unknown:
+            raise ValueError(f"unknown station indices {sorted(unknown)}")
+        sites = {idx: site for idx, site in all_sites.items()
+                 if idx in wanted}
 
     networks: Dict[str, PlcNetwork] = {}
     boards = sorted({site.board for site in sites.values()})
@@ -132,7 +154,22 @@ def build_testbed(seed: int = 7,
             network.add_station(PlcStation(
                 station_id=str(idx), outlet_id=sites[idx].outlet_id,
                 spec=preset.spec))
-        network.set_cco(str(CCO_BY_BOARD[board]))
+        # The paper pins the CCo; on a subset build the pinned station may
+        # be absent, in which case the lowest-index member takes the role.
+        cco = CCO_BY_BOARD[board]
+        network.set_cco(str(cco if cco in members else members[0]))
         networks[board] = network
     return Testbed(streams=streams, load=load, sites=sites,
                    networks=networks, preset=preset)
+
+
+def build_preset_testbed(preset_name: str, seed: int = 7) -> Testbed:
+    """Build a testbed from a named :class:`TestbedPreset`.
+
+    This is the campaign layer's constructor: specs carry ``(preset_name,
+    seed)`` across the worker-process boundary and every worker rebuilds an
+    identical world from them.
+    """
+    preset = resolve_testbed_preset(preset_name)
+    return build_testbed(seed=seed, preset=preset.vendor,
+                         stations=preset.stations)

@@ -6,7 +6,7 @@ per-figure benchmarks stay short and declarative.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -39,6 +39,38 @@ class PairSurveyRow:
     def wifi_connected(self) -> bool:
         return self.wifi_mean_mbps > 1.0
 
+    def to_dict(self) -> Dict[str, float]:
+        """Plain-dict form (campaign artifact records, CSV export)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "PairSurveyRow":
+        return cls(**data)
+
+
+def measure_pair(testbed: Testbed, src: int, dst: int, t_start: float,
+                 duration: float = 5 * MINUTE,
+                 report_interval: float = 0.1) -> PairSurveyRow:
+    """Measure one directed pair on both media (§4.1, back-to-back).
+
+    This is the single implementation of the survey protocol: both the
+    serial :func:`survey_pairs` and the parallel campaign engine's
+    ``survey_pair`` task execute pairs through it.
+    """
+    plc = testbed.plc_link(src, dst)
+    wifi = testbed.wifi_link(src, dst)
+    plc_series = run_udp_test(plc, t_start, duration, report_interval)
+    wifi_series = run_udp_test(wifi, t_start + duration, duration,
+                               report_interval)
+    return PairSurveyRow(
+        src=src, dst=dst,
+        air_distance_m=testbed.air_distance(src, dst),
+        cable_distance_m=testbed.cable_distance(src, dst),
+        plc_mean_mbps=plc_series.mean / MBPS,
+        plc_std_mbps=plc_series.std / MBPS,
+        wifi_mean_mbps=wifi_series.mean / MBPS,
+        wifi_std_mbps=wifi_series.std / MBPS)
+
 
 def survey_pairs(testbed: Testbed, t_start: float,
                  duration: float = 5 * MINUTE,
@@ -48,25 +80,17 @@ def survey_pairs(testbed: Testbed, t_start: float,
     """§4.1's protocol: back-to-back saturated tests on both media.
 
     For every directed same-board pair, measure PLC then WiFi for
-    ``duration`` at ``report_interval`` and record mean and std.
+    ``duration`` at ``report_interval`` and record mean and std. Runs
+    through the campaign engine's inline path (one process, prebuilt
+    testbed) so the serial and parallel surveys share one code path; use
+    ``repro.campaign.survey_campaign`` to fan the same measurements out
+    across worker processes.
     """
-    rows: List[PairSurveyRow] = []
-    for i, j in (pairs if pairs is not None
-                 else testbed.same_board_pairs()):
-        plc = testbed.plc_link(i, j)
-        wifi = testbed.wifi_link(i, j)
-        plc_series = run_udp_test(plc, t_start, duration, report_interval)
-        wifi_series = run_udp_test(wifi, t_start + duration, duration,
-                                   report_interval)
-        rows.append(PairSurveyRow(
-            src=i, dst=j,
-            air_distance_m=testbed.air_distance(i, j),
-            cable_distance_m=testbed.cable_distance(i, j),
-            plc_mean_mbps=plc_series.mean / MBPS,
-            plc_std_mbps=plc_series.std / MBPS,
-            wifi_mean_mbps=wifi_series.mean / MBPS,
-            wifi_std_mbps=wifi_series.std / MBPS))
-    return rows
+    from repro.campaign.tasks import run_survey_inline
+
+    return run_survey_inline(
+        testbed, t_start, duration, report_interval,
+        pairs if pairs is not None else testbed.same_board_pairs())
 
 
 def poll_ble_series(testbed: Testbed, src: int, dst: int, t_start: float,
@@ -109,13 +133,20 @@ def long_run_series(testbed: Testbed, src: int, dst: int, t_start: float,
     return MetricSeries(times, values, name=f"{metric}-{src}-{dst}")
 
 
-def working_hours_start(clock: MainsClock = MainsClock(),
+def working_hours_start(clock: Optional[MainsClock] = None,
                         day: int = 2, hour: float = 14.0) -> float:
-    """A canonical 'during working hours' measurement start (Wed 2 pm)."""
-    return clock.at(day=day, hour=hour)
+    """A canonical 'during working hours' measurement start (Wed 2 pm).
+
+    ``clock=None`` builds a fresh default clock per call — a mutable
+    default instance here would be shared by every caller (the classic
+    mutable-default-argument hazard).
+    """
+    return (clock if clock is not None else MainsClock()).at(day=day,
+                                                            hour=hour)
 
 
-def night_start(clock: MainsClock = MainsClock(), day: int = 2,
+def night_start(clock: Optional[MainsClock] = None, day: int = 2,
                 hour: float = 23.5) -> float:
     """A canonical quiet-hours start (§6.2 runs at night/weekends)."""
-    return clock.at(day=day, hour=hour)
+    return (clock if clock is not None else MainsClock()).at(day=day,
+                                                            hour=hour)

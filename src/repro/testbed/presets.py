@@ -9,6 +9,7 @@ the paper uncovers in §6.2 (the AV500 estimator collapses on bursty errors).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 from repro.plc.spec import HPAV, HPAV500, PlcSpec
 
@@ -32,3 +33,51 @@ HPAV_PRESET = VendorPreset(name="HPAV", chip="Intellon INT6300", spec=HPAV,
 #: Netgear XAVB5101 / Atheros QCA7400 — the validation devices.
 HPAV500_PRESET = VendorPreset(name="HPAV500", chip="Atheros QCA7400",
                               spec=HPAV500, overreact_to_bursts=True)
+
+
+@dataclass(frozen=True)
+class TestbedPreset:
+    """A named, buildable testbed configuration.
+
+    Campaign specs reference testbeds by preset name (a string survives the
+    process-pool pickle boundary; a built testbed does not), so every named
+    configuration an experiment may want lives here. ``stations=None`` means
+    the full 19-station floor; a tuple restricts the build to that subset
+    (the floor wiring and appliance population are unchanged — only which
+    outlets carry a station).
+    """
+
+    name: str
+    vendor: VendorPreset
+    stations: Optional[Tuple[int, ...]] = None
+    description: str = ""
+
+
+#: Registry the CLI and campaign layer resolve preset names against.
+TESTBED_PRESETS: Dict[str, TestbedPreset] = {
+    preset.name: preset for preset in (
+        TestbedPreset(
+            name="office", vendor=HPAV_PRESET,
+            description="full 19-station floor, Intellon INT6300 (§3.1)"),
+        TestbedPreset(
+            name="office-av500", vendor=HPAV500_PRESET,
+            description="full floor on the HPAV500 validation devices"),
+        TestbedPreset(
+            name="wing-b2", vendor=HPAV_PRESET,
+            stations=(12, 13, 14, 15, 16, 17, 18),
+            description="west wing only (board B2, 7 stations)"),
+        TestbedPreset(
+            name="mini3", vendor=HPAV_PRESET, stations=(0, 1, 2),
+            description="3-station smoke-test subset of board B1"),
+    )
+}
+
+
+def resolve_testbed_preset(name: str) -> TestbedPreset:
+    """Look up a preset by name, with a helpful error on a miss."""
+    try:
+        return TESTBED_PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(TESTBED_PRESETS))
+        raise KeyError(
+            f"unknown testbed preset {name!r} (known: {known})") from None

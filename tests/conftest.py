@@ -1,12 +1,123 @@
-"""Shared fixtures: one testbed per session, canonical measurement times."""
+"""Shared fixtures: one testbed per session, canonical measurement times,
+and the golden-trace comparison harness (``--update-golden`` regenerates
+the frozen reference outputs under ``tests/golden/``)."""
 
 from __future__ import annotations
 
+import csv
+import io
+import json
+from pathlib import Path
+
+import numpy as np
 import pytest
 
 from repro.sim.random import RandomStreams
 from repro.testbed import build_testbed
 from repro.testbed.experiments import night_start, working_hours_start
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Tolerances for golden comparisons: tight enough to catch any numeric
+#: drift in the metric pipeline, loose enough to forgive libm/BLAS
+#: last-bit differences across platforms.
+GOLDEN_RTOL = 1e-9
+GOLDEN_ATOL = 1e-6
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="regenerate the golden reference files under tests/golden/ "
+             "instead of comparing against them")
+
+
+def _assert_close(actual, expected, path: str) -> None:
+    """Recursive numeric comparison with the golden tolerances."""
+    if isinstance(expected, dict):
+        assert isinstance(actual, dict), f"{path}: expected mapping"
+        assert sorted(actual) == sorted(expected), (
+            f"{path}: keys differ: {sorted(actual)} vs {sorted(expected)}")
+        for key in expected:
+            _assert_close(actual[key], expected[key], f"{path}.{key}")
+    elif isinstance(expected, list):
+        assert isinstance(actual, (list, tuple)), f"{path}: expected list"
+        assert len(actual) == len(expected), (
+            f"{path}: length {len(actual)} != {len(expected)}")
+        for k, (a, e) in enumerate(zip(actual, expected)):
+            _assert_close(a, e, f"{path}[{k}]")
+    elif isinstance(expected, bool) or expected is None:
+        assert actual == expected, f"{path}: {actual!r} != {expected!r}"
+    elif isinstance(expected, (int, float)):
+        assert np.isclose(float(actual), float(expected),
+                          rtol=GOLDEN_RTOL, atol=GOLDEN_ATOL), (
+            f"{path}: {actual!r} != {expected!r} "
+            f"(rtol={GOLDEN_RTOL}, atol={GOLDEN_ATOL})")
+    else:
+        assert actual == expected, f"{path}: {actual!r} != {expected!r}"
+
+
+def _rows_to_csv(rows) -> str:
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=sorted(rows[0]))
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({k: repr(v) if isinstance(v, float) else v
+                         for k, v in sorted(row.items())})
+    return buf.getvalue()
+
+
+@pytest.fixture()
+def golden(request):
+    """Compare ``data`` against a frozen reference, or regenerate it.
+
+    ``golden("name.json", data)`` — nested dict/list/number structure,
+    compared with tight tolerances. ``golden("name.csv", rows)`` — a list
+    of flat dicts, rendered as CSV. Run ``pytest --update-golden`` after
+    an *intentional* numeric change to refresh the references.
+    """
+    update = request.config.getoption("--update-golden")
+
+    def check(name: str, data) -> None:
+        path = GOLDEN_DIR / name
+        if name.endswith(".csv"):
+            rows = [dict(sorted(r.items())) for r in data]
+            if update:
+                GOLDEN_DIR.mkdir(exist_ok=True)
+                path.write_text(_rows_to_csv(rows), encoding="utf-8")
+                return
+            assert path.exists(), (
+                f"golden file {name} missing — run "
+                f"`pytest --update-golden` to create it")
+            reader = csv.DictReader(io.StringIO(
+                path.read_text(encoding="utf-8")))
+            expected = [
+                {k: json.loads(v) if _numeric(v) else v
+                 for k, v in row.items()} for row in reader]
+            actual = [{k: v for k, v in row.items()} for row in rows]
+            _assert_close(actual, expected, name)
+        else:
+            if update:
+                GOLDEN_DIR.mkdir(exist_ok=True)
+                path.write_text(
+                    json.dumps(data, indent=1, sort_keys=True) + "\n",
+                    encoding="utf-8")
+                return
+            assert path.exists(), (
+                f"golden file {name} missing — run "
+                f"`pytest --update-golden` to create it")
+            expected = json.loads(path.read_text(encoding="utf-8"))
+            _assert_close(data, expected, name)
+
+    return check
+
+
+def _numeric(text: str) -> bool:
+    try:
+        float(text)
+        return True
+    except ValueError:
+        return False
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,140 @@
+"""Property tests: seed derivation and campaign-engine invariants.
+
+The determinism and resume contracts are stated in
+``docs/architecture.md``; these tests enforce them over randomized spec
+lists rather than one blessed example. The cheap ``rng_probe`` task kind
+(no testbed build) keeps each engine run in the milliseconds, so hypothesis
+can afford whole-campaign executions per example.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.campaign import (
+    ExperimentSpec,
+    check_specs,
+    run_campaign,
+    spec_grid,
+)
+from repro.sim.random import RandomStreams, derive_seed
+
+# Engine runs fork real processes on the pool path; keep example counts
+# low and deadlines off.
+ENGINE_SETTINGS = settings(
+    max_examples=5, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+
+names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789.-", min_size=1,
+    max_size=24)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+# --- sim.random.derive_seed ---------------------------------------------------
+
+
+@given(seed=seeds, name=names)
+def test_derive_seed_is_pure_and_bounded(seed, name):
+    a = derive_seed(seed, name)
+    assert a == derive_seed(seed, name)
+    assert 0 <= a < 2**63
+
+
+@given(seed=seeds, name_a=names, name_b=names)
+def test_derive_seed_separates_names(seed, name_a, name_b):
+    if name_a == name_b:
+        return
+    assert derive_seed(seed, name_a) != derive_seed(seed, name_b)
+
+
+@given(seed_a=seeds, seed_b=seeds, name=names)
+def test_derive_seed_separates_roots(seed_a, seed_b, name):
+    if seed_a == seed_b:
+        return
+    assert derive_seed(seed_a, name) != derive_seed(seed_b, name)
+
+
+@given(seed=seeds, name=names)
+def test_spawned_streams_are_reproducible(seed, name):
+    a = RandomStreams(seed).spawn(name).get("x").uniform(size=3)
+    b = RandomStreams(seed).spawn(name).get("x").uniform(size=3)
+    assert (a == b).all()
+
+
+# --- spec identity ------------------------------------------------------------
+
+
+spec_lists = st.lists(
+    st.tuples(seeds, st.integers(0, 99), st.integers(1, 6)),
+    min_size=1, max_size=8, unique=True,
+).map(lambda items: [
+    ExperimentSpec.make("rng_probe", "mini3", seed, idx=idx, draws=draws)
+    for seed, idx, draws in items])
+
+
+@given(specs=spec_lists)
+def test_task_keys_unique_across_generated_grids(specs):
+    keys = [s.task_key() for s in specs]
+    assert len(set(keys)) == len(keys)
+    check_specs(specs)  # must not raise for a duplicate-free list
+
+
+@given(seed=seeds)
+def test_spec_roundtrips_through_dict(seed):
+    spec = ExperimentSpec.make("rng_probe", "mini3", seed,
+                               draws=3, tags=["a", "b"])
+    clone = ExperimentSpec.from_dict(spec.to_dict())
+    assert clone == spec
+    assert clone.task_key() == spec.task_key()
+    assert clone.task_seed() == spec.task_seed()
+
+
+def test_grid_task_keys_unique_at_scale():
+    specs = spec_grid("rng_probe", ["mini3", "office"], range(25),
+                      param_grid={"idx": range(10)})
+    keys = {s.task_key() for s in specs}
+    assert len(keys) == len(specs) == 2 * 25 * 10
+
+
+# --- engine determinism across worker counts ---------------------------------
+
+
+@ENGINE_SETTINGS
+@given(specs=spec_lists)
+def test_artifacts_identical_for_1_2_and_4_workers(specs, tmp_path_factory):
+    base = tmp_path_factory.mktemp("workers")
+    blobs = []
+    for workers in (1, 2, 4):
+        path = base / f"w{workers}-{len(blobs)}.jsonl"
+        stats = run_campaign(specs, path, workers=workers)
+        assert stats.completed == len(specs)
+        blobs.append(path.read_bytes())
+    assert blobs[0] == blobs[1] == blobs[2]
+
+
+@ENGINE_SETTINGS
+@given(specs=spec_lists, data=st.data())
+def test_resume_after_kill_matches_uninterrupted_run(specs, data,
+                                                     tmp_path_factory):
+    base = tmp_path_factory.mktemp("resume")
+    clean = base / f"clean-{len(specs)}.jsonl"
+    run_campaign(specs, clean, workers=0)
+    reference = clean.read_bytes()
+
+    lines = clean.read_text().splitlines(keepends=True)
+    # Kill point: keep k complete task lines, maybe a torn partial line.
+    k = data.draw(st.integers(min_value=0, max_value=len(specs)),
+                  label="kill_after_tasks")
+    torn = data.draw(st.booleans(), label="torn_tail")
+    survived = "".join(lines[: 1 + k])
+    if torn and k < len(specs):
+        survived += lines[1 + k][: max(1, len(lines[1 + k]) // 2)]
+    victim = base / f"victim-{k}-{torn}.jsonl"
+    victim.write_text(survived)
+
+    stats = run_campaign(specs, victim, workers=0)
+    assert stats.resumed == k
+    assert stats.completed == len(specs) - k
+    assert victim.read_bytes() == reference

@@ -53,3 +53,78 @@ def test_survey_respects_time_options(capsys):
     out = capsys.readouterr().out
     assert rc == 0
     assert "day 5 23h" in out
+
+
+# --- error paths --------------------------------------------------------------
+
+
+def test_campaign_bad_preset_name(tmp_path, capsys):
+    rc = main(["campaign", "--preset", "atlantis",
+               "--out", str(tmp_path / "x.jsonl")])
+    err = capsys.readouterr().err
+    assert rc == 2
+    assert "unknown testbed preset 'atlantis'" in err
+    assert "mini3" in err  # the message lists the valid names
+
+
+def test_survey_unwritable_save_path(capsys):
+    rc = main(["survey", "--pairs", "0-1",
+               "--save", "/nonexistent-dir/deep/c.jsonl"])
+    err = capsys.readouterr().err
+    assert rc == 1
+    assert "cannot write" in err
+
+
+def test_campaign_unwritable_out_path(capsys):
+    rc = main(["campaign", "--preset", "mini3", "--quiet",
+               "--out", "/nonexistent-dir/deep/c.jsonl"])
+    err = capsys.readouterr().err
+    assert rc == 1
+    assert "cannot write" in err
+
+
+def test_survey_empty_pair_selection(capsys):
+    rc = main(["survey", "--pairs", ""])
+    err = capsys.readouterr().err
+    assert rc == 1
+    assert "empty survey" in err
+
+
+def test_survey_malformed_pairs(capsys):
+    rc = main(["survey", "--pairs", "0-1,zap"])
+    err = capsys.readouterr().err
+    assert rc == 2
+    assert "bad pair 'zap'" in err
+
+
+def test_campaign_empty_seed_list(tmp_path, capsys):
+    rc = main(["campaign", "--preset", "mini3", "--seeds", ",",
+               "--out", str(tmp_path / "x.jsonl")])
+    err = capsys.readouterr().err
+    assert rc == 1
+    assert "no seeds" in err
+
+
+def test_campaign_unknown_scenario(tmp_path, capsys):
+    rc = main(["campaign", "--preset", "mini3", "--kind", "scenario",
+               "--scenarios", "does-not-exist", "--quiet",
+               "--out", str(tmp_path / "x.jsonl")])
+    err = capsys.readouterr().err
+    assert rc == 1
+    assert "unknown scenario" in err
+
+
+def test_report_rejects_non_campaign_file(tmp_path, capsys):
+    path = tmp_path / "junk.jsonl"
+    path.write_text("this is not json\n")
+    rc = main(["report", str(path)])
+    err = capsys.readouterr().err
+    assert rc == 1
+    assert "not a campaign file" in err
+
+
+def test_report_missing_file(capsys):
+    rc = main(["report", "/no/such/file.jsonl"])
+    err = capsys.readouterr().err
+    assert rc == 1
+    assert "cannot read" in err

@@ -1,0 +1,84 @@
+"""Golden-trace regression suite for the whole metric pipeline.
+
+Each test freezes a seed, runs one slice of the pipeline (BLE polling,
+tone-map evolution, the §4.1 survey, the fluid scenario runner) and
+compares the numeric output against a committed reference under
+``tests/golden/``. Any silent drift in the channel model, metric maths or
+runner accounting fails here first. After an *intentional* change, refresh
+with ``pytest --update-golden`` and review the diff like code.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.spec import ExperimentSpec
+from repro.campaign.tasks import execute_spec
+from repro.sim.clock import MainsClock
+from repro.testbed import build_preset_testbed
+from repro.testbed.experiments import (
+    measure_pair,
+    night_start,
+    poll_ble_series,
+    working_hours_start,
+)
+
+SEED = 7
+#: A spread of pairs: good short links, the kitchen-adjacent bad ones,
+#: and one B2 pair.
+SURVEY_PAIRS = ((0, 1), (1, 0), (0, 3), (6, 5), (11, 4), (13, 16))
+
+
+@pytest.fixture(scope="module")
+def world():
+    """A fresh frozen-seed testbed (module-local: golden inputs must not
+    depend on what other test modules did to the session testbed)."""
+    return build_preset_testbed("office", seed=SEED)
+
+
+def test_golden_ble_series(world, golden):
+    series = poll_ble_series(world, 0, 1, night_start(), duration=2.0)
+    golden("ble_series.json", {
+        "src": 0, "dst": 1, "seed": SEED,
+        "times": [float(t) for t in series.times],
+        "ble_bps": [float(v) for v in series.values]})
+
+
+def test_golden_tonemap_evolution(world, golden):
+    """Per-slot BLE of one link sampled across an hour — the tone-map
+    adaptation trajectory (§6.1)."""
+    link = world.plc_link(0, 1)
+    t0 = working_hours_start()
+    samples = []
+    for minutes in (0, 1, 5, 15, 30, 60):
+        t = t0 + 60.0 * minutes
+        samples.append({
+            "t_minutes": minutes,
+            "slot": MainsClock().slot(t),
+            "ble_per_slot_bps": [float(v)
+                                 for v in link.ble_per_slot_bps(t)],
+            "pb_err": float(link.pb_err(t))})
+    golden("tonemap_evolution.json",
+           {"src": 0, "dst": 1, "seed": SEED, "samples": samples})
+
+
+def test_golden_survey_csv(world, golden):
+    rows = [measure_pair(world, i, j, working_hours_start(),
+                         duration=5.0, report_interval=0.5).to_dict()
+            for i, j in SURVEY_PAIRS]
+    golden("survey.csv", rows)
+
+
+def test_golden_runner_flows(golden):
+    """The fluid runner's flow results and deterministic stats for the
+    office-afternoon scenario, via the campaign task boundary."""
+    spec = ExperimentSpec.make("scenario", "office", SEED,
+                               scenario="office-afternoon", day=2,
+                               hour=14.0, horizon_s=240.0)
+    out = execute_spec(spec)
+    stats = {k: v for k, v in out.stats.items()
+             if k in ("quanta", "starved_quanta", "invariant_violations",
+                      "max_domain_airtime")}
+    golden("runner_flows.json",
+           {"spec": spec.to_dict(), "task_seed": spec.task_seed(),
+            "records": out.records, "stats": stats})

@@ -96,3 +96,40 @@ def test_av500_preset_raises_rates(t_work):
         if a > 1.3 * h:
             faster += 1
     assert faster >= 3
+
+
+def test_named_presets_resolve_and_build(t_work):
+    from repro.testbed import (
+        TESTBED_PRESETS,
+        build_preset_testbed,
+        resolve_testbed_preset,
+    )
+    assert {"office", "office-av500", "mini3", "wing-b2"} <= set(
+        TESTBED_PRESETS)
+    with pytest.raises(KeyError, match="unknown testbed preset"):
+        resolve_testbed_preset("atlantis")
+    mini = build_preset_testbed("mini3", seed=7)
+    assert mini.station_indices() == [0, 1, 2]
+    # The pinned CCo (station 11) is outside the subset; the lowest
+    # member takes over.
+    assert mini.networks["B1"].cco.station_id == "0"
+    full = build_preset_testbed("office", seed=7)
+    assert len(full.station_indices()) == 19
+    assert full.networks["B1"].cco.station_id == "11"
+
+
+def test_subset_world_is_consistent_with_full_world(t_work):
+    """A subset build measures the same world: link metrics for the
+    surviving stations match the full floor exactly."""
+    from repro.testbed import build_preset_testbed
+    mini = build_preset_testbed("mini3", seed=7)
+    full = build_preset_testbed("office", seed=7)
+    for (i, j) in [(0, 1), (1, 2), (2, 0)]:
+        assert mini.plc_link(i, j).avg_ble_bps(t_work) == \
+            full.plc_link(i, j).avg_ble_bps(t_work)
+        assert mini.cable_distance(i, j) == full.cable_distance(i, j)
+
+
+def test_subset_rejects_unknown_station():
+    with pytest.raises(ValueError, match="unknown station"):
+        build_testbed(seed=7, stations=[0, 99])

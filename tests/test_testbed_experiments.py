@@ -47,6 +47,44 @@ def test_long_run_series_metrics(testbed, t_work):
         long_run_series(testbed, 0, 1, t_work, MINUTE, metric="latency")
 
 
+def test_canonical_starts_have_no_shared_mutable_default():
+    """Regression: the clock arguments used to default to a single
+    ``MainsClock()`` instance created at import time and shared by every
+    call — the classic mutable-default hazard. They must default to None
+    and build (or receive) a clock per call."""
+    import inspect
+
+    from repro.sim.clock import MainsClock
+
+    for fn in (working_hours_start, night_start):
+        default = inspect.signature(fn).parameters["clock"].default
+        assert default is None, f"{fn.__name__} shares a default clock"
+    # A caller's custom clock is honoured, not silently swapped for the
+    # default one.
+    custom = MainsClock(num_slots=12)
+    assert working_hours_start(custom) == working_hours_start()
+    assert night_start(custom, day=0, hour=1.0) == night_start(
+        day=0, hour=1.0)
+
+
+def test_measure_pair_matches_survey_pairs(t_work):
+    """The single-pair measurement and the survey loop are one code
+    path; on identically seeded worlds their outputs are identical.
+    (Two fresh worlds, because measured throughput draws sampling noise
+    from a stream whose state advances per call.)"""
+    from repro.testbed import build_testbed
+    from repro.testbed.experiments import PairSurveyRow, measure_pair
+
+    row = measure_pair(build_testbed(seed=11), 0, 1, t_work,
+                       duration=5.0, report_interval=0.5)
+    [via_survey] = survey_pairs(build_testbed(seed=11), t_work,
+                                duration=5.0, report_interval=0.5,
+                                pairs=[(0, 1)])
+    assert row == via_survey
+    assert row.to_dict()["plc_mean_mbps"] == row.plc_mean_mbps
+    assert PairSurveyRow.from_dict(row.to_dict()) == row
+
+
 def test_random_scale_lower_ble_during_working_hours(testbed):
     """§6.3: higher electrical load (working hours) → lower µ."""
     day = long_run_series(testbed, 0, 3, working_hours_start(),
