@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.campaign.spec import ExperimentSpec
 from repro.sim.clock import MainsClock
 from repro.sim.random import RandomStreams
@@ -129,6 +131,38 @@ def _ble_series(spec: ExperimentSpec, attempt: int) -> TaskOutput:
         "src": int(p["src"]), "dst": int(p["dst"]),
         "times": [float(t) for t in series.times],
         "ble_bps": [float(v) for v in series.values]}])
+
+
+# --- medium-agnostic link sampling --------------------------------------------
+
+
+@register_task("link_series")
+def _link_series(spec: ExperimentSpec, attempt: int) -> TaskOutput:
+    """Sample any registered medium's link through the ``repro.medium``
+    contract — the campaign engine's view of ``Link.sample_series``.
+
+    ``params``: ``src``, ``dst``, optional ``medium`` ("plc"/"wifi",
+    default "plc"), ``duration_s``, ``interval_s``, ``measured``.
+    """
+    p = spec.params_dict
+    testbed = build_preset_testbed(spec.preset, seed=spec.seed)
+    medium = str(p.get("medium", "plc"))
+    src, dst = int(p["src"]), int(p["dst"])
+    link = testbed.link(medium, src, dst)
+    if link is None:
+        raise ValueError(
+            f"no {medium} link between stations {src} and {dst}")
+    t0 = _start_time(p)
+    times = np.arange(t0, t0 + float(p.get("duration_s", 2.0)),
+                      float(p.get("interval_s", 0.1)))
+    series = link.sample_series(times,
+                                measured=bool(p.get("measured", True)))
+    return TaskOutput(records=[{
+        "src": src, "dst": dst, "medium": series.medium,
+        "times": [float(t) for t in series.times],
+        "capacity_bps": [float(v) for v in series.capacity_bps],
+        "throughput_bps": [float(v) for v in series.throughput_bps],
+        "loss": [float(v) for v in series.loss]}])
 
 
 # --- diagnostics --------------------------------------------------------------

@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.medium.link import Link
 from repro.plc import mac
 from repro.plc.frames import SofDelimiter
 from repro.plc.link import PlcLink
@@ -105,20 +106,25 @@ def u_etx_from_sofs(sofs: Sequence[SofDelimiter],
     return float(arr.mean()), float(arr.std()), len(arr)
 
 
-def measure_u_etx(link: PlcLink, t_start: float, duration: float,
+def measure_u_etx(link: Link, t_start: float, duration: float,
                   rng: np.random.Generator,
                   rate_bps: float = 150e3,
                   payload_bytes: int = 1500) -> UEtxResult:
     """The §8.1 protocol: 150 kbps unicast for 5 min, SoF capture,
-    timestamp-based retransmission classification."""
+    timestamp-based retransmission classification.
+
+    Works on any :class:`repro.medium.Link` whose ``loss`` column is a
+    PB-error probability (PLC links and the two-metric model)."""
     interval = payload_bytes * 8 / rate_bps
     sofs = capture_probe_flow(link, t_start, duration,
                               packet_interval_s=interval,
                               payload_bytes=payload_bytes, rng=rng)
     u_etx, std, packets = u_etx_from_sofs(sofs)
-    # PBerr sampled every 500 ms as in the paper.
-    pb_errs = [min(link.pb_err(t), 0.95)
-               for t in np.arange(t_start, t_start + duration, 0.5)]
+    # PBerr sampled every 500 ms as in the paper — one batch through the
+    # medium contract (an MM read: no measurement noise to draw).
+    times = np.arange(t_start, t_start + duration, 0.5)
+    loss = link.sample_series(times, measured=False).column("loss")
+    pb_errs = [float(p) for p in np.minimum(loss, 0.95)]
     n_pbs = mac.pbs_for_payload(payload_bytes, link.spec)
     predicted = float(np.mean([mac.expected_transmissions(n_pbs, p)
                                for p in pb_errs]))

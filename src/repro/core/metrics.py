@@ -14,6 +14,7 @@ from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.medium.registry import registered_media
 from repro.units import MBPS
 
 
@@ -21,7 +22,8 @@ from repro.units import MBPS
 class LinkMetricRecord:
     """One link-metric observation, the 1905 abstraction-layer payload.
 
-    Rates in bits/s. ``medium`` is "plc" or "wifi". Optional fields are
+    Rates in bits/s. ``medium`` is any *elemental* tag in the medium
+    registry ("plc" or "wifi" out of the box). Optional fields are
     filled by whichever measurement path produced the record (Table 2).
     """
 
@@ -36,8 +38,9 @@ class LinkMetricRecord:
     throughput_bps: Optional[float] = None
 
     def __post_init__(self) -> None:
-        if self.medium not in ("plc", "wifi"):
-            raise ValueError(f"unknown medium {self.medium!r}")
+        if self.medium not in registered_media():
+            raise ValueError(f"unknown medium {self.medium!r} "
+                             f"(registered: {registered_media()})")
         if self.capacity_bps < 0:
             raise ValueError("capacity cannot be negative")
         for name in ("loss_rate", "pb_err"):

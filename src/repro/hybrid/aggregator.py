@@ -11,7 +11,7 @@ exercises the reorder buffer for jitter measurements.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -23,13 +23,10 @@ from repro.hybrid.schedulers import (
     RoundRobinScheduler,
     fluid_goodput_bps,
 )
-from repro.plc.link import PlcLink
-from repro.plc.mac import SaturatedThroughputModel
+from repro.medium.link import Link
 from repro.sim.random import RandomStreams
 from repro.traffic.packet import Packet
 from repro.units import MBPS
-from repro.wifi.link import WifiLink
-from repro.wifi.phy import DCF_EFFICIENCY, select_mcs
 
 
 #: Media whose estimated capacity falls below this are left out of the
@@ -54,38 +51,32 @@ class AggregationResult:
 class HybridDevice:
     """Bonded PLC+WiFi path between two stations."""
 
-    def __init__(self, plc_link: PlcLink, wifi_link: WifiLink,
+    def __init__(self, plc_link: Link, wifi_link: Link,
                  streams: RandomStreams,
                  capacity_probe_interval_s: float = 1.0):
         self.plc_link = plc_link
         self.wifi_link = wifi_link
+        #: Medium tag → bonded link. Insertion order (PLC first) fixes the
+        #: per-medium RNG draw order of the smoothing windows.
+        self.links: Dict[str, Link] = {plc_link.medium: plc_link,
+                                       wifi_link.medium: wifi_link}
         self.capacity_probe_interval_s = capacity_probe_interval_s
         self._rng = streams.get(f"hybrid.{plc_link.name}|{wifi_link.name}")
-        self._plc_model = SaturatedThroughputModel(plc_link.spec)
 
     # --- capacity estimation (the §7.4 probing design) -------------------------
 
     def estimate_capacities_bps(self, t: float) -> Dict[str, float]:
         """Per-medium *application* capacity estimates at ``t``.
 
-        PLC: average BLE over the 6 tone-map slots (invariance-scale
-        averaging, §6.1) mapped through the MAC model.
-        WiFi: MCS averaged over the last second of transmissions — WiFi
-        varies too fast within a second for a point sample (§4.2).
+        Each link answers through the medium contract's ``capacity_bps``:
+        PLC averages BLE over the 6 tone-map slots (invariance-scale
+        averaging, §6.1) through the MAC model; WiFi averages the observed
+        MCS × availability over the last second — WiFi varies too fast
+        within a second for a point sample (§4.2). The device no longer
+        needs to know either medium's internals.
         """
-        ble = self.plc_link.avg_ble_bps(t)
-        plc_capacity = self._plc_model.throughput_bps(ble)
-        mcs_samples = np.arange(t - 1.0 + 0.1, t + 1e-9, 0.1)
-        # MCS gives the PHY rate; carrier-sense gives the airtime actually
-        # available — both observable at the interface each second.
-        rates = []
-        for x in mcs_samples:
-            state = self.wifi_link.channel.state(x)
-            entry = select_mcs(state.snr_db)
-            rates.append(entry.phy_rate_bps * state.availability)
-        wifi_capacity = float(np.mean(rates)) * DCF_EFFICIENCY
-        return {"plc": max(plc_capacity, 0.0),
-                "wifi": max(wifi_capacity, 0.0)}
+        return {m: max(link.capacity_bps(t), 0.0)
+                for m, link in self.links.items()}
 
     def _actual_capacities_bps(self, t: float,
                                smooth_s: float = 1.0) -> Dict[str, float]:
@@ -96,16 +87,12 @@ class HybridDevice:
         not the instantaneous fading sample — we average over ``smooth_s``.
         """
         if smooth_s <= 0:
-            return {"plc": self.plc_link.throughput_bps(t),
-                    "wifi": self.wifi_link.throughput_bps(t)}
+            return {m: link.throughput_bps(t)
+                    for m, link in self.links.items()}
         samples = np.arange(t - smooth_s / 2, t + smooth_s / 2 + 1e-9,
                             smooth_s / 5)
-        return {
-            "plc": float(np.mean([self.plc_link.throughput_bps(x)
-                                  for x in samples])),
-            "wifi": float(np.mean([self.wifi_link.throughput_bps(x)
-                                   for x in samples])),
-        }
+        return {m: float(np.mean(link.sample_series(samples).throughput_bps))
+                for m, link in self.links.items()}
 
     def _hybrid_goodput(self, estimated: Dict[str, float],
                         actual: Dict[str, float]) -> float:
@@ -194,7 +181,7 @@ class HybridDevice:
             rate = 2 * min(
                 self._actual_capacities_bps(t_start).values()) * 0.95
         interval = packet_bytes * 8 / max(rate, 1e5)
-        next_free = {"plc": t_start, "wifi": t_start}
+        next_free = {m: t_start for m in self.links}
         t = t_start
         seq = 0
         arrivals: List[Packet] = []

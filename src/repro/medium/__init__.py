@@ -1,0 +1,38 @@
+"""Medium-agnostic link contract and the registry of media.
+
+See :mod:`repro.medium.link` for the ``Link`` protocol and the batch
+``sample_series`` semantics, and :mod:`repro.medium.registry` for how
+consumers resolve medium tags to link facades and contention domains.
+"""
+
+from repro.medium.link import (
+    BatchSamplingMixin,
+    Link,
+    LinkSample,
+    LinkSeries,
+    series_from_samples,
+)
+from repro.medium.registry import (
+    MediumSpec,
+    constituent_media,
+    get_medium,
+    known_media,
+    register_composite,
+    register_medium,
+    registered_media,
+)
+
+__all__ = [
+    "BatchSamplingMixin",
+    "Link",
+    "LinkSample",
+    "LinkSeries",
+    "series_from_samples",
+    "MediumSpec",
+    "constituent_media",
+    "get_medium",
+    "known_media",
+    "register_composite",
+    "register_medium",
+    "registered_media",
+]

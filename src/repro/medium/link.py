@@ -1,0 +1,177 @@
+"""The medium-agnostic link contract.
+
+Every link facade — PLC, WiFi, or a synthetic model — exposes the same
+surface: a ``medium`` tag, scalar probes (``sample``, ``capacity_bps``,
+``throughput_bps``), and a vectorized ``sample_series`` that evaluates a
+whole time grid in one call and returns a :class:`LinkSeries` backed by a
+numpy structured array.
+
+The contract is *exact*: ``sample_series(ts)`` must equal the per-``t``
+``sample`` loop bit for bit, including consumption of the link's
+measurement-noise stream.  ``tests/test_medium_contract.py`` enforces
+this for every registered link type.
+
+``measured`` selects between the physical-layer expectation
+(``measured=False``, deterministic, consumes no random state) and a
+simulated measurement (``measured=True``, adds per-sample noise drawn
+from the link's own stateful stream).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Iterable, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.units import MBPS
+
+#: Fields common to every medium; subclasses append their own.
+BASE_FIELDS = (("time", "f8"), ("capacity_bps", "f8"),
+               ("throughput_bps", "f8"), ("loss", "f8"))
+
+
+@dataclass(frozen=True)
+class LinkSample:
+    """One scalar observation of a link at time ``time``.
+
+    ``capacity_bps`` is the medium's instantaneous PHY-derived capacity
+    estimate, ``throughput_bps`` the (optionally noise-measured)
+    saturated throughput, ``loss`` the dominant loss metric of the
+    medium (PB error rate for PLC, MCS-outage indicator for WiFi).
+    """
+
+    time: float
+    capacity_bps: float
+    throughput_bps: float
+    loss: float
+
+    @property
+    def capacity_mbps(self) -> float:
+        return self.capacity_bps / MBPS
+
+    @property
+    def throughput_mbps(self) -> float:
+        return self.throughput_bps / MBPS
+
+
+class LinkSeries:
+    """A column-oriented batch of link samples.
+
+    Thin wrapper over a numpy structured array: one row per timestamp,
+    one field per metric. Medium-specific fields (e.g. PLC's
+    ``ble_per_slot_bps``) live alongside the :data:`BASE_FIELDS`.
+    """
+
+    def __init__(self, data: np.ndarray, name: str, medium: str):
+        self.data = data
+        self.name = name
+        self.medium = medium
+
+    @classmethod
+    def allocate(cls, n: int, extra_fields: Sequence[tuple] = (),
+                 name: str = "link", medium: str = "plc") -> "LinkSeries":
+        dtype = np.dtype(list(BASE_FIELDS) + list(extra_fields))
+        return cls(np.zeros(n, dtype=dtype), name=name, medium=medium)
+
+    def column(self, field: str) -> np.ndarray:
+        return self.data[field]
+
+    @property
+    def times(self) -> np.ndarray:
+        return self.data["time"]
+
+    @property
+    def capacity_bps(self) -> np.ndarray:
+        return self.data["capacity_bps"]
+
+    @property
+    def throughput_bps(self) -> np.ndarray:
+        return self.data["throughput_bps"]
+
+    @property
+    def loss(self) -> np.ndarray:
+        return self.data["loss"]
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def to_metric_series(self, field: str = "throughput_bps"):
+        """Project one column into a :class:`repro.core.metrics.MetricSeries`."""
+        from repro.core.metrics import MetricSeries  # avoid import cycle
+        return MetricSeries(times=np.asarray(self.times, dtype=float),
+                            values=np.asarray(self.column(field),
+                                              dtype=float),
+                            name=f"{self.name}:{field}")
+
+
+def _field_dtype(name: str, value) -> tuple:
+    if isinstance(value, np.ndarray):
+        return (name, "f8", value.shape)
+    if isinstance(value, (bool, np.bool_, int, np.integer)):
+        return (name, "i8")
+    return (name, "f8")
+
+
+def series_from_samples(samples: Iterable[LinkSample], name: str,
+                        medium: str) -> LinkSeries:
+    """Pack scalar :class:`LinkSample` objects into a :class:`LinkSeries`.
+
+    Field layout is introspected from the first sample's dataclass
+    fields, so medium-specific subclasses round-trip automatically.
+    """
+    samples = list(samples)
+    if not samples:
+        return LinkSeries.allocate(0, name=name, medium=medium)
+    base_names = {f[0] for f in BASE_FIELDS}
+    first = samples[0]
+    extra = [_field_dtype(f.name, getattr(first, f.name))
+             for f in dataclasses.fields(first) if f.name not in base_names]
+    series = LinkSeries.allocate(len(samples), extra_fields=extra,
+                                 name=name, medium=medium)
+    field_names = [f.name for f in dataclasses.fields(first)]
+    for i, sample in enumerate(samples):
+        for field in field_names:
+            series.data[field][i] = getattr(sample, field)
+    return series
+
+
+@runtime_checkable
+class Link(Protocol):
+    """Structural type every medium facade satisfies.
+
+    Consumers (traffic generators, experiment runners, the hybrid
+    aggregator, the fluid scenario runner) must depend only on this
+    surface — never on channel internals.
+    """
+
+    name: str
+    medium: str
+
+    def sample(self, t: float, measured: bool = True) -> LinkSample: ...
+
+    def sample_series(self, ts: np.ndarray,
+                      measured: bool = True) -> LinkSeries: ...
+
+    def capacity_bps(self, t: float) -> float: ...
+
+    def throughput_bps(self, t: float, measured: bool = True) -> float: ...
+
+    def is_connected(self, t: float) -> bool: ...
+
+
+class BatchSamplingMixin:
+    """Derives ``sample_series`` from the scalar ``sample``.
+
+    Correct for any link (the contract *is* the scalar loop); subclasses
+    override ``sample_series`` with a vectorized implementation when the
+    scalar path is too slow, and the conformance suite checks the
+    override against this definition.
+    """
+
+    def sample_series(self, ts: np.ndarray,
+                      measured: bool = True) -> LinkSeries:
+        samples = [self.sample(float(t), measured=measured) for t in ts]
+        return series_from_samples(samples, name=getattr(self, "name", "link"),
+                                   medium=getattr(self, "medium", "plc"))

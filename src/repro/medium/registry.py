@@ -1,0 +1,93 @@
+"""Registry of transmission media.
+
+Maps a medium tag (``"plc"``, ``"wifi"``, composite ``"hybrid"``) to the
+operations a consumer needs to stay medium-agnostic: fetching the link
+facade for a station pair from a testbed and naming the contention
+domain a flow competes in.  ``netsim.runner`` and ``campaign.tasks``
+dispatch through this table instead of ``if medium == ...`` ladders, so
+adding a third medium is a single :func:`register_medium` call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+
+@dataclass(frozen=True)
+class MediumSpec:
+    """One elemental medium: how to get links and contention domains."""
+
+    tag: str
+    get_link: Callable[[object, int, int], object]
+    contention_domain: Callable[[object, int], str]
+
+
+_MEDIA: Dict[str, MediumSpec] = {}
+_COMPOSITES: Dict[str, Tuple[str, ...]] = {}
+
+
+def register_medium(spec: MediumSpec) -> None:
+    _MEDIA[spec.tag] = spec
+
+
+def register_composite(tag: str, constituents: Tuple[str, ...]) -> None:
+    for constituent in constituents:
+        if constituent not in _MEDIA:
+            raise KeyError(f"unknown constituent medium {constituent!r}")
+    _COMPOSITES[tag] = tuple(constituents)
+
+
+def get_medium(tag: str) -> MediumSpec:
+    try:
+        return _MEDIA[tag]
+    except KeyError:
+        raise KeyError(
+            f"unknown medium {tag!r}; registered: {registered_media()}"
+        ) from None
+
+
+def registered_media() -> Tuple[str, ...]:
+    """Elemental media, in registration order."""
+    return tuple(_MEDIA)
+
+
+def known_media() -> Tuple[str, ...]:
+    """Every valid flow-request medium tag, elemental and composite."""
+    return tuple(_MEDIA) + tuple(_COMPOSITES)
+
+
+def constituent_media(tag: str) -> Tuple[str, ...]:
+    """The elemental media a flow on ``tag`` actually occupies."""
+    if tag in _MEDIA:
+        return (tag,)
+    try:
+        return _COMPOSITES[tag]
+    except KeyError:
+        raise KeyError(
+            f"unknown medium {tag!r}; known: {known_media()}") from None
+
+
+def _plc_link(testbed, src: int, dst: int):
+    return testbed.plc_link(src, dst)
+
+
+def _wifi_link(testbed, src: int, dst: int):
+    return testbed.wifi_link(src, dst)
+
+
+def _plc_domain(testbed, src: int) -> str:
+    return f"plc:{testbed.board_of(src)}"
+
+
+def _wifi_domain(testbed, src: int) -> str:
+    return "wifi:floor"
+
+
+register_medium(MediumSpec(tag="plc", get_link=_plc_link,
+                           contention_domain=_plc_domain))
+register_medium(MediumSpec(tag="wifi", get_link=_wifi_link,
+                           contention_domain=_wifi_domain))
+# A hybrid flow rides both elemental media; PLC first mirrors the
+# aggregator's probing order.
+register_composite("hybrid", ("plc", "wifi"))

@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.cache import CacheStats, WindowedLruCache
+from repro.medium.registry import constituent_media, get_medium
 from repro.netsim.scenario import FlowRequest, FlowResult, Scenario
 
 
@@ -65,7 +66,9 @@ def results_to_campaign(results: Dict[str, "FlowResult"],
             time=result.completed_at if result.finished
             else request.start_s + result.active_time_s,
             src=str(request.src), dst=str(request.dst),
-            medium="wifi" if request.medium == "wifi" else "plc",
+            # Records are per elemental medium; a composite flow is filed
+            # under its primary constituent (PLC for the hybrid bond).
+            medium=constituent_media(request.medium)[0],
             capacity_bps=result.mean_rate_bps,
             throughput_bps=result.mean_rate_bps))
     return campaign
@@ -167,18 +170,15 @@ class ScenarioRunner:
 
     def _compute_capacity(self, flow: FlowRequest, medium: str,
                           t: float) -> float:
-        if medium == "plc":
-            link = self.testbed.plc_link(flow.src, flow.dst)
-            if link is None:
-                return 0.0
-            return max(link.throughput_bps(t, measured=False), 0.0)
-        return max(self.testbed.wifi_link(flow.src, flow.dst)
-                   .throughput_bps(t, measured=False), 0.0)
+        link = get_medium(medium).get_link(self.testbed, flow.src,
+                                           flow.dst)
+        if link is None:  # e.g. PLC pairs split across boards
+            return 0.0
+        return max(link.throughput_bps(t, measured=False), 0.0)
 
     def _domain(self, flow: FlowRequest, medium: str) -> str:
-        if medium == "plc":
-            return f"plc:{self.testbed.board_of(flow.src)}"
-        return "wifi:floor"  # one shared 20 MHz channel (§4.1 setup)
+        return get_medium(medium).contention_domain(self.testbed,
+                                                    flow.src)
 
     # --- main loop -----------------------------------------------------------------
 
@@ -246,7 +246,7 @@ class ScenarioRunner:
 
     @staticmethod
     def _media(flow: FlowRequest) -> Tuple[str, ...]:
-        return ("plc", "wifi") if flow.medium == "hybrid" else (flow.medium,)
+        return constituent_media(flow.medium)
 
     # --- one quantum --------------------------------------------------------------
 

@@ -5,10 +5,10 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro.medium.registry import known_media
 from repro.units import MBPS
 
 VALID_KINDS = ("saturated", "cbr", "file")
-VALID_MEDIA = ("plc", "wifi", "hybrid")
 
 
 @dataclass(frozen=True)
@@ -35,8 +35,9 @@ class FlowRequest:
     def __post_init__(self) -> None:
         if self.kind not in VALID_KINDS:
             raise ValueError(f"unknown flow kind {self.kind!r}")
-        if self.medium not in VALID_MEDIA:
-            raise ValueError(f"unknown medium {self.medium!r}")
+        if self.medium not in known_media():
+            raise ValueError(f"unknown medium {self.medium!r} "
+                             f"(known: {known_media()})")
         if self.kind == "cbr" and not self.rate_bps:
             raise ValueError("cbr flows need rate_bps")
         if self.kind == "file" and not self.size_bytes:

@@ -27,7 +27,7 @@ literature it cites, [15]):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -79,6 +79,21 @@ class JitterState:
     hold_time_s: float    # time between jitter re-draws
     impulse_prob: float   # chance a hold interval is an impulsive dip
     impulse_depth_db: float
+
+
+@dataclass(frozen=True)
+class SnrGroup:
+    """One (appliance signature, jitter interval) group of a time grid.
+
+    ``indices`` are positions into the grid passed to
+    :meth:`PlcChannel.snr_series_groups`; every one of them sees the same
+    ``snr_db`` grid (shape (carriers, slots)).
+    """
+
+    indices: np.ndarray
+    base_snr_db: np.ndarray
+    snr_db: np.ndarray
+    impulsive_rate_hz: float
 
 
 class PlcChannel:
@@ -210,6 +225,17 @@ class PlcChannel:
                            impulse_prob=float(impulse_prob),
                            impulse_depth_db=2.5)
 
+    def _draw_jitter(self, rng: np.random.Generator,
+                     state: JitterState) -> np.ndarray:
+        """One hold interval's jitter draws from its (re)played stream."""
+        common = state.sigma_db * rng.standard_normal()
+        per_slot = 0.3 * state.sigma_db * rng.standard_normal(
+            self.spec.num_slots)
+        jitter = common + per_slot
+        if rng.uniform() < state.impulse_prob:
+            jitter -= state.impulse_depth_db * rng.uniform(0.5, 1.0)
+        return jitter
+
     def jitter_db(self, t: float) -> Tuple[np.ndarray, JitterState]:
         """Per-slot jitter (dB) at time ``t``; piecewise constant.
 
@@ -222,12 +248,7 @@ class PlcChannel:
         if getattr(self, "_jitter_cache_key", None) == cache_key:
             return self._jitter_cache_value, state
         rng = self._streams.fresh(f"plc.jitter.{self.name}.{index}")
-        common = state.sigma_db * rng.standard_normal()
-        per_slot = 0.3 * state.sigma_db * rng.standard_normal(
-            self.spec.num_slots)
-        jitter = common + per_slot
-        if rng.uniform() < state.impulse_prob:
-            jitter -= state.impulse_depth_db * rng.uniform(0.5, 1.0)
+        jitter = self._draw_jitter(rng, state)
         self._jitter_cache_key = cache_key
         self._jitter_cache_value = jitter
         return jitter, state
@@ -253,6 +274,58 @@ class PlcChannel:
     def mean_snr_db(self, t: float) -> float:
         """Carrier/slot-average SNR (quick quality scalar)."""
         return float(np.mean(self.snr_db(t, include_jitter=False)))
+
+    def snr_series_groups(self, ts: np.ndarray) -> "list[SnrGroup]":
+        """Group a time grid by channel state and evaluate SNR once per group.
+
+        The channel is piecewise constant on two timescales: the appliance
+        on/off signature (base SNR, jitter parameters, impulsive rate) and
+        the jitter hold interval (the jitter draw). Every timestamp within
+        one (signature, interval) pair sees byte-identical SNR, so the
+        batch sampling path computes each group's grids once and fans the
+        results back out. Groups are returned in first-appearance order;
+        their ``indices`` partition ``range(len(ts))``.
+        """
+        ts = np.asarray(ts, dtype=float)
+        sig_ids: Dict[tuple, int] = {}
+        bases: list = []
+        states: list = []
+        rates: list = []
+        group_ids: Dict[Tuple[int, int], int] = {}
+        group_keys: list = []
+        members: list = []
+        for i, t in enumerate(ts):
+            t = float(t)
+            signature = self.load.state_signature(t)
+            sid = sig_ids.get(signature)
+            if sid is None:
+                sid = len(bases)
+                sig_ids[signature] = sid
+                # The cached arrays are replaced (never mutated) on state
+                # change, so holding references across groups is safe.
+                bases.append(self.snr_db(t, include_jitter=False))
+                states.append(self.jitter_state(t))
+                rates.append(self.load.impulsive_event_rate_at(
+                    self.dst_outlet, t))
+            key = (sid, int(t / states[sid].hold_time_s))
+            gid = group_ids.get(key)
+            if gid is None:
+                gid = len(group_keys)
+                group_ids[key] = gid
+                group_keys.append(key)
+                members.append([])
+            members[gid].append(i)
+        names = [f"plc.jitter.{self.name}.{jdx}" for _, jdx in group_keys]
+        groups: list = []
+        for g, rng in self._streams.fresh_batch(names):
+            sid, _ = group_keys[g]
+            jitter = self._draw_jitter(rng, states[sid])
+            groups.append(SnrGroup(
+                indices=np.asarray(members[g], dtype=np.intp),
+                base_snr_db=bases[sid],
+                snr_db=bases[sid] + jitter[None, :],
+                impulsive_rate_hz=rates[sid]))
+        return groups
 
     def is_usable(self, t: float, min_mean_snr_db: float = -2.0) -> bool:
         """Whether the link supports any connectivity at all."""

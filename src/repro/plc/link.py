@@ -9,6 +9,12 @@ PHY/MAC models and answers the questions the paper's tools answer:
 * ``throughput_bps(t)`` — what a saturated iperf measures (Fig. 3, 7, 15);
 * ``u_etx(t)`` / ``broadcast_loss_probability(t)`` — §8's metrics.
 
+It implements the :class:`repro.medium.Link` contract (``medium == "plc"``)
+including the vectorized ``sample_series``: the channel is piecewise
+constant per (appliance signature, jitter interval), so the batch path
+evaluates the PHY/MAC chain once per group instead of once per timestamp —
+bit-identical to the scalar loop (``tests/test_medium_contract``).
+
 This is the *tracked* view: it assumes traffic is flowing so tone maps follow
 the channel (the paper's saturated-measurement setting). The stateful
 tone-map update dynamics live in :class:`~repro.plc.tonemap.ToneMapProcess`
@@ -23,34 +29,38 @@ from typing import Optional
 
 import numpy as np
 
+from repro.medium.link import BatchSamplingMixin, LinkSample, LinkSeries
 from repro.plc import mac, phy
 from repro.plc.channel import PlcChannel
 from repro.plc.spec import PlcSpec
 from repro.sim.random import RandomStreams
 from repro.units import MBPS
 
+#: Measurement noise of a 100 ms saturated throughput reading.
+MEASUREMENT_NOISE_BPS = 0.3 * MBPS
+
 
 @dataclass(frozen=True)
-class LinkSample:
-    """One measurement instant of a PLC link (all rates in bits/s)."""
+class PlcSample(LinkSample):
+    """One measurement instant of a PLC link (all rates in bits/s).
 
-    time: float
-    ble_per_slot_bps: np.ndarray
-    avg_ble_bps: float
-    pb_err: float
-    throughput_bps: float
+    ``capacity_bps`` is the slot-averaged BLE mapped through the MAC
+    model (the §7.4 capacity estimate); ``loss`` equals ``pb_err``.
+    """
+
+    ble_per_slot_bps: np.ndarray = None
+    avg_ble_bps: float = 0.0
+    pb_err: float = 0.0
 
     @property
     def avg_ble_mbps(self) -> float:
         return self.avg_ble_bps / MBPS
 
-    @property
-    def throughput_mbps(self) -> float:
-        return self.throughput_bps / MBPS
 
-
-class PlcLink:
+class PlcLink(BatchSamplingMixin):
     """One direction of a PLC link under (assumed) saturated tracking."""
+
+    medium = "plc"
 
     def __init__(self, channel: PlcChannel, streams: RandomStreams,
                  name: Optional[str] = None):
@@ -76,6 +86,19 @@ class PlcLink:
 
     # --- PB errors -----------------------------------------------------------------
 
+    def _pb_err_from_grids(self, base_snr_db: np.ndarray,
+                           snr_db: np.ndarray,
+                           impulsive_rate_hz: float) -> float:
+        """Realised PBerr given the smoothed and the jittered SNR grids."""
+        bits = np.minimum(phy.select_bits(base_snr_db,
+                                          phy.DEFAULT_BACKOFF_DB),
+                          self.spec.max_modulation_bits)
+        per_slot = [
+            phy.pb_error_probability(snr_db[:, s], bits[:, s],
+                                     impulsive_rate_hz)
+            for s in range(self.spec.num_slots)]
+        return float(np.mean(per_slot))
+
     def pb_err(self, t: float) -> float:
         """Realised PB error rate under tracked tone maps (``ampstat``).
 
@@ -84,18 +107,20 @@ class PlcLink:
         currently-jittered SNR — so noisy links show elevated PBerr even
         though their tone maps target the same error rate (Fig. 7 right).
         """
-        base = self.channel.snr_db(t, include_jitter=False)
-        bits = np.minimum(phy.select_bits(base, phy.DEFAULT_BACKOFF_DB),
-                          self.spec.max_modulation_bits)
-        actual = self.channel.snr_db(t)
-        impulse = self.channel.load.impulsive_event_rate_at(
-            self.channel.dst_outlet, t)
-        per_slot = [
-            phy.pb_error_probability(actual[:, s], bits[:, s], impulse)
-            for s in range(self.spec.num_slots)]
-        return float(np.mean(per_slot))
+        return self._pb_err_from_grids(
+            self.channel.snr_db(t, include_jitter=False),
+            self.channel.snr_db(t),
+            self.channel.load.impulsive_event_rate_at(
+                self.channel.dst_outlet, t))
 
     # --- throughput -------------------------------------------------------------------
+
+    def capacity_bps(self, t: float) -> float:
+        """§7.4 application-capacity estimate: slot-averaged BLE
+        (invariance-scale averaging, §6.1) through the MAC model."""
+        return float(max(
+            self._throughput_model.throughput_bps(self.avg_ble_bps(t)),
+            0.0))
 
     def throughput_bps(self, t: float, measured: bool = True) -> float:
         """Saturated UDP throughput at ``t``.
@@ -109,7 +134,7 @@ class PlcLink:
         if thr <= 0:
             return 0.0
         if measured:
-            thr += self._rng.normal(0.0, 0.3 * MBPS)
+            thr += self._rng.normal(0.0, MEASUREMENT_NOISE_BPS)
         return max(thr, 0.0)
 
     def is_connected(self, t: float,
@@ -138,13 +163,61 @@ class PlcLink:
 
     # --- convenience --------------------------------------------------------------------
 
-    def sample(self, t: float) -> LinkSample:
+    def sample(self, t: float, measured: bool = True) -> PlcSample:
         """Take a full measurement snapshot at ``t``."""
         per_slot = self.ble_per_slot_bps(t)
-        return LinkSample(
+        pb = self.pb_err(t)
+        return PlcSample(
             time=t,
+            capacity_bps=self.capacity_bps(t),
+            throughput_bps=self.throughput_bps(t, measured=measured),
+            loss=pb,
             ble_per_slot_bps=per_slot,
             avg_ble_bps=float(np.mean(per_slot)),
-            pb_err=self.pb_err(t),
-            throughput_bps=self.throughput_bps(t),
+            pb_err=pb,
         )
+
+    def sample_series(self, ts: np.ndarray,
+                      measured: bool = True) -> LinkSeries:
+        """Vectorized :meth:`sample` over a time grid.
+
+        Runs the PHY/MAC chain once per (appliance signature, jitter
+        interval) group — the timescales on which the channel actually
+        changes — and fans the values back out to every timestamp.
+        """
+        ts = np.asarray(ts, dtype=float)
+        series = LinkSeries.allocate(
+            len(ts),
+            extra_fields=[("ble_per_slot_bps", "f8",
+                           (self.spec.num_slots,)),
+                          ("avg_ble_bps", "f8"), ("pb_err", "f8")],
+            name=self.name, medium=self.medium)
+        data = series.data
+        data["time"] = ts
+        for group in self.channel.snr_series_groups(ts):
+            per_slot = phy.ble_from_snr(
+                group.snr_db, self.spec,
+                impulsive_rate_hz=group.impulsive_rate_hz)
+            avg_ble = float(np.mean(per_slot))
+            pb = self._pb_err_from_grids(group.base_snr_db, group.snr_db,
+                                         group.impulsive_rate_hz)
+            residual = max(0.0, pb - self.spec.target_pb_error)
+            thr = self._throughput_model.throughput_bps(avg_ble, residual)
+            idx = group.indices
+            data["ble_per_slot_bps"][idx] = per_slot
+            data["avg_ble_bps"][idx] = avg_ble
+            data["pb_err"][idx] = pb
+            data["loss"][idx] = pb
+            data["capacity_bps"][idx] = max(
+                self._throughput_model.throughput_bps(avg_ble), 0.0)
+            data["throughput_bps"][idx] = thr if thr > 0 else 0.0
+        if measured:
+            thr_col = data["throughput_bps"]
+            positive = thr_col > 0
+            k = int(positive.sum())
+            if k:
+                noisy = (thr_col[positive]
+                         + self._rng.normal(0.0, MEASUREMENT_NOISE_BPS,
+                                            size=k))
+                data["throughput_bps"][positive] = np.maximum(noisy, 0.0)
+        return series

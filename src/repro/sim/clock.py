@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.units import DAY, HALF_MAINS_CYCLE, HOUR, MAINS_CYCLE, WEEK
 
 #: Day-of-week names, index 0 = Monday (t=0 anchor).
@@ -91,6 +93,17 @@ class MainsClock:
     def is_working_hours(self, t: float) -> bool:
         """True on weekdays between 08:00 and 18:00 (office building)."""
         return (not self.is_weekend(t)) and 8.0 <= self.hour_of_day(t) < 18.0
+
+    def is_working_hours_series(self, ts) -> np.ndarray:
+        """Vectorized :meth:`is_working_hours` over a time array.
+
+        Matches the scalar method exactly: ``%``/``//`` on float64 arrays
+        compute the same values as Python-float arithmetic on each element.
+        """
+        ts = np.asarray(ts, dtype=float)
+        hours = (ts % DAY) / HOUR
+        weekdays = (ts % WEEK) // DAY
+        return (weekdays < 5) & (hours >= 8.0) & (hours < 18.0)
 
     @staticmethod
     def at(day: int = 0, hour: float = 0.0) -> float:

@@ -1,0 +1,148 @@
+"""Bit-exact vectorized replication of numpy's stream seeding.
+
+:meth:`repro.sim.random.RandomStreams.fresh` builds, per name, a
+``SeedSequence([seed, crc32(name)])`` and a ``PCG64`` generator from it.
+That costs ~13 µs per stream — fine for scalar sampling, but it dominates
+the batch sampling paths (``sample_series``), which need thousands of
+fresh per-interval streams (WiFi fading blocks, PLC jitter intervals) in
+one call.
+
+This module reproduces numpy's seeding arithmetic exactly, but hashes all
+names at once with vectorized uint32 operations:
+
+* :func:`seedseq_state_words` — ``SeedSequence([*seed_words, key]).
+  generate_state(4, uint64)`` for an array of keys (the entropy-pool hash
+  of ``numpy.random.bit_generator.SeedSequence``);
+* :func:`pcg64_seed_states` — the 128-bit ``(state, inc)`` pair
+  ``PCG64(seed_seq)`` derives from those four words (the reference
+  ``pcg64_srandom`` arithmetic).
+
+Bit-identity with numpy is asserted by ``tests/test_medium_contract.py``
+(and, transitively, by every golden trace): callers inject the computed
+state into a reused ``PCG64`` via its ``.state`` property and draw —
+yielding exactly the values a fresh ``Generator`` would produce.
+
+The replicated constants are numpy's published seeding algorithm
+(stable across numpy versions by compatibility guarantee: changing it
+would break every seeded stream in the ecosystem).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+#: SeedSequence entropy-pool hash constants (numpy bit_generator.pyx).
+_POOL_SIZE = 4
+_INIT_A = 0x43B0D7E5
+_MULT_A = 0x931E8875
+_INIT_B = 0x8B51F9DD
+_MULT_B = 0x58F38DED
+_MIX_MULT_L = np.uint32(0xCA01F9DD)
+_MIX_MULT_R = np.uint32(0x4973F715)
+_XSHIFT = np.uint32(16)
+
+#: PCG64 default 128-bit LCG multiplier and the srandom state derivation.
+_PCG_MULT = (0x2360ED051FC65DA4 << 64) | 0x4385DF649FCCF645
+_MASK128 = (1 << 128) - 1
+_MASK32 = 0xFFFFFFFF
+
+
+def uint32_words(value: int) -> List[int]:
+    """Little-endian 32-bit decomposition of a non-negative int.
+
+    Matches numpy's ``_int_to_uint32_array`` (at least one word, so 0
+    contributes one zero word to the entropy pool).
+    """
+    value = int(value)
+    if value < 0:
+        raise ValueError("entropy values must be non-negative")
+    words = []
+    while True:
+        words.append(value & _MASK32)
+        value >>= 32
+        if not value:
+            break
+    return words
+
+
+def seedseq_state_words(seed_words: List[int], keys: np.ndarray
+                        ) -> Tuple[np.ndarray, ...]:
+    """``SeedSequence([*seed_words, key]).generate_state(4, uint64)``,
+    vectorized over ``keys``.
+
+    Returns four uint64 arrays ``(w0, w1, w2, w3)`` aligned with ``keys``.
+    Raises :class:`NotImplementedError` when the entropy does not fit the
+    4-word pool (only possible for seeds wider than 96 bits) — callers
+    fall back to the scalar path.
+    """
+    keys = np.ascontiguousarray(keys, dtype=np.uint32)
+    entropy = [np.full(keys.shape, w, dtype=np.uint32) for w in seed_words]
+    entropy.append(keys)
+    if len(entropy) > _POOL_SIZE:
+        raise NotImplementedError(
+            "entropy wider than the SeedSequence pool; use the scalar path")
+
+    # ``hash_const`` evolves identically for every key (its updates do not
+    # depend on the data), so it stays a Python scalar threaded through
+    # the vectorized hash in numpy's exact operation order.
+    hash_const = _INIT_A
+
+    def hashmix(values: np.ndarray) -> np.ndarray:
+        nonlocal hash_const
+        values = values ^ np.uint32(hash_const)
+        hash_const = (hash_const * _MULT_A) & _MASK32
+        values = values * np.uint32(hash_const)
+        return values ^ (values >> _XSHIFT)
+
+    def mix(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        result = x * _MIX_MULT_L - y * _MIX_MULT_R
+        return result ^ (result >> _XSHIFT)
+
+    zero = np.zeros(keys.shape, dtype=np.uint32)
+    pool = [hashmix(entropy[i]) if i < len(entropy) else hashmix(zero)
+            for i in range(_POOL_SIZE)]
+    for i_src in range(_POOL_SIZE):
+        for i_dst in range(_POOL_SIZE):
+            if i_src != i_dst:
+                pool[i_dst] = mix(pool[i_dst], hashmix(pool[i_src]))
+    # len(entropy) <= pool size, so there is no remaining-entropy pass.
+
+    hash_const = _INIT_B
+    out32 = []
+    for i_dst in range(2 * _POOL_SIZE):
+        data = pool[i_dst % _POOL_SIZE] ^ np.uint32(hash_const)
+        hash_const = (hash_const * _MULT_B) & _MASK32
+        data = data * np.uint32(hash_const)
+        out32.append(data ^ (data >> _XSHIFT))
+    return tuple(out32[2 * i].astype(np.uint64)
+                 | (out32[2 * i + 1].astype(np.uint64) << np.uint64(32))
+                 for i in range(_POOL_SIZE))
+
+
+def pcg64_seed_states(seed: int, keys: np.ndarray
+                      ) -> List[Tuple[int, int]]:
+    """Per-key 128-bit ``(state, inc)`` of ``PCG64(SeedSequence([seed, key]))``.
+
+    The four seed-sequence words map onto PCG64's ``srandom``:
+    ``initstate = w0 << 64 | w1``, ``initseq = w2 << 64 | w3``,
+    ``inc = initseq << 1 | 1`` and
+    ``state = (inc + initstate) * MULT + inc`` (mod 2^128).
+    """
+    w0, w1, w2, w3 = seedseq_state_words(uint32_words(seed), keys)
+    states = []
+    for k in range(len(w0)):
+        initstate = (int(w0[k]) << 64) | int(w1[k])
+        initseq = (int(w2[k]) << 64) | int(w3[k])
+        inc = ((initseq << 1) | 1) & _MASK128
+        states.append((((inc + initstate) * _PCG_MULT + inc) & _MASK128,
+                       inc))
+    return states
+
+
+def pcg64_state_dict(state: int, inc: int) -> dict:
+    """The ``.state`` payload that re-seeds a reused ``PCG64`` in place."""
+    return {"bit_generator": "PCG64",
+            "state": {"state": state, "inc": inc},
+            "has_uint32": 0, "uinteger": 0}

@@ -7,6 +7,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.medium.registry import get_medium
 from repro.plc.link import PlcLink
 from repro.plc.mm import MmClient
 from repro.plc.network import PlcNetwork
@@ -26,7 +27,6 @@ from repro.testbed.presets import (
     resolve_testbed_preset,
 )
 from repro.units import MBPS
-from repro.wifi.channel import WifiChannel
 from repro.wifi.link import WifiLink
 
 
@@ -76,11 +76,15 @@ class Testbed:
         """Directed WiFi link i→j (WiFi ignores the electrical wiring)."""
         key = (i, j)
         if key not in self._wifi_links:
-            channel = WifiChannel(self.sites[i].position,
-                                  self.sites[j].position,
-                                  self.streams, name=f"{i}->{j}")
-            self._wifi_links[key] = WifiLink(channel, self.streams)
+            self._wifi_links[key] = WifiLink.between(
+                self.sites[i].position, self.sites[j].position,
+                self.streams, name=f"{i}->{j}")
         return self._wifi_links[key]
+
+    def link(self, medium: str, i: int, j: int):
+        """Medium-agnostic link lookup: dispatches through the medium
+        registry, so consumers never branch on the tag themselves."""
+        return get_medium(medium).get_link(self, i, j)
 
     def mm_client(self, board: str) -> MmClient:
         """The management-message client for one AVLN (§3.2 tooling)."""

@@ -98,21 +98,29 @@ def poll_ble_series(testbed: Testbed, src: int, dst: int, t_start: float,
                     ) -> MetricSeries:
     """§6.2's protocol: request average BLE by MM every 50 ms.
 
-    Uses a fresh MM session (experiments jump around in simulated time; the
-    per-device rate limit is meaningful only within one session).
+    The whole poll sequence is one ``sample_series`` batch over the link's
+    medium contract — the MM floor of one request per 50 ms is still
+    enforced up front, because §6.2's measurement design depends on it.
     """
-    from repro.plc.mm import MmClient
+    from repro.plc.mm import MM_MIN_INTERVAL_S, MmRateLimitError
 
-    board = testbed.board_of(src)
-    mm = MmClient(testbed.networks[board])
+    if interval < MM_MIN_INTERVAL_S - 1e-9:
+        raise MmRateLimitError(
+            f"polling every {interval:.3f}s is below the MM floor of "
+            f"{MM_MIN_INTERVAL_S}s")
     link = testbed.plc_link(src, dst)
     assert link is not None
     times = np.arange(t_start, t_start + duration, interval)
-    # The MM client enforces its own rate limit; a direct link read models
-    # the same data path without double-counting MM bookkeeping per sample.
-    values = [mm.int6krate(str(src), str(dst), float(t)) * MBPS
-              for t in times]
-    return MetricSeries(times, values, name=f"BLE-{src}-{dst}")
+    # int6krate reports in Mbps; mirror its round-trip scaling exactly.
+    values = link.sample_series(times,
+                                measured=False).column("avg_ble_bps")
+    return MetricSeries(times, values / MBPS * MBPS,
+                        name=f"BLE-{src}-{dst}")
+
+
+#: Figs. 12–14 metric names → medium-contract series columns.
+_LONG_RUN_COLUMNS = {"ble": "avg_ble_bps", "throughput": "throughput_bps",
+                     "pberr": "pb_err"}
 
 
 def long_run_series(testbed: Testbed, src: int, dst: int, t_start: float,
@@ -121,16 +129,16 @@ def long_run_series(testbed: Testbed, src: int, dst: int, t_start: float,
     """Random-scale sampling (Figs. 12–14): one sample per ``interval``."""
     link = testbed.plc_link(src, dst)
     assert link is not None
+    try:
+        column = _LONG_RUN_COLUMNS[metric]
+    except KeyError:
+        raise ValueError(f"unknown metric {metric!r}") from None
     times = np.arange(t_start, t_start + duration, interval)
-    if metric == "ble":
-        values = [link.avg_ble_bps(float(t)) for t in times]
-    elif metric == "throughput":
-        values = [link.throughput_bps(float(t)) for t in times]
-    elif metric == "pberr":
-        values = [link.pb_err(float(t)) for t in times]
-    else:
-        raise ValueError(f"unknown metric {metric!r}")
-    return MetricSeries(times, values, name=f"{metric}-{src}-{dst}")
+    # Only throughput carries measurement noise; BLE/PBerr are MM reads.
+    series = link.sample_series(times,
+                                measured=(metric == "throughput"))
+    return MetricSeries(times, series.column(column),
+                        name=f"{metric}-{src}-{dst}")
 
 
 def working_hours_start(clock: Optional[MainsClock] = None,

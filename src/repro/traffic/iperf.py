@@ -1,21 +1,21 @@
 """iperf-equivalent throughput measurement (Table 2's ``T``).
 
-Works against anything exposing ``throughput_bps(t)`` — both
+Works against any :class:`repro.medium.Link` — both
 :class:`~repro.plc.link.PlcLink` and :class:`~repro.wifi.link.WifiLink` —
-and returns a :class:`~repro.core.metrics.MetricSeries` of the periodic
-reports, like iperf's interval lines.
+sampling through the contract's vectorized ``sample_series`` and returning
+a :class:`~repro.core.metrics.MetricSeries` of the periodic reports, like
+iperf's interval lines.
 """
 
 from __future__ import annotations
 
-from typing import List
-
 import numpy as np
 
 from repro.core.metrics import MetricSeries
+from repro.medium.link import Link
 
 
-def run_udp_test(link, t_start: float, duration: float,
+def run_udp_test(link: Link, t_start: float, duration: float,
                  report_interval: float = 0.1) -> MetricSeries:
     """Saturated UDP test: throughput reports every ``report_interval``.
 
@@ -27,30 +27,44 @@ def run_udp_test(link, t_start: float, duration: float,
     if report_interval <= 0:
         raise ValueError("report interval must be positive")
     times = np.arange(t_start, t_start + duration, report_interval)
-    values = [link.throughput_bps(t) for t in times]
-    return MetricSeries(times, values, name=getattr(link, "name", "link"))
+    series = link.sample_series(times)
+    return MetricSeries(times, series.throughput_bps,
+                        name=getattr(link, "name", "link"))
 
 
-def completion_time_s(link, t_start: float, size_bytes: float,
+def completion_time_s(link: Link, t_start: float, size_bytes: float,
                       step_s: float = 1.0, max_time_s: float = 24 * 3600.0
                       ) -> float:
     """Time to move ``size_bytes`` over a single link (Fig. 20 right).
 
-    Integrates the link's instantaneous throughput until the transfer
-    completes. Raises if the link cannot finish within ``max_time_s`` —
-    effectively an unusable link for the transfer.
+    Integrates the link's instantaneous throughput until the cumulative
+    bits cross the transfer size, interpolating within the final step.
+    Raises if the link cannot finish within ``max_time_s`` — effectively
+    an unusable link for the transfer.
     """
     if size_bytes <= 0:
         raise ValueError("size must be positive")
-    remaining = size_bytes * 8.0
-    t = t_start
-    while remaining > 0:
-        if t - t_start > max_time_s:
-            raise RuntimeError(
-                f"transfer did not complete within {max_time_s} s")
-        rate = max(link.throughput_bps(t), 0.0)
-        remaining -= rate * step_s
-        t += step_s
-    # Interpolate the final partial step: ``remaining`` is negative by the
-    # overshoot bits, which took overshoot/rate seconds too many.
-    return (t - t_start) - (-remaining) / max(rate, 1.0)
+    need_bits = size_bytes * 8.0
+    chunk = 512  # steps sampled per batch
+    moved = 0.0
+    offset = 0
+    while offset * step_s <= max_time_s:
+        times = t_start + (offset + np.arange(chunk)) * step_s
+        rates = np.maximum(link.sample_series(times).throughput_bps, 0.0)
+        cumulative = moved + np.cumsum(rates * step_s)
+        crossed = np.nonzero(cumulative >= need_bits)[0]
+        if len(crossed):
+            k = int(crossed[0])
+            if (offset + k) * step_s > max_time_s:
+                break
+            before = moved if k == 0 else float(cumulative[k - 1])
+            # rates[k] > 0 whenever the threshold is crossed at step k,
+            # so the interpolation is exact — no rate floor needed (the
+            # old ``max(rate, 1.0)`` fallback silently shaved up to a
+            # full second off near-stalled transfers).
+            fraction = (need_bits - before) / float(rates[k] * step_s)
+            return (offset + k + fraction) * step_s
+        moved = float(cumulative[-1])
+        offset += chunk
+    raise RuntimeError(
+        f"transfer did not complete within {max_time_s} s")

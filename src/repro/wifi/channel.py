@@ -18,7 +18,7 @@ mild WiFi asymmetry the paper reports (§5: up to 1.5× for good links).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -79,6 +79,7 @@ class WifiChannel:
         rng_dir = streams.fresh(f"wifi.direction.{name}")
         #: Small per-direction noise-figure offset (asymmetry, §5).
         self._direction_offset_db = float(rng_dir.normal(0.0, 0.8))
+        self._mean_snr_db: Optional[float] = None
 
     def distance_m(self) -> float:
         dx = self.src_pos[0] - self.dst_pos[0]
@@ -87,10 +88,31 @@ class WifiChannel:
 
     def mean_snr_db(self) -> float:
         """Long-term average SNR from the link budget."""
-        d = max(self.distance_m(), 1.0)
-        pl = PATH_LOSS_1M_DB + 10 * PATH_LOSS_EXPONENT * np.log10(d)
-        return (TX_POWER_DBM - pl - NOISE_FLOOR_DBM
-                + self._shadowing_db + self._direction_offset_db)
+        if self._mean_snr_db is None:
+            d = max(self.distance_m(), 1.0)
+            pl = PATH_LOSS_1M_DB + 10 * PATH_LOSS_EXPONENT * np.log10(d)
+            self._mean_snr_db = (TX_POWER_DBM - pl - NOISE_FLOOR_DBM
+                                 + self._shadowing_db
+                                 + self._direction_offset_db)
+        return self._mean_snr_db
+
+    def _draw_block_state(self, rng: np.random.Generator,
+                          busy: bool) -> WifiChannelState:
+        """One coherence block's draws from its (re)played stream."""
+        sigma = FADING_STD_BUSY_DB if busy else FADING_STD_QUIET_DB
+        fading = float(rng.normal(0.0, sigma))
+        # Occasional deep fade (person crossing the LoS).
+        if busy and rng.uniform() < 0.04:
+            fading -= float(rng.uniform(4.0, 12.0))
+        mean_avail = (BUSY_AVAILABILITY_MEAN if busy
+                      else QUIET_AVAILABILITY_MEAN)
+        availability = float(rng.normal(mean_avail, 0.10 if busy else 0.02))
+        if availability < 0.2:
+            availability = 0.2
+        elif availability > 1.0:
+            availability = 1.0
+        return WifiChannelState(snr_db=self.mean_snr_db() + fading,
+                                availability=availability)
 
     def state(self, t: float) -> WifiChannelState:
         """Instantaneous SNR + airtime availability at simulated time ``t``.
@@ -100,17 +122,32 @@ class WifiChannel:
         busy = self.clock.is_working_hours(t)
         block = int(t / COHERENCE_TIME_S)
         rng = self._streams.fresh(f"wifi.fading.{self.name}.{block}")
-        sigma = FADING_STD_BUSY_DB if busy else FADING_STD_QUIET_DB
-        fading = float(rng.normal(0.0, sigma))
-        # Occasional deep fade (person crossing the LoS).
-        if busy and rng.uniform() < 0.04:
-            fading -= float(rng.uniform(4.0, 12.0))
-        mean_avail = (BUSY_AVAILABILITY_MEAN if busy
-                      else QUIET_AVAILABILITY_MEAN)
-        availability = float(np.clip(
-            rng.normal(mean_avail, 0.10 if busy else 0.02), 0.2, 1.0))
-        return WifiChannelState(snr_db=self.mean_snr_db() + fading,
-                                availability=availability)
+        return self._draw_block_state(rng, busy)
+
+    def state_series(self, ts: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`state` → ``(snr_db, availability)`` arrays.
+
+        Bit-identical to the scalar path: unique (coherence block, busy)
+        pairs are drawn once through the batched stream seeder
+        (:meth:`RandomStreams.fresh_batch`) and broadcast back to every
+        timestamp; the scalar draw helper is shared, so the values agree
+        by construction.
+        """
+        ts = np.asarray(ts, dtype=float)
+        busy = self.clock.is_working_hours_series(ts)
+        blocks = (ts / COHERENCE_TIME_S).astype(np.int64)
+        # Key by (block, busy): a block straddling the working-hours edge
+        # replays the same stream with either sigma, as the scalar does.
+        keys = blocks * 2 + busy.astype(np.int64)
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        snr = np.empty(len(uniq))
+        avail = np.empty(len(uniq))
+        names = [f"wifi.fading.{self.name}.{int(k) >> 1}" for k in uniq]
+        for i, rng in self._streams.fresh_batch(names):
+            state = self._draw_block_state(rng, bool(uniq[i] & 1))
+            snr[i] = state.snr_db
+            avail[i] = state.availability
+        return snr[inverse], avail[inverse]
 
 
 def _pair_key(name: str) -> str:

@@ -77,3 +77,34 @@ def throughput_from_snr(snr_db: float,
         raise ValueError(f"availability must be in [0,1]: {availability}")
     entry = select_mcs(snr_db)
     return entry.phy_rate_bps * DCF_EFFICIENCY * availability
+
+
+def _selection_breakpoints() -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Breakpoint form of :func:`select_mcs` for vectorized lookup.
+
+    The winning entry is piecewise constant in SNR with breakpoints at the
+    table's thresholds; evaluating the scalar selector once per threshold
+    yields a lookup table that agrees with it everywhere by construction.
+    """
+    thresholds = np.array(sorted({e.min_snr_db for e in MCS_TABLE_2SS}))
+    winners = [select_mcs(float(snr)) for snr in thresholds]
+    return (thresholds,
+            np.array([w.index for w in winners], dtype=np.int64),
+            np.array([w.phy_rate_bps for w in winners]))
+
+
+_MCS_THRESHOLDS, _MCS_BEST_INDEX, _MCS_BEST_RATE = _selection_breakpoints()
+
+
+def select_mcs_series(snr_db: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`select_mcs` → ``(index, phy_rate_bps)`` arrays.
+
+    Index −1 / rate 0.0 below MCS0 sensitivity, exactly like the scalar
+    selector's no-association sentinel.
+    """
+    snr = np.asarray(snr_db, dtype=float)
+    pos = np.searchsorted(_MCS_THRESHOLDS, snr, side="right") - 1
+    valid = pos >= 0
+    safe = np.maximum(pos, 0)
+    return (np.where(valid, _MCS_BEST_INDEX[safe], -1),
+            np.where(valid, _MCS_BEST_RATE[safe], 0.0))

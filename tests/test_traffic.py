@@ -10,9 +10,40 @@ from repro.traffic.generators import (
     burst_schedule,
     packets_for_times,
 )
+from repro.medium.link import BatchSamplingMixin, LinkSample
 from repro.traffic.iperf import completion_time_s, run_udp_test
 from repro.traffic.packet import Packet
 from repro.units import MBPS
+
+
+class _StepLink(BatchSamplingMixin):
+    """Deterministic stub link: rate ``rates[k]`` during second ``k``
+    (the last rate persists), noise-free. Exercises the iperf meter's
+    integration without any channel model behind it."""
+
+    medium = "plc"
+    name = "step-stub"
+
+    def __init__(self, rates):
+        self._rates = [float(r) for r in rates]
+
+    def _rate(self, t: float) -> float:
+        k = min(max(int(t), 0), len(self._rates) - 1)
+        return self._rates[k]
+
+    def capacity_bps(self, t: float) -> float:
+        return self._rate(t)
+
+    def throughput_bps(self, t: float, measured: bool = True) -> float:
+        return self._rate(t)
+
+    def is_connected(self, t: float) -> bool:
+        return self._rate(t) > 0
+
+    def sample(self, t: float, measured: bool = True) -> LinkSample:
+        rate = self._rate(t)
+        return LinkSample(time=float(t), capacity_bps=rate,
+                          throughput_bps=rate, loss=0.0)
 
 
 def test_packet_validation():
@@ -87,6 +118,28 @@ def test_completion_time_inverse_to_rate(testbed, t_work):
 def test_completion_time_validates_size(testbed, t_work):
     with pytest.raises(ValueError):
         completion_time_s(testbed.plc_link(0, 1), t_work, 0)
+
+
+def test_completion_time_slow_link_interpolates_exactly():
+    # 10 bits at a constant 0.4 bps must take exactly 25 s. The old
+    # final-step interpolation divided by max(rate, 1.0), so any link
+    # slower than 1 bps under-reported its completion time (here: 24.4 s).
+    link = _StepLink([0.4])
+    done = completion_time_s(link, 0.0, size_bytes=10 / 8)
+    assert done == pytest.approx(25.0)
+
+
+def test_completion_time_near_zero_final_step():
+    # 10.25 bits: 10 move in the first second, the rest at 0.5 bps —
+    # half of the second step, so completion is at exactly 1.5 s.
+    link = _StepLink([10.0, 0.5])
+    done = completion_time_s(link, 0.0, size_bytes=10.25 / 8)
+    assert done == pytest.approx(1.5)
+
+
+def test_completion_time_dead_link_raises():
+    with pytest.raises(RuntimeError):
+        completion_time_s(_StepLink([0.0]), 0.0, 1.0, max_time_s=60.0)
 
 
 def test_saturated_flow_descriptor():
