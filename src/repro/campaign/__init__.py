@@ -17,10 +17,14 @@ resume contracts.
 
 from repro.campaign.artifacts import (
     ArtifactWriter,
+    QuarantineEntry,
+    QuarantineWriter,
     TaskArtifact,
     is_artifact_file,
     iter_task_records,
+    quarantine_path_for,
     read_artifacts,
+    read_quarantine,
 )
 from repro.campaign.engine import (
     CampaignAborted,
@@ -47,10 +51,14 @@ from repro.campaign.tasks import (
 
 __all__ = [
     "ArtifactWriter",
+    "QuarantineEntry",
+    "QuarantineWriter",
     "TaskArtifact",
     "is_artifact_file",
     "iter_task_records",
+    "quarantine_path_for",
     "read_artifacts",
+    "read_quarantine",
     "CampaignAborted",
     "CampaignEngine",
     "EngineConfig",

@@ -25,6 +25,7 @@ from typing import Any, Dict, Iterator, List, Optional, Set, Tuple, Union
 
 ARTIFACT_FORMAT = "repro-campaign-artifacts"
 ARTIFACT_VERSION = 1
+QUARANTINE_FORMAT = "repro-campaign-quarantine"
 
 
 def _canonical(obj: Any) -> str:
@@ -170,4 +171,103 @@ class ArtifactWriter:
             fh.write(_canonical(_header(self.name, self.root_seed)) + "\n")
             for key in ordered_keys:
                 fh.write(self._tasks[key].to_line() + "\n")
+        tmp.replace(self.path)
+
+
+# --- poison-task quarantine ---------------------------------------------------
+
+
+def quarantine_path_for(artifact_path: Union[str, Path]) -> Path:
+    """The quarantine sidecar of an artifact file.
+
+    ``campaign.jsonl`` → ``campaign.quarantine.jsonl`` (next to the
+    artifact, so resume/report tooling finds both with one base path).
+    """
+    path = Path(artifact_path)
+    return path.with_name(f"{path.stem}.quarantine.jsonl")
+
+
+@dataclass
+class QuarantineEntry:
+    """One permanently failing (poison) task, parked out of the way."""
+
+    task_key: str
+    spec: Dict[str, Any]
+    attempts: int
+    error: str
+
+    def to_line(self) -> str:
+        return _canonical({
+            "task_key": self.task_key, "spec": self.spec,
+            "attempts": self.attempts, "error": self.error})
+
+    @classmethod
+    def from_line(cls, line: str) -> "QuarantineEntry":
+        data = json.loads(line)
+        return cls(task_key=data["task_key"], spec=data.get("spec", {}),
+                   attempts=int(data.get("attempts", 0)),
+                   error=str(data.get("error", "")))
+
+
+def read_quarantine(path: Union[str, Path]) -> List[QuarantineEntry]:
+    """All entries of a quarantine sidecar ([] if it does not exist)."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    entries: List[QuarantineEntry] = []
+    with path.open("r", encoding="utf-8") as fh:
+        header = json.loads(fh.readline())
+        if not (isinstance(header, dict)
+                and header.get("format") == QUARANTINE_FORMAT):
+            raise ValueError(f"{path}: not a quarantine sidecar")
+        for line in fh:
+            if line.strip() and line.endswith("\n"):
+                entries.append(QuarantineEntry.from_line(line))
+    return entries
+
+
+class QuarantineWriter:
+    """Sidecar sink for poison tasks; canonical like the artifact file.
+
+    Entries are a pure function of the failing spec (no timestamps, no
+    hostnames; error strings must be deterministic for the determinism
+    contract to extend here), and :meth:`finalize` sorts lines by task
+    key — so a chaos campaign's quarantine file is byte-identical at any
+    worker count. A task that *recovers* on a later run (its key shows
+    up in the artifact's completed set) is dropped at finalize.
+    """
+
+    def __init__(self, artifact_path: Union[str, Path], name: str,
+                 resume: bool = True):
+        self.path = quarantine_path_for(artifact_path)
+        self.name = name
+        self._entries: Dict[str, QuarantineEntry] = {}
+        if resume and self.path.exists():
+            self._entries = {e.task_key: e
+                             for e in read_quarantine(self.path)}
+
+    def quarantined_keys(self) -> Set[str]:
+        return set(self._entries)
+
+    def add(self, entry: QuarantineEntry) -> None:
+        self._entries[entry.task_key] = entry
+
+    def finalize(self, completed_keys: Set[str]) -> None:
+        """Write the sidecar (sorted, minus recovered tasks).
+
+        An empty quarantine removes the file entirely, so a clean rerun
+        of a previously poisoned campaign leaves no stale sidecar.
+        """
+        for key in completed_keys & set(self._entries):
+            del self._entries[key]
+        if not self._entries:
+            if self.path.exists():
+                self.path.unlink()
+            return
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        with tmp.open("w", encoding="utf-8") as fh:
+            fh.write(_canonical({"format": QUARANTINE_FORMAT,
+                                 "version": 1, "name": self.name}) + "\n")
+            for key in sorted(self._entries):
+                fh.write(self._entries[key].to_line() + "\n")
         tmp.replace(self.path)

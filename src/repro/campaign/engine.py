@@ -26,7 +26,13 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.campaign.artifacts import ArtifactWriter, TaskArtifact
+from repro.campaign.artifacts import (
+    ArtifactWriter,
+    QuarantineEntry,
+    QuarantineWriter,
+    TaskArtifact,
+    quarantine_path_for,
+)
 from repro.campaign.spec import (
     ExperimentSpec,
     check_specs,
@@ -58,6 +64,12 @@ class EngineConfig:
     backoff_cap_s: float = 2.0
     #: Permanently failed tasks tolerated before aborting the campaign.
     max_failures: int = 0
+    #: Quarantine poison tasks: a spec that exhausts its retries lands in
+    #: a ``<name>.quarantine.jsonl`` sidecar (canonical, sorted, byte-
+    #: identical at any worker count) instead of counting against
+    #: ``max_failures`` — one deterministic bad task no longer aborts the
+    #: unrelated 99% of a campaign.
+    quarantine: bool = False
     resume: bool = True
 
     def __post_init__(self) -> None:
@@ -96,6 +108,12 @@ class CampaignEngine:
         self.progress = progress or (lambda event, detail, stats: None)
         seeds = {s.seed for s in self.specs}
         self._root_seed = seeds.pop() if len(seeds) == 1 else None
+        self._quarantine: Optional[QuarantineWriter] = None
+
+    @property
+    def quarantine_path(self) -> Path:
+        """Where poison tasks land when quarantine is enabled."""
+        return quarantine_path_for(self.out_path)
 
     # --- public API -----------------------------------------------------------
 
@@ -113,6 +131,10 @@ class CampaignEngine:
         writer = ArtifactWriter(self.out_path, name=self.name,
                                 root_seed=self._root_seed,
                                 resume=cfg.resume)
+        self._quarantine = (QuarantineWriter(self.out_path,
+                                             name=self.name,
+                                             resume=cfg.resume)
+                            if cfg.quarantine else None)
         try:
             done_keys = writer.completed_keys()
             pending = [s for s in self.specs
@@ -125,6 +147,8 @@ class CampaignEngine:
             else:
                 self._run_pool(pending, writer, stats)
             writer.finalize()
+            if self._quarantine is not None:
+                self._quarantine.finalize(writer.completed_keys())
         finally:
             writer.close()
             stats.wall_seconds = time.perf_counter() - start
@@ -148,9 +172,18 @@ class CampaignEngine:
     def _record_permanent_failure(self, spec: ExperimentSpec,
                                   attempts: int, error: str,
                                   stats: CampaignStats) -> None:
+        failure = TaskFailure(task_key=spec.task_key(),
+                              attempts=attempts, error=error)
+        if self._quarantine is not None:
+            stats.quarantined += 1
+            stats.quarantine.append(failure)
+            self._quarantine.add(QuarantineEntry(
+                task_key=failure.task_key, spec=spec.to_dict(),
+                attempts=attempts, error=error))
+            self.progress("quarantine", failure.task_key, stats)
+            return
         stats.failed += 1
-        stats.failures.append(TaskFailure(
-            task_key=spec.task_key(), attempts=attempts, error=error))
+        stats.failures.append(failure)
         self.progress("fail", spec.task_key(), stats)
         if stats.failed > self.config.max_failures:
             raise CampaignAborted(

@@ -30,6 +30,9 @@ class CampaignStats:
     resumed: int = 0
     completed: int = 0
     failed: int = 0
+    #: Permanently failing tasks parked in the quarantine sidecar instead
+    #: of counting against the circuit breaker.
+    quarantined: int = 0
     #: Re-submissions after a failed/timed-out attempt.
     retries: int = 0
     #: Attempts that timed out (each also counts as a failed attempt).
@@ -39,6 +42,8 @@ class CampaignStats:
     task_seconds: float = 0.0
     workers: int = 1
     failures: List[TaskFailure] = field(default_factory=list)
+    #: Failures routed to quarantine (not in :attr:`failures`).
+    quarantine: List[TaskFailure] = field(default_factory=list)
     #: Aggregated :class:`repro.netsim.runner.RunnerStats` counters from
     #: every scenario task that reported them.
     runner: Dict[str, float] = field(default_factory=dict)
@@ -73,8 +78,10 @@ class CampaignStats:
 
     @property
     def done(self) -> int:
-        """Tasks accounted for so far (completed + resumed + failed)."""
-        return self.completed + self.resumed + self.failed
+        """Tasks accounted for so far (completed, resumed, failed or
+        quarantined)."""
+        return (self.completed + self.resumed + self.failed
+                + self.quarantined)
 
     def utilisation(self) -> float:
         """Mean busy fraction of the worker pool (0..1)."""
@@ -89,6 +96,7 @@ class CampaignStats:
             "resumed": self.resumed,
             "completed": self.completed,
             "failed": self.failed,
+            "quarantined": self.quarantined,
             "retries": self.retries,
             "timeouts": self.timeouts,
             "workers": self.workers,
@@ -98,5 +106,8 @@ class CampaignStats:
             "failures": [
                 {"task_key": f.task_key, "attempts": f.attempts,
                  "error": f.error} for f in self.failures],
+            "quarantine": [
+                {"task_key": f.task_key, "attempts": f.attempts,
+                 "error": f.error} for f in self.quarantine],
             "runner": dict(self.runner),
         }

@@ -46,8 +46,24 @@ def register_task(kind: str):
     return wrap
 
 
+#: Modules that register extra task kinds on import. Resolved lazily in
+#: :func:`execute_spec` (importing them here would cycle: they import
+#: ``register_task`` from this module), so worker processes find plugin
+#: kinds under any pool start method.
+PLUGIN_KIND_MODULES = ("repro.faults.tasks",)
+
+
+def _load_plugin_kinds() -> None:
+    import importlib
+
+    for module in PLUGIN_KIND_MODULES:
+        importlib.import_module(module)
+
+
 def execute_spec(spec: ExperimentSpec, attempt: int = 0) -> TaskOutput:
     """Dispatch one spec to its registered executor."""
+    if spec.kind not in TASK_REGISTRY:
+        _load_plugin_kinds()
     try:
         fn = TASK_REGISTRY[spec.kind]
     except KeyError:

@@ -228,7 +228,8 @@ def cmd_campaign(args) -> int:
             specs, args.out, name=f"{args.kind}-{args.preset}",
             workers=args.workers, progress=progress,
             timeout_s=args.timeout, retries=args.retries,
-            max_failures=args.max_failures, resume=not args.no_resume)
+            max_failures=args.max_failures, resume=not args.no_resume,
+            quarantine=args.quarantine)
     except OSError as exc:
         print(f"error: cannot write {args.out}: {exc}", file=sys.stderr)
         return 1
@@ -246,9 +247,14 @@ def cmd_campaign(args) -> int:
          ["retries", summary["retries"]],
          ["timeouts", summary["timeouts"]],
          ["workers", summary["workers"]],
+         ["quarantined", summary["quarantined"]],
          ["wall (s)", summary["wall_seconds"]],
          ["worker utilisation", summary["worker_utilisation"]]],
         title=f"campaign {args.kind}-{args.preset} -> {args.out}"))
+    if stats.quarantined:
+        from repro.campaign.artifacts import quarantine_path_for
+        print(f"{stats.quarantined} poison task(s) quarantined in "
+              f"{quarantine_path_for(args.out)}")
     if stats.runner:
         rows = sorted((k, v) for k, v in stats.runner.items()
                       if isinstance(v, (int, float)))
@@ -258,7 +264,11 @@ def cmd_campaign(args) -> int:
 
 
 def cmd_report(args) -> int:
-    from repro.campaign.artifacts import is_artifact_file
+    from repro.campaign.artifacts import (
+        is_artifact_file,
+        quarantine_path_for,
+        read_quarantine,
+    )
 
     try:
         if is_artifact_file(args.file):
@@ -273,6 +283,14 @@ def cmd_report(args) -> int:
         return 1
     if text is not None:
         print(text)
+        sidecar = quarantine_path_for(args.file)
+        entries = read_quarantine(sidecar)
+        if entries:
+            print(format_table(
+                ["task", "attempts", "error"],
+                [[e.task_key, e.attempts, e.error[:60]]
+                 for e in entries[: args.top]],
+                title=f"quarantined tasks ({sidecar})"))
         return 0
     print(f"campaign {campaign.name!r}: {len(campaign)} records, "
           f"seed={campaign.seed}")
@@ -340,6 +358,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_campaign.add_argument("--max-failures", type=int, default=0,
                             help="circuit breaker: permanent failures "
                                  "tolerated (default 0)")
+    p_campaign.add_argument("--quarantine", action="store_true",
+                            help="park permanently failing tasks in a "
+                                 "quarantine sidecar instead of tripping "
+                                 "the circuit breaker")
     p_campaign.add_argument("--no-resume", action="store_true",
                             help="ignore existing artifacts and redo "
                                  "everything")

@@ -1,0 +1,37 @@
+"""Deterministic fault injection (`repro.faults`).
+
+The failure half of the paper's story: PLC and WiFi fail differently,
+and a hybrid stack must survive either medium dying (§5, Fig. 20–22).
+This package schedules *seeded, replayable* faults across every layer —
+link outages and SNR collapses behind the medium contract, appliance
+surges in the power grid, worker crashes and poison tasks in the
+campaign engine, reorder/loss storms at the hybrid packet layer — and
+``tests/chaos/`` asserts the stack degrades gracefully under them.
+"""
+
+from repro.faults.link import FaultyLink, faulty_link_decorator
+from repro.faults.plan import (
+    ANY_TARGET,
+    EVENT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    FaultPlanConfig,
+)
+from repro.faults.powergrid import inject_surges, surge_overlay
+from repro.faults.storm import apply_storm
+from repro.faults.tasks import ChaosPoisonError, classify_task
+
+__all__ = [
+    "ANY_TARGET",
+    "EVENT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultPlanConfig",
+    "FaultyLink",
+    "faulty_link_decorator",
+    "inject_surges",
+    "surge_overlay",
+    "apply_storm",
+    "ChaosPoisonError",
+    "classify_task",
+]

@@ -1,0 +1,135 @@
+"""`FaultyLink`: plan-driven fault injection behind the ``Link`` contract.
+
+Wraps any :class:`repro.medium.Link` and applies the link-level windows of
+a :class:`~repro.faults.plan.FaultPlan` as a deterministic post-transform:
+
+* ``link_outage`` — the medium is dead: capacity and throughput drop to
+  zero and ``loss`` saturates to 1;
+* ``link_degradation`` — rates are scaled by the event's ``severity``
+  (the fraction of the rate that survives);
+* ``snr_collapse`` — rates are scaled by ``10**(-severity_db / 10)``,
+  the first-order rate cost of losing ``severity_db`` of SNR.
+
+The wrapper always *delegates first* — the inner link consumes its
+measurement-noise stream exactly as it would unfaulted — then multiplies
+the base columns. Because the transform is a pure function of time applied
+identically in the scalar and batch paths (same event order, same float64
+operations), ``sample_series`` stays bit-identical to the ``sample`` loop
+whenever the wrapped link honours that contract, which is what lets a
+FaultyLink ride through every consumer of the medium API unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.faults.plan import FaultPlan
+from repro.medium.link import LinkSample, LinkSeries
+
+#: Fault kinds FaultyLink consumes, in the canonical multiply order.
+_LINK_KINDS = ("link_outage", "link_degradation", "snr_collapse")
+
+
+def _event_factor(kind: str, severity: float) -> float:
+    if kind == "link_outage":
+        return 0.0
+    if kind == "link_degradation":
+        return float(min(max(severity, 0.0), 1.0))
+    return float(10.0 ** (-max(severity, 0.0) / 10.0))  # snr_collapse
+
+
+class FaultyLink:
+    """A :class:`repro.medium.Link` with plan-scheduled outages.
+
+    ``target`` defaults to the inner link's name; events may also address
+    the whole medium by its tag or everything via ``"*"``.
+    """
+
+    def __init__(self, inner, plan: FaultPlan,
+                 target: Optional[str] = None):
+        self.inner = inner
+        self.plan = plan
+        self.name = inner.name
+        self.medium = inner.medium
+        self.target = target if target is not None else inner.name
+        #: (event, factor) pairs that can hit this link, in plan order —
+        #: precomputed so the scalar and batch paths share one chain.
+        self._chain = [
+            (e, _event_factor(e.kind, e.severity))
+            for e in plan.events
+            if e.kind in _LINK_KINDS
+            and (e.matches(self.target) or e.matches(self.medium))]
+
+    # --- the fault transform --------------------------------------------------
+
+    def fault_factor(self, t: float) -> float:
+        """Multiplicative rate factor at ``t`` (0 = dead, 1 = untouched)."""
+        factor = 1.0
+        for event, event_factor in self._chain:
+            if event.active(t):
+                factor = factor * event_factor
+        return factor
+
+    def fault_factor_series(self, ts: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`fault_factor`: same chain, same order, so
+        the per-timestamp float products match the scalar path bit for
+        bit."""
+        ts = np.asarray(ts, dtype=float)
+        factors = np.ones(ts.shape, dtype=float)
+        for event, event_factor in self._chain:
+            mask = (ts >= event.t_start) & (ts < event.t_end)
+            factors[mask] = factors[mask] * event_factor
+        return factors
+
+    # --- Link contract --------------------------------------------------------
+
+    def sample(self, t: float, measured: bool = True) -> LinkSample:
+        sample = self.inner.sample(t, measured=measured)
+        factor = self.fault_factor(t)
+        if factor == 1.0:
+            return sample
+        return dataclasses.replace(
+            sample,
+            capacity_bps=sample.capacity_bps * factor,
+            throughput_bps=sample.throughput_bps * factor,
+            loss=1.0 if factor == 0.0 else sample.loss)
+
+    def sample_series(self, ts: np.ndarray,
+                      measured: bool = True) -> LinkSeries:
+        series = self.inner.sample_series(ts, measured=measured)
+        factors = self.fault_factor_series(ts)
+        if np.all(factors == 1.0):
+            return series
+        data = series.data
+        data["capacity_bps"] = data["capacity_bps"] * factors
+        data["throughput_bps"] = data["throughput_bps"] * factors
+        data["loss"] = np.where(factors == 0.0, 1.0, data["loss"])
+        return series
+
+    def capacity_bps(self, t: float) -> float:
+        return self.inner.capacity_bps(t) * self.fault_factor(t)
+
+    def throughput_bps(self, t: float, measured: bool = True) -> float:
+        return (self.inner.throughput_bps(t, measured=measured)
+                * self.fault_factor(t))
+
+    def is_connected(self, t: float) -> bool:
+        return self.fault_factor(t) > 0.0 and self.inner.is_connected(t)
+
+
+def faulty_link_decorator(plan: FaultPlan):
+    """A ``ScenarioRunner`` link decorator injecting ``plan``'s faults.
+
+    ``ScenarioRunner(testbed, link_decorator=faulty_link_decorator(plan))``
+    wraps every link the runner resolves, so scenario flows experience
+    the plan's outages; events target links by name (``"0->1"``), medium
+    tag, or ``"*"``.
+    """
+    def decorate(link, medium: str, src: int, dst: int):
+        if link is None:
+            return None
+        return FaultyLink(link, plan)
+    return decorate

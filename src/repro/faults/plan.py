@@ -1,0 +1,249 @@
+"""Deterministic fault plans: *what* breaks, *where*, and *when*.
+
+A :class:`FaultPlan` is a frozen, replayable schedule of typed
+:class:`FaultEvent` windows, derived from a root seed via
+:func:`repro.sim.random.derive_seed` — the same contract the campaign
+engine builds on, so a chaos run's entire failure schedule is a pure
+function of ``(seed, name, config)``.  Printing a failing test's plan
+seed is enough to reproduce the identical schedule (see
+``docs/testing.md``).
+
+Event kinds and the layer that consumes them:
+
+========================  =====================================================
+``link_outage``           :class:`repro.faults.link.FaultyLink` — medium dead
+``link_degradation``      FaultyLink — rates scaled by ``severity`` (0..1 kept)
+``snr_collapse``          FaultyLink — rates scaled by ``10**(-severity/10)``
+``appliance_surge``       :func:`repro.faults.powergrid.surge_overlay`
+``loss_storm``            :func:`repro.faults.storm.apply_storm`
+``reorder_storm``         :func:`repro.faults.storm.apply_storm`
+========================  =====================================================
+
+Campaign-level faults (worker crash / task hang / poison tasks) are not
+window-scheduled — tasks are classified per task key in
+:mod:`repro.faults.tasks`, because task keys are not known when a plan is
+built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.random import RandomStreams, derive_seed
+
+#: Every window-scheduled fault kind a plan may contain.
+EVENT_KINDS = ("link_outage", "link_degradation", "snr_collapse",
+               "appliance_surge", "loss_storm", "reorder_storm")
+
+#: Wildcard target: the event applies to every candidate.
+ANY_TARGET = "*"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault window.
+
+    ``target`` names what the fault hits (a link name, an appliance
+    instance id, a medium tag, or :data:`ANY_TARGET`); ``severity`` is
+    kind-specific: fraction of rate kept for ``link_degradation``, dB of
+    SNR lost for ``snr_collapse``, drop probability for ``loss_storm``,
+    added-delay scale (seconds) for ``reorder_storm``. Outages and
+    surges ignore it.
+    """
+
+    kind: str
+    target: str
+    t_start: float
+    t_end: float
+    severity: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} "
+                             f"(known: {EVENT_KINDS})")
+        if self.t_end <= self.t_start:
+            raise ValueError(f"empty fault window [{self.t_start}, "
+                             f"{self.t_end})")
+
+    def matches(self, target: str) -> bool:
+        return self.target == ANY_TARGET or self.target == target
+
+    def active(self, t: float) -> bool:
+        return self.t_start <= t < self.t_end
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "target": self.target,
+                "t_start": self.t_start, "t_end": self.t_end,
+                "severity": self.severity}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultEvent":
+        return cls(kind=data["kind"], target=data["target"],
+                   t_start=float(data["t_start"]),
+                   t_end=float(data["t_end"]),
+                   severity=float(data.get("severity", 0.0)))
+
+
+@dataclass(frozen=True)
+class FaultPlanConfig:
+    """How many faults of each kind a generated plan schedules.
+
+    Counts are exact (not rates), so a plan's event census is stable
+    across seeds — only *where* and *when* the windows land varies.
+    Window lengths are drawn uniformly from the given (lo, hi) ranges.
+    """
+
+    outages: int = 0
+    degradations: int = 0
+    snr_collapses: int = 0
+    surges: int = 0
+    loss_storms: int = 0
+    reorder_storms: int = 0
+    outage_s: Tuple[float, float] = (5.0, 30.0)
+    degradation_s: Tuple[float, float] = (10.0, 60.0)
+    #: Fraction of the rate a degraded link keeps.
+    degradation_keep: Tuple[float, float] = (0.1, 0.6)
+    #: dB of SNR lost during a collapse.
+    snr_drop_db: Tuple[float, float] = (6.0, 20.0)
+    surge_s: Tuple[float, float] = (20.0, 120.0)
+    storm_s: Tuple[float, float] = (2.0, 10.0)
+    #: Drop probability during a loss storm.
+    loss_probability: Tuple[float, float] = (0.05, 0.4)
+    #: Added-delay scale (seconds) during a reorder storm.
+    reorder_delay_s: Tuple[float, float] = (0.005, 0.05)
+
+
+class FaultPlan:
+    """A seeded, immutable schedule of fault events.
+
+    Build one with :meth:`generate` (randomized-but-seeded) or directly
+    from explicit events; both round-trip through :meth:`to_dict` /
+    :meth:`from_dict` so a failing chaos test can print its plan and a
+    replay can reconstruct it bit-identically.
+    """
+
+    def __init__(self, seed: int, events: Iterable[FaultEvent] = (),
+                 name: str = "plan"):
+        self.seed = int(seed)
+        self.name = name
+        #: Events in a canonical order: schedule comparisons and the
+        #: FaultyLink factor chain both depend on a stable ordering.
+        self.events: Tuple[FaultEvent, ...] = tuple(sorted(
+            events, key=lambda e: (e.t_start, e.kind, e.target, e.t_end)))
+
+    # --- generation -----------------------------------------------------------
+
+    @classmethod
+    def generate(cls, root_seed: int, name: str, horizon_s: float,
+                 targets: Dict[str, Sequence[str]],
+                 config: FaultPlanConfig = FaultPlanConfig(),
+                 t0: float = 0.0) -> "FaultPlan":
+        """Derive a randomized plan that is a pure function of its inputs.
+
+        ``targets`` maps a target class to its candidates:
+        ``"links"`` (link names for outage/degradation/SNR events),
+        ``"appliances"`` (instance ids for surges), ``"bonds"``
+        (hybrid bond names for storms). Missing classes simply get no
+        events of the corresponding kinds.
+        """
+        seed = derive_seed(root_seed, "faults", name)
+        streams = RandomStreams(seed=seed)
+        events: List[FaultEvent] = []
+
+        def windows(kind: str, count: int, candidates: Sequence[str],
+                    span: Tuple[float, float],
+                    severities: Optional[Tuple[float, float]]) -> None:
+            if count <= 0 or not candidates:
+                return
+            rng = streams.get(f"plan.{kind}")
+            ordered = sorted(candidates)
+            for _ in range(count):
+                target = ordered[int(rng.integers(len(ordered)))]
+                length = float(rng.uniform(*span))
+                start = t0 + float(rng.uniform(
+                    0.0, max(horizon_s - length, 1e-9)))
+                severity = (float(rng.uniform(*severities))
+                            if severities is not None else 0.0)
+                events.append(FaultEvent(kind=kind, target=target,
+                                         t_start=start,
+                                         t_end=start + length,
+                                         severity=severity))
+
+        cfg = config
+        links = targets.get("links", ())
+        windows("link_outage", cfg.outages, links, cfg.outage_s, None)
+        windows("link_degradation", cfg.degradations, links,
+                cfg.degradation_s, cfg.degradation_keep)
+        windows("snr_collapse", cfg.snr_collapses, links,
+                cfg.degradation_s, cfg.snr_drop_db)
+        windows("appliance_surge", cfg.surges,
+                targets.get("appliances", ()), cfg.surge_s, None)
+        bonds = targets.get("bonds", ())
+        windows("loss_storm", cfg.loss_storms, bonds, cfg.storm_s,
+                cfg.loss_probability)
+        windows("reorder_storm", cfg.reorder_storms, bonds, cfg.storm_s,
+                cfg.reorder_delay_s)
+        return cls(seed=seed, events=events, name=name)
+
+    # --- queries --------------------------------------------------------------
+
+    def events_for(self, kind: Optional[str] = None,
+                   target: Optional[str] = None) -> Tuple[FaultEvent, ...]:
+        """Events filtered by kind and/or target, in canonical order."""
+        out = self.events
+        if kind is not None:
+            out = tuple(e for e in out if e.kind == kind)
+        if target is not None:
+            out = tuple(e for e in out if e.matches(target))
+        return out
+
+    def active_at(self, kind: str, target: str, t: float) -> bool:
+        """Whether any matching window covers scalar time ``t``."""
+        return any(e.active(t) for e in self.events_for(kind, target))
+
+    def active_mask(self, kind: str, target: str,
+                    ts: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`active_at` over a time grid."""
+        ts = np.asarray(ts, dtype=float)
+        mask = np.zeros(ts.shape, dtype=bool)
+        for event in self.events_for(kind, target):
+            mask |= (ts >= event.t_start) & (ts < event.t_end)
+        return mask
+
+    def task_streams(self, task_key: str) -> RandomStreams:
+        """Per-task random streams for task-level fault classification.
+
+        A pure function of ``(plan seed, task_key)``: identical in every
+        worker process, at every worker count — the property
+        :mod:`repro.faults.tasks` relies on.
+        """
+        return RandomStreams(seed=derive_seed(self.seed, "task", task_key))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # --- replay round trip ----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"seed": self.seed, "name": self.name,
+                "events": [e.to_dict() for e in self.events]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        return cls(seed=data["seed"],
+                   events=[FaultEvent.from_dict(e)
+                           for e in data.get("events", [])],
+                   name=data.get("name", "plan"))
+
+    def describe(self) -> str:
+        """Human-readable schedule (printed when a chaos test fails)."""
+        lines = [f"FaultPlan {self.name!r} seed={self.seed} "
+                 f"({len(self.events)} events)"]
+        for e in self.events:
+            lines.append(f"  [{e.t_start:10.2f}, {e.t_end:10.2f})  "
+                         f"{e.kind:<16s}  {e.target}  "
+                         f"severity={e.severity:g}")
+        return "\n".join(lines)

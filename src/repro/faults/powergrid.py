@@ -1,0 +1,60 @@
+"""Appliance-surge injection for the power grid.
+
+The paper's "random scale" (§6.3) is channel variation caused by people
+switching appliances; a *surge burst* is the adversarial version — a
+plan-scheduled window during which chosen appliances are forced on, all
+at once, so the PLC channel sees their impedance discontinuities and
+noise simultaneously (the microwave-plus-vacuum worst case of Fig. 5).
+
+Surges ride the :attr:`OfficeActivityModel.overlay` seam: the overlay is
+a pure function of ``(appliance, t)`` built from the plan's
+``appliance_surge`` windows, so state signatures — and with them every
+downstream channel cache — stay deterministic and replayable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults.plan import FaultPlan
+from repro.powergrid.activity import OfficeActivityModel
+from repro.powergrid.appliances import ApplianceInstance
+
+
+def surge_overlay(plan: FaultPlan):
+    """Build an activity overlay forcing surge targets on.
+
+    Events with kind ``appliance_surge`` target an appliance instance id
+    (or ``"*"`` for every appliance). Outside any matching window the
+    overlay returns ``None`` and the normal schedule model decides.
+    """
+    events = plan.events_for("appliance_surge")
+
+    def overlay(appliance: ApplianceInstance,
+                t: float) -> Optional[bool]:
+        for event in events:
+            if event.matches(appliance.instance_id) and event.active(t):
+                return True
+        return None
+    return overlay
+
+
+def inject_surges(activity: OfficeActivityModel, plan: FaultPlan) -> None:
+    """Attach ``plan``'s surge windows to a live activity model.
+
+    Composes with an already-installed overlay (the new one is consulted
+    first; on ``None`` the old overlay, then the schedule model, decide).
+    """
+    surge = surge_overlay(plan)
+    previous = activity.overlay
+
+    if previous is None:
+        activity.overlay = surge
+        return
+
+    def stacked(appliance: ApplianceInstance, t: float) -> Optional[bool]:
+        forced = surge(appliance, t)
+        if forced is not None:
+            return forced
+        return previous(appliance, t)
+    activity.overlay = stacked

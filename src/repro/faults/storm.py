@@ -1,0 +1,61 @@
+"""Reorder / loss storms at the hybrid packet layer.
+
+A storm perturbs a delivered-packet stream the way a misbehaving bonded
+path would: a ``loss_storm`` window drops packets with the event's
+probability, a ``reorder_storm`` window adds random per-packet delay (so
+deliveries cross each other and the destination's
+:class:`~repro.hybrid.reorder.ReorderBuffer` sees interleaved holes).
+
+Determinism: draws come from a stream derived from the plan seed and the
+storm target, consumed in packet-sequence order — the same plan produces
+the same storm, packet for packet.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.faults.plan import FaultPlan
+from repro.traffic.packet import Packet
+
+
+def apply_storm(packets: Sequence[Packet], plan: FaultPlan,
+                target: str = "bond") -> Tuple[List[Packet], List[int]]:
+    """Apply ``plan``'s storm windows to a packet stream.
+
+    ``packets`` must carry ``delivered_at`` times (the pre-storm
+    delivery schedule). Returns ``(survivors, dropped_seqs)`` where the
+    survivors — possibly delayed by reorder windows — are sorted by their
+    new delivery time, ready to be pushed through a reorder buffer.
+    """
+    rng = plan.task_streams(f"storm.{target}").get("storm")
+    loss_events = plan.events_for("loss_storm", target)
+    reorder_events = plan.events_for("reorder_storm", target)
+    survivors: List[Packet] = []
+    dropped: List[int] = []
+    for packet in sorted(packets, key=lambda p: p.seq):
+        t = packet.delivered_at
+        if t is None:
+            raise ValueError(
+                f"packet seq={packet.seq} has no delivery time")
+        # One loss draw and one delay draw per packet, always consumed —
+        # the stream position is a function of seq alone, so editing a
+        # window never shifts the draws of packets outside it.
+        loss_draw = float(rng.uniform())
+        delay_draw = float(rng.uniform())
+        drop_p = 0.0
+        for event in loss_events:
+            if event.active(t):
+                drop_p = max(drop_p, event.severity)
+        if drop_p > 0.0 and loss_draw < drop_p:
+            dropped.append(packet.seq)
+            continue
+        delay_scale = 0.0
+        for event in reorder_events:
+            if event.active(t):
+                delay_scale = max(delay_scale, event.severity)
+        if delay_scale > 0.0:
+            packet.delivered_at = t + delay_scale * delay_draw
+        survivors.append(packet)
+    survivors.sort(key=lambda p: (p.delivered_at, p.seq))
+    return survivors, dropped

@@ -1,0 +1,89 @@
+"""Campaign-level faults: worker crash, task hang, poison tasks.
+
+Task keys are not known when a :class:`~repro.faults.plan.FaultPlan` is
+built, so campaign faults are not window-scheduled — each task is
+*classified* from draws of a stream derived from ``(fault_seed,
+task_key)``. Classification is a pure function of the spec, identical in
+every worker process at every worker count, which keeps chaos campaigns
+inside the engine's bit-identical-artifact contract.
+
+Fault classes, checked in order:
+
+* **poison** — fails every attempt with a deterministic error: the
+  quarantine path's food;
+* **crash** — raises on the first ``crashes`` attempts, then succeeds
+  (a worker dying mid-task, modelled as an exception: a real ``SIGKILL``
+  would break the whole ``ProcessPoolExecutor``, which is the
+  torn-artifact test's job, not this one's);
+* **hang** — sleeps ``hang_s`` wall-clock seconds before succeeding,
+  exercising the engine's timeout/abandon machinery.
+
+``chaos_probe`` is registered in the campaign task registry via the
+plugin hook in :func:`repro.campaign.tasks.execute_spec`, so worker
+processes resolve it regardless of start method.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.campaign.spec import ExperimentSpec
+from repro.campaign.tasks import TaskOutput, register_task
+from repro.sim.random import RandomStreams, derive_seed
+
+
+class ChaosPoisonError(RuntimeError):
+    """A task classified as poison: it fails on every attempt."""
+
+
+def classify_task(fault_seed: int, task_key: str,
+                  poison_rate: float, crash_rate: float,
+                  hang_rate: float) -> str:
+    """Deterministically classify one task: poison/crash/hang/clean.
+
+    One independent uniform per class keeps a class's membership stable
+    when another class's rate is tuned (editing ``crash_rate`` never
+    changes *which* tasks are poisoned).
+    """
+    streams = RandomStreams(seed=derive_seed(fault_seed, "task", task_key))
+    draws = streams.get("classify").uniform(size=3)
+    if draws[0] < poison_rate:
+        return "poison"
+    if draws[1] < crash_rate:
+        return "crash"
+    if draws[2] < hang_rate:
+        return "hang"
+    return "clean"
+
+
+@register_task("chaos_probe")
+def _chaos_probe(spec: ExperimentSpec, attempt: int) -> TaskOutput:
+    """A cheap task whose failure behaviour follows its classification.
+
+    ``params``: ``fault_seed`` (classification root), ``poison_rate``,
+    ``crash_rate``, ``hang_rate``, ``crashes`` (failing attempts for
+    crash tasks), ``hang_s`` (wall-clock sleep for hang tasks) and
+    ``draws`` (record size). The *records* of a surviving task are
+    independent of attempt count and wall clock, so artifacts stay
+    byte-identical however the faults interleave.
+    """
+    p: Dict[str, object] = spec.params_dict
+    key = spec.task_key()
+    fate = classify_task(int(p.get("fault_seed", spec.seed)), key,
+                         float(p.get("poison_rate", 0.0)),
+                         float(p.get("crash_rate", 0.0)),
+                         float(p.get("hang_rate", 0.0)))
+    if fate == "poison":
+        raise ChaosPoisonError(f"poisoned task {key}")
+    if fate == "crash" and attempt < int(p.get("crashes", 1)):
+        raise RuntimeError(
+            f"injected worker crash (attempt {attempt}) for {key}")
+    if fate == "hang":
+        import time
+        time.sleep(float(p.get("hang_s", 0.5)))
+    streams = RandomStreams(seed=spec.task_seed())
+    draws = int(p.get("draws", 4))
+    return TaskOutput(records=[{
+        "task_seed": spec.task_seed(), "fate": fate,
+        "values": [float(x) for x in
+                   streams.get("probe").uniform(size=draws)]}])

@@ -42,6 +42,9 @@ class AggregationResult:
     mode: str
     throughput: MetricSeries
     reorder_stats: Optional[ReorderStats] = None
+    #: Stall-triggered early re-probes during a saturated hybrid run
+    #: (0 unless a medium collapsed between scheduled probes).
+    failovers: int = 0
 
     @property
     def mean_mbps(self) -> float:
@@ -53,9 +56,16 @@ class HybridDevice:
 
     def __init__(self, plc_link: Link, wifi_link: Link,
                  streams: RandomStreams,
-                 capacity_probe_interval_s: float = 1.0):
+                 capacity_probe_interval_s: float = 1.0,
+                 failover_threshold: float = 0.5):
         self.plc_link = plc_link
         self.wifi_link = wifi_link
+        #: A saturated hybrid quantum whose goodput falls below this
+        #: fraction of the best single medium's deliverable rate is a
+        #: stall (the split was built from probes that predate a medium
+        #: dying) and triggers an immediate re-probe — so blackout
+        #: detection is bounded by one quantum, not the probe interval.
+        self.failover_threshold = failover_threshold
         #: Medium tag → bonded link. Insertion order (PLC first) fixes the
         #: per-medium RNG draw order of the smoothing windows.
         self.links: Dict[str, Link] = {plc_link.medium: plc_link,
@@ -135,6 +145,7 @@ class HybridDevice:
         values: List[float] = []
         capacities: Dict[str, float] = {}
         last_probe = -np.inf
+        failovers = 0
         for t in times:
             actual = self._actual_capacities_bps(t)
             if mode == "wifi":
@@ -147,12 +158,21 @@ class HybridDevice:
                 capacities = self.estimate_capacities_bps(t)
                 last_probe = t
             if mode == "hybrid":
-                values.append(self._hybrid_goodput(capacities, actual))
+                goodput = self._hybrid_goodput(capacities, actual)
+                best_single = max(actual.values())
+                if (goodput < self.failover_threshold * best_single
+                        and t > last_probe):
+                    capacities = self.estimate_capacities_bps(t)
+                    last_probe = t
+                    failovers += 1
+                    goodput = self._hybrid_goodput(capacities, actual)
+                values.append(goodput)
             else:  # round-robin: capacity-blind equal split
                 fractions = {m: 1.0 / len(actual) for m in actual}
                 values.append(fluid_goodput_bps(fractions, actual))
         series = MetricSeries(times, values, name=f"hybrid-{mode}")
-        return AggregationResult(mode=mode, throughput=series)
+        return AggregationResult(mode=mode, throughput=series,
+                                 failovers=failovers)
 
     # --- packet-level mode (reordering / jitter) --------------------------------------
 
@@ -200,4 +220,8 @@ class HybridDevice:
             t += interval
         for packet in sorted(arrivals, key=lambda p: p.delivered_at):
             reorder.push(packet, packet.delivered_at)
+        # End-of-stream drain: without it the tail packets behind the last
+        # hole would never be counted (see ReorderBuffer.flush).
+        end = max(next_free.values()) if arrivals else t_start
+        reorder.flush(end)
         return reorder.stats

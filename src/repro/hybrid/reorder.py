@@ -77,6 +77,39 @@ class ReorderBuffer:
                 self._reset_timer(now, advanced=True)
         return released
 
+    def poll(self, now: float) -> List[Packet]:
+        """Advance the hole timer without an arrival.
+
+        ``push`` only flushes holes when a *new* packet lands, so a buffer
+        whose tail medium dies mid-stream would hold its last packets
+        forever — a deadlock under a loss storm. Callers with no more
+        arrivals (or a quiet period) poll the clock instead; a hole that
+        has waited past ``hole_timeout_s`` is skipped exactly as on push.
+        """
+        released: List[Packet] = []
+        while (self._pending
+               and now - self._oldest_wait_since > self.hole_timeout_s):
+            self._next_seq = min(self._pending)
+            self.stats.holes_flushed += 1
+            released.extend(self._drain(now))
+            self._reset_timer(now, advanced=True)
+        return released
+
+    def flush(self, now: float) -> List[Packet]:
+        """Release everything still pending, in sequence order.
+
+        End-of-stream drain: any remaining holes are counted as flushed.
+        After this the buffer is empty and the next expected sequence sits
+        past everything seen so far.
+        """
+        released: List[Packet] = []
+        while self._pending:
+            self._next_seq = min(self._pending)
+            self.stats.holes_flushed += 1
+            released.extend(self._drain(now))
+        self._reset_timer(now, advanced=True)
+        return released
+
     def _reset_timer(self, now: float, advanced: bool) -> None:
         if not self._pending:
             self._oldest_wait_since = None

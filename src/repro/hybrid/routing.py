@@ -69,16 +69,26 @@ class HybridMeshRouter:
     """ETT-based shortest-path routing over the 1905 metric table."""
 
     def __init__(self, layer: AbstractionLayer, packet_bytes: int = 1500,
-                 min_capacity_bps: float = 1e6):
+                 min_capacity_bps: float = 1e6,
+                 max_metric_age_s: Optional[float] = None):
         self.layer = layer
         self.packet_bytes = packet_bytes
         self.min_capacity_bps = min_capacity_bps
+        #: Records older than this (relative to the ``now`` passed to a
+        #: query) are treated as a dead link even if the layer itself has
+        #: no staleness limit. This bounds the blackout-detection window:
+        #: a medium that stops reporting vanishes from routing within
+        #: ``max_metric_age_s`` instead of being trusted forever.
+        self.max_metric_age_s = max_metric_age_s
 
     def _graph(self, now: Optional[float] = None) -> nx.MultiDiGraph:
         graph = nx.MultiDiGraph()
         for (src, dst, medium) in self.layer.links():
             record = self.layer.get(src, dst, medium, now=now)
             if record is None or record.capacity_bps < self.min_capacity_bps:
+                continue
+            if (now is not None and self.max_metric_age_s is not None
+                    and now - record.time > self.max_metric_age_s):
                 continue
             graph.add_edge(src, dst, key=medium,
                            weight=ett_seconds(record, self.packet_bytes),

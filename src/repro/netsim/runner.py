@@ -148,13 +148,20 @@ class ScenarioRunner:
                  cache_window_s: float = 5.0,
                  cache_entries: int = 50_000,
                  check_invariants: bool = False,
-                 invariant_epsilon: float = 1e-6):
+                 invariant_epsilon: float = 1e-6,
+                 link_decorator=None):
         if quantum_s <= 0:
             raise ValueError("quantum must be positive")
         self.testbed = testbed
         self.quantum_s = quantum_s
         self.check_invariants = check_invariants
         self.invariant_epsilon = invariant_epsilon
+        #: Optional ``f(link, medium, src, dst) -> Link`` applied to every
+        #: link before its capacity is read — the fault-injection seam
+        #: (:func:`repro.faults.faulty_link_decorator`). Note the capacity
+        #: cache: a fault edge (outage start/end) is observed at the next
+        #: recompute, so detection lag is bounded by ``cache_window_s``.
+        self.link_decorator = link_decorator
         self._capacity_cache = WindowedLruCache(cache_window_s,
                                                 max_entries=cache_entries)
         self.log: List[QuantumLog] = []
@@ -174,6 +181,8 @@ class ScenarioRunner:
                                            flow.dst)
         if link is None:  # e.g. PLC pairs split across boards
             return 0.0
+        if self.link_decorator is not None:
+            link = self.link_decorator(link, medium, flow.src, flow.dst)
         return max(link.throughput_bps(t, measured=False), 0.0)
 
     def _domain(self, flow: FlowRequest, medium: str) -> str:

@@ -15,7 +15,7 @@ the same two weeks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -66,6 +66,13 @@ class OfficeActivityModel:
         # Draw memo: generator creation is the hot cost; each (appliance,
         # purpose, index) triple is drawn once and reused.
         self._draw_cache: dict = {}
+        #: Optional override consulted before the schedule model: returns
+        #: True/False to force a state, None to fall through. This is the
+        #: fault-injection seam (``repro.faults.powergrid`` schedules
+        #: appliance surges through it) — it must stay a pure function of
+        #: ``(appliance, t)`` or state signatures lose determinism.
+        self.overlay: Optional[
+            Callable[[ApplianceInstance, float], Optional[bool]]] = None
 
     # --- per-appliance deterministic draws -----------------------------------
 
@@ -138,6 +145,10 @@ class OfficeActivityModel:
 
     def is_on(self, appliance: ApplianceInstance, t: float) -> bool:
         """Powered-on state of ``appliance`` at simulated time ``t``."""
+        if self.overlay is not None:
+            forced = self.overlay(appliance, t)
+            if forced is not None:
+                return forced
         schedule = appliance.kind.schedule
         if schedule is ScheduleClass.ALWAYS_ON:
             return True

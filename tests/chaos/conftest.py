@@ -1,0 +1,78 @@
+"""Chaos-suite harness: seeded fault plans, replayable failures.
+
+Every chaos test derives its fault schedule from ``CHAOS_SEED``
+(environment variable, default 7) through :class:`repro.faults.FaultPlan`
+— so the whole suite is deterministic, and a failure is replayed by
+re-running the failing test id under the same seed.
+
+Tests register the plan they run under via the ``record_plan`` fixture.
+When such a test fails, the harness
+
+* appends the plan's human-readable schedule and a one-line replay
+  command to the test report, and
+* dumps ``plan.to_dict()`` as JSON under ``CHAOS_ARTIFACT_DIR``
+  (default ``<repo>/chaos-failures/``) — the file CI uploads as the
+  failure artifact.
+
+See ``docs/testing.md`` ("Replaying a chaos failure").
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+#: Root seed for every fault plan in the suite (override to explore).
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "7"))
+
+#: Plans recorded by the currently-run tests, keyed by node id.
+_RECORDED_PLANS = {}
+
+
+@pytest.fixture(scope="session")
+def chaos_seed() -> int:
+    return CHAOS_SEED
+
+
+@pytest.fixture()
+def record_plan(request):
+    """Register the fault plan a test runs under (enables replay dumps)."""
+
+    def record(plan):
+        _RECORDED_PLANS[request.node.nodeid] = plan
+        return plan
+
+    return record
+
+
+def _artifact_dir(config) -> Path:
+    env = os.environ.get("CHAOS_ARTIFACT_DIR")
+    if env:
+        return Path(env)
+    return Path(str(config.rootpath)) / "chaos-failures"
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when != "call" or not report.failed:
+        return
+    plan = _RECORDED_PLANS.get(item.nodeid)
+    if plan is None:
+        return
+    replay = (f"replay: CHAOS_SEED={CHAOS_SEED} "
+              f"python -m pytest {item.nodeid!r}")
+    report.sections.append(
+        ("chaos fault plan", plan.describe() + "\n" + replay))
+    out_dir = _artifact_dir(item.config)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    safe = item.nodeid.replace("/", "_").replace("::", "--")
+    payload = {"nodeid": item.nodeid, "chaos_seed": CHAOS_SEED,
+               "plan": plan.to_dict()}
+    (out_dir / f"{safe}.json").write_text(
+        json.dumps(payload, indent=1, sort_keys=True) + "\n",
+        encoding="utf-8")

@@ -1,0 +1,178 @@
+"""Hybrid-layer chaos: blackouts, storms, and the reorder buffer.
+
+Invariants pinned here:
+
+* a bonded device whose WiFi medium blacks out mid-run **fails over**
+  to PLC within a bounded detection window (one quantum after the
+  estimate sees the outage), and reports no silent throughput from the
+  dead medium;
+* storms are deterministic functions of the plan, and a reorder/loss
+  storm can never deadlock the destination's :class:`ReorderBuffer`:
+  every surviving packet is released exactly once, in order, and the
+  buffer drains empty;
+* the mesh router stops trusting a medium that has gone quiet within
+  ``max_metric_age_s`` — blackout detection is bounded at the routing
+  layer too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import LinkMetricRecord
+from repro.faults import FaultEvent, FaultPlan, FaultPlanConfig, FaultyLink
+from repro.faults.storm import apply_storm
+from repro.hybrid.aggregator import HybridDevice
+from repro.hybrid.ieee1905 import AbstractionLayer
+from repro.hybrid.reorder import ReorderBuffer
+from repro.hybrid.routing import HybridMeshRouter
+from repro.traffic.packet import Packet
+
+# Deliberately misaligned with the 1 s probe grid: a scheduled probe
+# must NOT be what catches the blackout — the stall detector has to.
+OUTAGE_START, OUTAGE_END = 5.35, 15.35
+
+
+@pytest.fixture()
+def blackout_device(testbed, t_work):
+    """A bonded pair whose WiFi medium dies for t_work+[5, 15)."""
+    plan = FaultPlan(seed=0, events=[
+        FaultEvent("link_outage", "wifi", t_work + OUTAGE_START,
+                   t_work + OUTAGE_END)])
+    return HybridDevice(testbed.plc_link(0, 1),
+                        FaultyLink(testbed.wifi_link(0, 1), plan),
+                        testbed.streams)
+
+
+def test_wifi_blackout_triggers_bounded_failover(blackout_device, testbed,
+                                                 t_work):
+    result = blackout_device.run_saturated("hybrid", t_work, 25.0)
+    assert result.failovers >= 1
+    times = result.throughput.times - t_work
+    values = result.throughput.values
+    # Interior of the outage, clear of the 1 s smoothing window edges.
+    inside = (times >= OUTAGE_START + 1.0) & (times <= OUTAGE_END - 1.0)
+    assert inside.sum() > 50
+    plc_only = HybridDevice(
+        testbed.plc_link(0, 1), testbed.wifi_link(0, 1),
+        testbed.streams).run_saturated("plc", t_work, 25.0)
+    plc_inside = plc_only.throughput.values[inside]
+    # No silent throughput from the dead medium: the bond cannot beat a
+    # healthy PLC-only run while WiFi is gone.
+    assert np.max(values[inside]) <= 1.2 * np.max(plc_inside)
+    # Bounded detection: after the re-probe the bond keeps delivering on
+    # PLC — at most a handful of detection quanta may read (near) zero.
+    stalled = int(np.sum(values[inside] < 1e6))
+    assert stalled <= 2
+    assert np.mean(values[inside]) > 0.5 * np.mean(plc_inside)
+
+
+def test_dead_wifi_reports_zero_not_phantom_rate(blackout_device, t_work):
+    result = blackout_device.run_saturated("wifi", t_work, 25.0)
+    times = result.throughput.times - t_work
+    inside = (times >= OUTAGE_START + 1.0) & (times <= OUTAGE_END - 1.0)
+    assert np.all(result.throughput.values[inside] == 0.0)
+    outside = times < OUTAGE_START - 1.0
+    assert np.mean(result.throughput.values[outside]) > 0.0
+
+
+def _packet_stream(n: int, t0: float = 0.0,
+                   spacing: float = 0.002):
+    packets = []
+    for seq in range(n):
+        p = Packet(seq=seq, size_bytes=1500, created_at=t0 + seq * spacing)
+        p.delivered_at = t0 + seq * spacing
+        packets.append(p)
+    return packets
+
+
+def _storm_plan(chaos_seed: int) -> FaultPlan:
+    return FaultPlan.generate(
+        chaos_seed, "hybrid-storm", horizon_s=2.0,
+        targets={"bonds": ["bond"]},
+        config=FaultPlanConfig(loss_storms=2, reorder_storms=2,
+                               storm_s=(0.3, 0.8),
+                               loss_probability=(0.2, 0.5),
+                               reorder_delay_s=(0.01, 0.05)))
+
+
+def test_storm_is_deterministic(chaos_seed, record_plan):
+    plan = record_plan(_storm_plan(chaos_seed))
+    first = apply_storm(_packet_stream(500), plan, target="bond")
+    second = apply_storm(_packet_stream(500), plan, target="bond")
+    assert [p.seq for p in first[0]] == [p.seq for p in second[0]]
+    assert ([p.delivered_at for p in first[0]]
+            == [p.delivered_at for p in second[0]])
+    assert first[1] == second[1]
+    assert first[1], "plan dropped nothing — widen the loss windows"
+
+
+def test_reorder_storm_never_deadlocks_the_buffer(chaos_seed,
+                                                  record_plan):
+    """Every surviving packet out, exactly once, buffer empty after."""
+    plan = record_plan(_storm_plan(chaos_seed))
+    survivors, dropped = apply_storm(_packet_stream(500), plan,
+                                     target="bond")
+    assert dropped and len(survivors) < 500
+    buffer = ReorderBuffer(hole_timeout_s=0.02)
+    released = []
+    for packet in survivors:
+        released.extend(buffer.push(packet, packet.delivered_at))
+    end = survivors[-1].delivered_at
+    released.extend(buffer.poll(end + 1.0))
+    released.extend(buffer.flush(end + 1.0))
+    assert buffer.pending_count == 0
+    seqs = [p.seq for p in released]
+    assert len(seqs) == len(set(seqs)) == len(survivors)
+    assert set(seqs) == {p.seq for p in survivors}
+    assert buffer.stats.delivered == len(survivors)
+
+
+def test_poll_flushes_a_stuck_hole_without_new_arrivals():
+    """The pre-fix deadlock: last packet lost, then silence. ``poll``
+    must release the tail once the hole times out."""
+    buffer = ReorderBuffer(hole_timeout_s=0.05)
+    p0, p2 = _packet_stream(3)[0], _packet_stream(3)[2]
+    assert [p.seq for p in buffer.push(p0, 0.0)] == [0]
+    assert buffer.push(p2, 0.01) == []  # seq 1 lost in flight
+    assert buffer.poll(0.02) == []      # hole not timed out yet
+    released = buffer.poll(0.2)
+    assert [p.seq for p in released] == [2]
+    assert buffer.pending_count == 0
+    assert buffer.stats.holes_flushed == 1
+
+
+def test_flush_drains_everything_in_order():
+    buffer = ReorderBuffer(hole_timeout_s=10.0)
+    stream = _packet_stream(6)
+    for packet in (stream[5], stream[3], stream[1]):
+        buffer.push(packet, packet.delivered_at)
+    released = buffer.flush(1.0)
+    assert [p.seq for p in released] == [1, 3, 5]
+    assert buffer.pending_count == 0
+    assert buffer.flush(2.0) == []
+
+
+def _record(src, dst, medium, t, capacity=50e6):
+    return LinkMetricRecord(time=t, src=src, dst=dst, medium=medium,
+                            capacity_bps=capacity, etx=1.0)
+
+
+def test_router_drops_a_medium_that_stopped_reporting():
+    """A blacked-out medium vanishes from routing within
+    ``max_metric_age_s`` — stale metrics are not trusted forever."""
+    layer = AbstractionLayer()
+    layer.update(_record("0", "1", "plc", t=0.0))
+    layer.update(_record("1", "2", "wifi", t=0.0))
+    router = HybridMeshRouter(layer, max_metric_age_s=2.0)
+    fresh = router.best_path("0", "2", now=1.0)
+    assert fresh is not None and fresh.media == ("plc", "wifi")
+    # PLC keeps reporting; WiFi has gone dark.
+    layer.update(_record("0", "1", "plc", t=9.0))
+    assert router.best_path("0", "2", now=10.0) is None
+    assert router.best_path("0", "1", now=10.0) is not None
+    assert ("1", "2") not in router.reachable_pairs(now=10.0)
+    # Without the age limit the stale WiFi record is still trusted.
+    assert HybridMeshRouter(layer).best_path("0", "2",
+                                             now=10.0) is not None

@@ -1,0 +1,178 @@
+"""FaultyLink chaos: the medium contract must survive any fault plan.
+
+Invariants pinned here:
+
+* a wrapped link is still a :class:`repro.medium.Link`, and its batch
+  path stays bit-identical to its scalar path under arbitrary plans;
+* an outage window is a *dead* medium — zero capacity, zero throughput,
+  loss saturated, disconnected — with no leakage outside the window;
+* overlapping fault windows compose multiplicatively, identically in
+  both paths;
+* plans themselves are deterministic, canonical and round-trippable
+  (the replay contract of ``docs/testing.md``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.two_metric_model import (
+    TwoMetricLinkModel,
+    TwoMetricParameters,
+)
+from repro.faults import (
+    ANY_TARGET,
+    FaultEvent,
+    FaultPlan,
+    FaultPlanConfig,
+    FaultyLink,
+)
+from repro.medium.link import Link, series_from_samples
+from repro.sim.random import RandomStreams
+
+_TM_PARAMS = TwoMetricParameters(
+    slot_ble_bps=(80e6, 95e6, 110e6, 90e6, 85e6, 100e6),
+    jitter_sigma_rel=0.05,
+    jitter_hold_s=2.0,
+    pb_err_base=0.02,
+    pb_err_spread=0.8)
+
+
+def _link(seed: int) -> TwoMetricLinkModel:
+    return TwoMetricLinkModel(_TM_PARAMS, RandomStreams(seed=seed),
+                              name="tm-0-1")
+
+
+def _dense_plan(chaos_seed: int) -> FaultPlan:
+    return FaultPlan.generate(
+        chaos_seed, "link-chaos", horizon_s=60.0,
+        targets={"links": ["tm-0-1"]},
+        config=FaultPlanConfig(outages=3, degradations=3, snr_collapses=3,
+                               outage_s=(2.0, 8.0),
+                               degradation_s=(3.0, 15.0)))
+
+
+@pytest.mark.parametrize("measured", [False, True])
+def test_batch_equals_scalar_under_fault_plan(chaos_seed, record_plan,
+                                              measured):
+    """The contract's core promise holds through the fault transform."""
+    plan = record_plan(_dense_plan(chaos_seed))
+    batch_link = FaultyLink(_link(11), plan)
+    scalar_link = FaultyLink(_link(11), plan)
+    ts = np.arange(0.0, 60.0, 0.37)
+    assert plan.active_mask("link_outage", "tm-0-1", ts).any(), \
+        "plan never hits the grid — widen the windows"
+    batch = batch_link.sample_series(ts, measured=measured)
+    reference = series_from_samples(
+        [scalar_link.sample(float(t), measured=measured) for t in ts],
+        name=scalar_link.name, medium=scalar_link.medium)
+    for field in reference.data.dtype.names:
+        assert np.array_equal(batch.data[field], reference.data[field]), (
+            f"column {field!r} differs between sample_series and the "
+            f"scalar loop under faults (measured={measured})")
+
+
+def test_faulty_link_is_still_a_link():
+    plan = FaultPlan(seed=0, events=[])
+    wrapped = FaultyLink(_link(3), plan)
+    assert isinstance(wrapped, Link)
+    assert wrapped.medium == "plc"
+    assert wrapped.name == "tm-0-1"
+
+
+def test_outage_window_is_a_dead_medium():
+    """No silent throughput from a dead medium — and no leakage outside."""
+    plan = FaultPlan(seed=0, events=[
+        FaultEvent("link_outage", "tm-0-1", 10.0, 20.0)])
+    wrapped = FaultyLink(_link(5), plan)
+    bare = _link(5)
+    for t in (10.0, 14.2, 19.999):
+        assert wrapped.capacity_bps(t) == 0.0
+        assert wrapped.throughput_bps(t, measured=False) == 0.0
+        assert wrapped.sample(t, measured=False).loss == 1.0
+        assert not wrapped.is_connected(t)
+    for t in (0.0, 9.99, 20.0, 30.0):
+        ours = wrapped.sample(t, measured=False)
+        theirs = bare.sample(t, measured=False)
+        assert wrapped.capacity_bps(t) == bare.capacity_bps(t)
+        assert ours.throughput_bps == theirs.throughput_bps
+        assert ours.loss == theirs.loss
+        assert wrapped.is_connected(t)
+
+
+def test_overlapping_events_compose_multiplicatively():
+    keep = 0.5
+    drop_db = 10.0  # 10 dB -> factor 0.1
+    plan = FaultPlan(seed=0, events=[
+        FaultEvent("link_degradation", "tm-0-1", 0.0, 100.0,
+                   severity=keep),
+        FaultEvent("snr_collapse", "tm-0-1", 50.0, 100.0,
+                   severity=drop_db)])
+    wrapped = FaultyLink(_link(9), plan)
+    assert wrapped.fault_factor(25.0) == keep
+    assert wrapped.fault_factor(75.0) == pytest.approx(keep * 0.1)
+    ts = np.array([25.0, 75.0, 150.0])
+    factors = wrapped.fault_factor_series(ts)
+    assert factors[0] == wrapped.fault_factor(25.0)
+    assert factors[1] == wrapped.fault_factor(75.0)
+    assert factors[2] == 1.0
+
+
+def test_events_target_by_name_medium_or_wildcard():
+    by_name = FaultPlan(seed=0, events=[
+        FaultEvent("link_outage", "tm-0-1", 0.0, 1.0)])
+    by_medium = FaultPlan(seed=0, events=[
+        FaultEvent("link_outage", "plc", 0.0, 1.0)])
+    by_any = FaultPlan(seed=0, events=[
+        FaultEvent("link_outage", ANY_TARGET, 0.0, 1.0)])
+    other = FaultPlan(seed=0, events=[
+        FaultEvent("link_outage", "someone-else", 0.0, 1.0)])
+    for plan, hits in ((by_name, True), (by_medium, True),
+                       (by_any, True), (other, False)):
+        wrapped = FaultyLink(_link(2), plan)
+        assert (wrapped.fault_factor(0.5) == 0.0) is hits
+
+
+def test_plan_is_deterministic_and_round_trips(chaos_seed):
+    plan = _dense_plan(chaos_seed)
+    again = _dense_plan(chaos_seed)
+    assert plan.events == again.events
+    assert plan.seed == again.seed
+    restored = FaultPlan.from_dict(plan.to_dict())
+    assert restored.events == plan.events
+    assert restored.seed == plan.seed
+    other = FaultPlan.generate(
+        chaos_seed + 1, "link-chaos", horizon_s=60.0,
+        targets={"links": ["tm-0-1"]},
+        config=FaultPlanConfig(outages=3))
+    assert other.events != plan.events
+
+
+def test_plan_event_order_is_canonical():
+    events = [FaultEvent("link_outage", "b", 5.0, 6.0),
+              FaultEvent("link_outage", "a", 5.0, 6.0),
+              FaultEvent("link_outage", "a", 1.0, 2.0)]
+    assert (FaultPlan(seed=0, events=events).events
+            == FaultPlan(seed=0, events=reversed(events)).events)
+
+
+def test_invalid_events_rejected():
+    with pytest.raises(ValueError):
+        FaultEvent("meteor_strike", "x", 0.0, 1.0)
+    with pytest.raises(ValueError):
+        FaultEvent("link_outage", "x", 5.0, 5.0)
+
+
+def test_real_wifi_link_dies_under_medium_outage(testbed, t_work):
+    """A testbed WiFi link wrapped with a medium-wide outage goes dark
+    while its PLC sibling keeps carrying traffic."""
+    plan = FaultPlan(seed=0, events=[
+        FaultEvent("link_outage", "wifi", t_work, t_work + 10.0)])
+    wifi = FaultyLink(testbed.wifi_link(0, 1), plan)
+    plc = FaultyLink(testbed.plc_link(0, 1), plan)
+    ts = t_work + np.arange(0.0, 10.0, 0.5)
+    assert np.all(wifi.sample_series(ts, measured=False).throughput_bps
+                  == 0.0)
+    assert np.all(plc.sample_series(ts, measured=False).throughput_bps
+                  > 0.0)

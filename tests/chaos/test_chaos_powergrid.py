@@ -1,0 +1,126 @@
+"""Power-grid chaos: plan-scheduled appliance surge bursts.
+
+A surge window forces its target appliances on — the adversarial version
+of the paper's "random scale" (§6.3). Invariants: forced means forced
+(regardless of schedule), nothing leaks outside the window, overlays
+compose, and the whole thing stays a pure function of ``(appliance, t)``
+so channel caches keep their determinism.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults import (
+    ANY_TARGET,
+    FaultEvent,
+    FaultPlan,
+    FaultPlanConfig,
+    inject_surges,
+    surge_overlay,
+)
+from repro.powergrid.activity import OfficeActivityModel
+from repro.powergrid.appliances import ApplianceInstance
+from repro.sim.clock import MainsClock
+from repro.sim.random import RandomStreams
+
+#: Sunday 03:00 — intermittent appliances are almost surely off.
+QUIET_T = MainsClock.at(day=6, hour=3.0)
+
+APPLIANCES = [
+    ApplianceInstance.make("microwave-1", "microwave", "o1"),
+    ApplianceInstance.make("vacuum-1", "vacuum_cleaner", "o2"),
+    ApplianceInstance.make("kettle-1", "coffee_machine", "o3"),
+]
+
+
+def _model(seed: int = 42) -> OfficeActivityModel:
+    return OfficeActivityModel(RandomStreams(seed=seed))
+
+
+def _surge_plan(window=(QUIET_T + 60.0, QUIET_T + 180.0),
+                target="microwave-1") -> FaultPlan:
+    return FaultPlan(seed=0, events=[
+        FaultEvent("appliance_surge", target, *window)])
+
+
+def test_surge_forces_target_on_inside_window_only():
+    model = _model()
+    baseline = _model()
+    inject_surges(model, _surge_plan())
+    microwave = APPLIANCES[0]
+    grid = QUIET_T + np.arange(0.0, 300.0, 10.0)
+    for t in grid:
+        t = float(t)
+        in_window = QUIET_T + 60.0 <= t < QUIET_T + 180.0
+        if in_window:
+            assert model.is_on(microwave, t)
+        else:
+            assert model.is_on(microwave, t) == baseline.is_on(
+                microwave, t)
+
+
+def test_surge_leaves_other_appliances_alone():
+    model = _model()
+    baseline = _model()
+    inject_surges(model, _surge_plan(target="microwave-1"))
+    for appliance in APPLIANCES[1:]:
+        for t in QUIET_T + np.arange(0.0, 300.0, 25.0):
+            assert model.is_on(appliance, float(t)) == baseline.is_on(
+                appliance, float(t))
+
+
+def test_wildcard_surge_is_the_microwave_plus_vacuum_worst_case():
+    """An ``"*"`` surge turns the whole population on at once (Fig. 5's
+    simultaneous-appliance scenario) — visible as a load spike."""
+    model = _model()
+    baseline = _model()
+    inject_surges(model, _surge_plan(target=ANY_TARGET))
+    t_in = QUIET_T + 100.0
+    assert model.active_count(APPLIANCES, t_in) == len(APPLIANCES)
+    assert (baseline.active_count(APPLIANCES, t_in)
+            < len(APPLIANCES))  # quiet Sunday 3 am: not all on by chance
+
+
+def test_overlays_compose_with_surge_consulted_first():
+    model = _model()
+    # A pre-existing overlay pinning the kettle off (maintenance mode).
+    model.overlay = lambda appliance, t: (
+        False if appliance.instance_id == "kettle-1" else None)
+    inject_surges(model, _surge_plan(target="kettle-1"))
+    inside, outside = QUIET_T + 100.0, QUIET_T + 250.0
+    kettle = APPLIANCES[2]
+    assert model.is_on(kettle, inside)        # surge wins inside
+    assert not model.is_on(kettle, outside)   # prior overlay still holds
+
+
+def test_surged_state_signatures_are_deterministic(chaos_seed,
+                                                   record_plan):
+    """Two identically built surged models agree everywhere — the
+    property every channel cache keys on."""
+    plan = record_plan(FaultPlan.generate(
+        chaos_seed, "powergrid-chaos", horizon_s=600.0,
+        targets={"appliances": [a.instance_id for a in APPLIANCES]},
+        config=FaultPlanConfig(surges=3, surge_s=(30.0, 120.0)),
+        t0=QUIET_T))
+    a, b = _model(), _model()
+    inject_surges(a, plan)
+    inject_surges(b, plan)
+    grid = QUIET_T + np.arange(0.0, 600.0, 7.0)
+    sig_a = [a.state_signature(APPLIANCES, float(t)) for t in grid]
+    sig_b = [b.state_signature(APPLIANCES, float(t)) for t in grid]
+    assert sig_a == sig_b
+    surged = plan.active_mask("appliance_surge",
+                              APPLIANCES[0].instance_id, grid)
+    if surged.any():
+        on = np.array([s[0] for s in sig_a])
+        assert np.all(on[surged])
+
+
+def test_surge_overlay_is_pure_and_reusable():
+    overlay = surge_overlay(_surge_plan())
+    microwave = APPLIANCES[0]
+    t = QUIET_T + 100.0
+    assert overlay(microwave, t) is True
+    assert overlay(microwave, QUIET_T) is None
+    assert overlay(microwave, t) is True  # stateless: same answer again

@@ -155,3 +155,75 @@ def test_cli_campaign_end_to_end(tmp_path, capsys):
     text = capsys.readouterr().out
     assert rc == 0
     assert "task census" in text and "survey_pair" in text
+
+
+# --- failure-path units (chaos PR satellites) ---------------------------------
+
+
+def test_expire_timeouts_abandons_only_overdue_attempts(tmp_path):
+    """Unit-level sweep of ``_expire_timeouts``: attempts past the budget
+    are abandoned (timeout counted, retry scheduled with the
+    deterministic error string); in-budget attempts stay in flight."""
+    import itertools
+    import time
+    from concurrent.futures import Future
+
+    from repro.campaign import CampaignStats
+
+    spec_old = ExperimentSpec.make("rng_probe", "mini3", 7, idx=0)
+    spec_new = ExperimentSpec.make("rng_probe", "mini3", 7, idx=1)
+    engine = CampaignEngine(
+        [spec_old, spec_new], tmp_path / "x.jsonl",
+        config=EngineConfig(workers=1, timeout_s=1.0, retries=1,
+                            backoff_base_s=0.0))
+    now = time.perf_counter()
+    stale, fresh = Future(), Future()
+    in_flight = {stale: (spec_old, 0, now - 5.0),
+                 fresh: (spec_new, 0, now - 0.01)}
+    heap, stats = [], CampaignStats()
+    abandoned = engine._expire_timeouts(in_flight, heap,
+                                        itertools.count(), stats)
+    assert abandoned == 1
+    assert list(in_flight) == [fresh]  # the in-budget attempt survives
+    assert stats.timeouts == 1 and stats.retries == 1
+    _, _, spec, attempt = heap[0]
+    assert spec.task_key() == spec_old.task_key()
+    assert attempt == 1  # retry carries the incremented attempt
+
+
+def test_retry_heap_is_fifo_under_equal_deadlines(tmp_path, monkeypatch):
+    """Retries whose backoffs expire at the same instant dequeue in
+    submission order — the tiebreak counter, not spec comparison (specs
+    are unorderable) or hash order, decides."""
+    import heapq
+    import itertools
+
+    from repro.campaign import CampaignStats
+
+    specs = [ExperimentSpec.make("rng_probe", "mini3", 7, idx=i)
+             for i in range(4)]
+    engine = CampaignEngine(
+        specs, tmp_path / "x.jsonl",
+        config=EngineConfig(workers=1, retries=3, backoff_base_s=0.0))
+    monkeypatch.setattr("repro.campaign.engine.time.perf_counter",
+                        lambda: 1000.0)
+    heap, tiebreak, stats = [], itertools.count(), CampaignStats()
+    for spec in specs:
+        engine._handle_failure(spec, 0, "boom", heap, tiebreak, stats)
+    assert {entry[0] for entry in heap} == {1000.0}  # all deadlines equal
+    popped = [heapq.heappop(heap)[2].task_key() for _ in range(len(specs))]
+    assert popped == [s.task_key() for s in specs]
+
+
+def test_breaker_threshold_boundary_is_exact(tmp_path):
+    """``max_failures`` is inclusive: exactly N permanent failures
+    complete the campaign; the (N+1)-th opens the breaker."""
+    specs = [ExperimentSpec.make("flaky", "mini3", s, fail_attempts=9)
+             for s in (7, 8, 9)]
+    stats = run_campaign(specs, tmp_path / "at-cap.jsonl", workers=0,
+                         retries=0, max_failures=3)
+    assert stats.failed == 3 and stats.completed == 0
+    assert len(stats.failures) == 3
+    with pytest.raises(CampaignAborted):
+        run_campaign(specs, tmp_path / "over-cap.jsonl", workers=0,
+                     retries=0, max_failures=2)

@@ -102,3 +102,68 @@ def test_constructor_validation():
         ReorderBuffer(hole_timeout_s=0.0)
     with pytest.raises(ValueError):
         ReorderBuffer(max_window=0)
+
+
+# --- stateful property: the buffer under arbitrary arrival chaos -------------
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+
+def _pkt(seq, now):
+    return Packet(seq=seq, size_bytes=1500, created_at=now)
+
+
+class ReorderMachine(RuleBasedStateMachine):
+    """Arbitrary interleavings of pushes, duplicates, gaps and idle polls.
+
+    Contracts under test:
+
+    * no sequence number is ever delivered twice;
+    * delivery order is strictly increasing (in-order release);
+    * no *live* packet is dropped — everything accepted while still
+      ahead of the release point comes out by the final flush.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.buffer = ReorderBuffer(hole_timeout_s=0.05, max_window=16)
+        self.now = 0.0
+        self.accepted = set()
+        self.released = []
+
+    def _absorb(self, packets):
+        self.released.extend(p.seq for p in packets)
+
+    @rule(seq=st.integers(min_value=0, max_value=63),
+          dt=st.floats(min_value=0.0, max_value=0.1))
+    def push(self, seq, dt):
+        self.now += dt
+        if seq >= self.buffer._next_seq:
+            self.accepted.add(seq)  # not a late duplicate: must come out
+        self._absorb(self.buffer.push(_pkt(seq, self.now), self.now))
+
+    @rule(dt=st.floats(min_value=0.0, max_value=0.2))
+    def idle_poll(self, dt):
+        self.now += dt
+        self._absorb(self.buffer.poll(self.now))
+
+    @invariant()
+    def released_strictly_increasing_and_accounted(self):
+        assert all(a < b for a, b in zip(self.released,
+                                         self.released[1:]))
+        assert set(self.released) <= self.accepted
+
+    def teardown(self):
+        self._absorb(self.buffer.flush(self.now))
+        assert self.buffer.pending_count == 0
+        assert all(a < b for a, b in zip(self.released,
+                                         self.released[1:]))
+        assert set(self.released) == self.accepted
+        super().teardown()
+
+
+ReorderMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None)
+TestReorderBufferStateful = ReorderMachine.TestCase

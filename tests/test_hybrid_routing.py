@@ -87,3 +87,45 @@ def test_full_mesh_connectivity(testbed, t_work):
     all_pairs = {(str(i), str(j)) for i, j in testbed.all_pairs()}
     # Seamless connectivity: ≥95 % of ordered pairs routable.
     assert len(reachable & all_pairs) >= 0.95 * len(all_pairs)
+
+
+# --- the no-path contract (chaos PR satellites) -------------------------------
+
+
+def test_best_path_contract_on_empty_and_unknown_nodes():
+    """No metrics at all → every query answers None, never raises."""
+    router = HybridMeshRouter(AbstractionLayer())
+    assert router.best_path("a", "b") is None
+    assert router.reachable_pairs() == []
+
+
+def test_disconnected_components_yield_none_not_error():
+    """Two islands: intra-island routes exist, cross-island is None and
+    absent from reachable_pairs — the caller's signal to fail over."""
+    layer = AbstractionLayer()
+    layer.update(_rec("a", "b", "plc", 60.0))
+    layer.update(_rec("c", "d", "wifi", 50.0))
+    router = HybridMeshRouter(layer)
+    assert router.best_path("a", "b") is not None
+    assert router.best_path("c", "d") is not None
+    for src, dst in (("a", "c"), ("a", "d"), ("b", "c"), ("b", "d")):
+        assert router.best_path(src, dst) is None
+        assert router.best_path(dst, src) is None
+    pairs = router.reachable_pairs()
+    assert ("a", "b") in pairs and ("c", "d") in pairs
+    assert ("a", "c") not in pairs and ("b", "d") not in pairs
+
+
+def test_single_medium_graph_routes_without_alternation():
+    """A PLC-only chain still routes end to end; the path simply never
+    alternates media (the §4.3 relay gain needs both)."""
+    layer = AbstractionLayer()
+    layer.update(_rec("a", "b", "plc", 60.0))
+    layer.update(_rec("b", "c", "plc", 40.0))
+    router = HybridMeshRouter(layer)
+    path = router.best_path("a", "c")
+    assert path is not None
+    assert path.media == ("plc", "plc")
+    assert not path.alternates_media
+    # And a node only reachable on the missing medium stays unreachable.
+    assert router.best_path("c", "a") is None  # links are directed

@@ -1,0 +1,81 @@
+"""Seed-sweep smoke: golden-trace slices under non-golden seeds.
+
+The golden suite pins seed 7 bit-for-bit. This sweep runs the same
+pipeline slices under three *other* seeds and asserts only structural
+invariants — every metric physical (non-negative, finite, losses in
+[0, 1]), time axes monotone, and cumulative delivered bytes monotone in
+the horizon. A model change that only works at the golden seed (or a
+seed-dependent NaN/negative-rate path) fails here, not in production
+campaigns.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.netsim.runner import ScenarioRunner
+from repro.netsim.scenario import build_scenario
+from repro.testbed import build_preset_testbed
+from repro.testbed.experiments import (
+    measure_pair,
+    night_start,
+    poll_ble_series,
+    working_hours_start,
+)
+
+SWEEP_SEEDS = (11, 23, 41)
+#: Same structural spread as the golden survey: short good pairs, the
+#: kitchen-adjacent bad one, a B2 pair.
+PAIRS = ((0, 1), (6, 5), (13, 16))
+
+
+@pytest.fixture(scope="module", params=SWEEP_SEEDS,
+                ids=lambda s: f"seed{s}")
+def world(request):
+    return build_preset_testbed("office", seed=request.param)
+
+
+def test_survey_rows_stay_physical(world):
+    for src, dst in PAIRS:
+        row = measure_pair(world, src, dst, working_hours_start(),
+                           duration=5.0, report_interval=0.5)
+        for value in (row.plc_mean_mbps, row.plc_std_mbps,
+                      row.wifi_mean_mbps, row.wifi_std_mbps,
+                      row.air_distance_m, row.cable_distance_m):
+            assert math.isfinite(value) and value >= 0.0
+        # The office floor plan is seed-independent: short pairs stay
+        # connected on PLC whatever the channel seed.
+        if (src, dst) == (0, 1):
+            assert row.plc_connected
+
+
+def test_ble_series_axes_are_sound(world):
+    series = poll_ble_series(world, 0, 1, night_start(), duration=2.0)
+    times = np.asarray(series.times, dtype=float)
+    values = np.asarray(series.values, dtype=float)
+    assert np.all(np.diff(times) > 0)
+    assert np.all(np.isfinite(values)) and np.all(values >= 0.0)
+
+
+def test_scenario_bytes_monotone_in_horizon(world):
+    """Cumulative delivered bytes per flow never shrink as the horizon
+    grows, and the accounting invariants hold at every horizon."""
+    runner = ScenarioRunner(world, check_invariants=True)
+    t0 = working_hours_start()
+    scenario = build_scenario("office-afternoon", t0)
+    previous = None
+    for horizon in (60.0, 120.0, 180.0):
+        results = runner.run(scenario, horizon_s=horizon)
+        assert runner.stats.invariant_violations == 0
+        for name, result in results.items():
+            assert math.isfinite(result.delivered_bytes)
+            assert result.delivered_bytes >= 0.0
+            assert result.starved_quanta >= 0
+            assert result.active_time_s >= 0.0
+            if previous is not None:
+                assert (result.delivered_bytes
+                        >= previous[name].delivered_bytes)
+        previous = results
