@@ -7,10 +7,35 @@ link-capacity lookups — on a nine-flow, ten-minute mixed scenario
 shared windowed cache keeps the loop fast and work-conserving. The seed
 runner recomputed every capacity from the channel model each quantum
 (~25 s for this scenario); the cache-backed runner is ~10x faster.
+
+It also guards the observability layer's cost: running the same scenario
+with tracing *and* profiling enabled must stay within
+:data:`MAX_TRACING_OVERHEAD` of the untraced wall time. Set
+``BENCH_OBS_JSON=<path>`` to write the comparison as JSON; CI uploads it
+as the ``BENCH_obs`` artifact.
 """
 
+import json
+import os
+import time
+
 from repro.netsim import FlowRequest, Scenario, ScenarioRunner
+from repro.obs import MetricsRegistry, Profiler, Tracer
 from repro.units import MBPS
+
+#: Acceptance ceiling: tracing + profiling may slow the runner by < 5%.
+MAX_TRACING_OVERHEAD = 0.05
+
+#: Timing reps per variant for the overhead comparison. The paired runs
+#: are interleaved and min-of-reps taken: the minimum converges on the
+#: true compute floor, and interleaving makes scheduler noise and
+#: thermal drift hit both variants alike. Many short runs beat few long
+#: ones for this — the floor estimate tightens with rep count.
+OVERHEAD_REPS = 10
+
+#: Horizon of each overhead rep (240 quanta — long enough that per-run
+#: setup is negligible, short enough to afford OVERHEAD_REPS pairs).
+OVERHEAD_HORIZON_S = 120.0
 
 SATURATED_PAIRS = [(0, 1), (2, 3), (4, 5), (6, 7), (8, 9), (13, 14)]
 
@@ -42,3 +67,55 @@ def test_nine_flows_ten_minutes(testbed, t_work, once):
     assert stats.max_domain_airtime <= 1.0 + 1e-6
     assert results["cbr0"].mean_rate_bps <= 2 * MBPS * (1 + 1e-9)
     assert all(r.delivered_bytes > 0 for r in results.values())
+
+
+def test_tracing_overhead_under_ceiling(testbed, t_work, once):
+    """Full observability (tracer + profiler) on the nine-flow scenario
+    costs < 5% wall time over the bare runner."""
+    scenario = _nine_flow_scenario(t_work)
+    quanta = int(OVERHEAD_HORIZON_S / 0.5)
+
+    def run(observed: bool):
+        tracer = Tracer(enabled=observed)
+        profiler = Profiler(metrics=MetricsRegistry(), enabled=observed)
+        runner = ScenarioRunner(testbed, check_invariants=True,
+                                tracer=tracer, profiler=profiler)
+        runner.run(scenario, horizon_s=OVERHEAD_HORIZON_S)
+        return runner, tracer, profiler
+
+    def experiment():
+        run(False)  # warm any lazy channel state in the session testbed
+        best = {"untraced_s": float("inf"), "traced_s": float("inf")}
+        for _ in range(OVERHEAD_REPS):
+            for key, observed in (("untraced_s", False),
+                                  ("traced_s", True)):
+                start = time.perf_counter()
+                run(observed)
+                best[key] = min(best[key],
+                                time.perf_counter() - start)
+        return best
+
+    timings = once(experiment)
+    overhead = timings["traced_s"] / timings["untraced_s"] - 1.0
+    timings["overhead_frac"] = overhead
+
+    runner, tracer, profiler = run(True)
+    events = len(tracer.events)
+    summary = profiler.summary()
+    timings["trace_events"] = events
+    timings["profile"] = summary
+
+    out_path = os.environ.get("BENCH_OBS_JSON")
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as fh:
+            json.dump(timings, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    print(f"untraced {timings['untraced_s']:.3f}s traced "
+          f"{timings['traced_s']:.3f}s overhead {overhead * 100:.2f}% "
+          f"({events} events, {len(summary)} profiled stages)")
+    assert events > quanta            # >= one event per quantum
+    assert summary["runner.allocate"]["calls"] == quanta
+    assert overhead < MAX_TRACING_OVERHEAD, (
+        f"observability overhead {overhead * 100:.2f}% exceeds "
+        f"{MAX_TRACING_OVERHEAD * 100:.0f}% ceiling")

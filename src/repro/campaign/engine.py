@@ -13,13 +13,20 @@ collects artifacts, with:
   tasks abort the campaign (completed artifacts survive for resume);
 * **resume** — specs whose task keys already sit in the artifact file are
   skipped, so an interrupted campaign continues where it stopped.
+
+**Clock discipline.** Every engine-side epoch — the run's wall-clock
+span, retry-heap deadlines, timeout expiry, wait budgets — is read from
+ONE injected :class:`repro.obs.Clock`, so they are mutually comparable
+and a :class:`repro.obs.FakeClock` makes the retry/backoff/breaker logic
+deterministically testable. Workers time their tasks on their own clock
+and report only the *duration* (``elapsed_s``); durations may cross the
+process boundary, epochs never do.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
@@ -41,8 +48,13 @@ from repro.campaign.spec import (
 )
 from repro.campaign.stats import CampaignStats, TaskFailure
 from repro.campaign.tasks import execute_spec
+from repro.obs.clock import Clock, SystemClock
+from repro.obs.trace import task_trace, trace_path_for, write_trace
 
 ProgressFn = Callable[[str, str, CampaignStats], None]
+
+#: Worker-process clock: used only for the in-worker task *duration*.
+_WORKER_CLOCK = SystemClock()
 
 
 class CampaignAborted(RuntimeError):
@@ -71,6 +83,11 @@ class EngineConfig:
     #: unrelated 99% of a campaign.
     quarantine: bool = False
     resume: bool = True
+    #: Collect each task's sim-time trace events and write them to a
+    #: ``<out>.trace.jsonl`` sidecar at finalize. Never touches the
+    #: result artifact: its bytes are identical with tracing on or off,
+    #: and the sidecar itself is canonical at any worker count.
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -81,16 +98,23 @@ class EngineConfig:
             raise ValueError("timeout must be positive")
 
 
-def _run_task_payload(spec_dict: Dict[str, object],
-                      attempt: int) -> Dict[str, object]:
-    """Worker-side entry point (module-level: it must pickle by name)."""
-    t0 = time.perf_counter()
+def _run_task_payload(spec_dict: Dict[str, object], attempt: int,
+                      trace: bool = False) -> Dict[str, object]:
+    """Worker-side entry point (module-level: it must pickle by name).
+
+    ``elapsed_s`` is a worker-local *duration* (safe to aggregate in the
+    parent); ``trace`` installs a tracer for the task's executors to
+    publish sim-time events into, returned out-of-band from the records.
+    """
+    t0 = _WORKER_CLOCK.now()
     spec = ExperimentSpec.from_dict(spec_dict)
-    out = execute_spec(spec, attempt)
+    with task_trace(enabled=trace) as tracer:
+        out = execute_spec(spec, attempt)
     return {"task_key": spec.task_key(), "spec": spec.to_dict(),
             "task_seed": spec.task_seed(), "records": out.records,
             "stats": out.stats,
-            "elapsed_s": time.perf_counter() - t0}
+            "trace": tracer.to_dicts() if trace else None,
+            "elapsed_s": _WORKER_CLOCK.now() - t0}
 
 
 class CampaignEngine:
@@ -99,21 +123,32 @@ class CampaignEngine:
     def __init__(self, specs: Sequence[ExperimentSpec],
                  out_path: Union[str, Path], name: str = "campaign",
                  config: EngineConfig = EngineConfig(),
-                 progress: Optional[ProgressFn] = None):
+                 progress: Optional[ProgressFn] = None,
+                 clock: Optional[Clock] = None):
         check_specs(specs)
         self.specs = list(specs)
         self.out_path = Path(out_path)
         self.name = name
         self.config = config
         self.progress = progress or (lambda event, detail, stats: None)
+        #: The single source of engine-side epochs (see module docstring);
+        #: tests inject a FakeClock here to drive retries and timeouts.
+        self.clock: Clock = clock if clock is not None else SystemClock()
         seeds = {s.seed for s in self.specs}
         self._root_seed = seeds.pop() if len(seeds) == 1 else None
         self._quarantine: Optional[QuarantineWriter] = None
+        #: task_key -> sim-time trace events, gathered when tracing.
+        self._traces: Dict[str, List[Dict[str, object]]] = {}
 
     @property
     def quarantine_path(self) -> Path:
         """Where poison tasks land when quarantine is enabled."""
         return quarantine_path_for(self.out_path)
+
+    @property
+    def trace_path(self) -> Path:
+        """Where the sim-time event trace lands when tracing is enabled."""
+        return trace_path_for(self.out_path)
 
     # --- public API -----------------------------------------------------------
 
@@ -124,7 +159,7 @@ class CampaignEngine:
         artifacts completed before the abort remain on disk and a rerun
         resumes from them.
         """
-        start = time.perf_counter()
+        start = self.clock.now()
         cfg = self.config
         stats = CampaignStats(total_specs=len(self.specs),
                               workers=max(1, cfg.workers))
@@ -135,12 +170,13 @@ class CampaignEngine:
                                              name=self.name,
                                              resume=cfg.resume)
                             if cfg.quarantine else None)
+        self._traces = {}
         try:
             done_keys = writer.completed_keys()
             pending = [s for s in self.specs
                        if s.task_key() not in done_keys]
-            stats.resumed = len(self.specs) - len(pending)
-            if stats.resumed:
+            if len(self.specs) > len(pending):
+                stats.note_resumed(len(self.specs) - len(pending))
                 self.progress("resumed", f"{stats.resumed} tasks", stats)
             if cfg.workers == 0:
                 self._run_inline(pending, writer, stats)
@@ -149,9 +185,13 @@ class CampaignEngine:
             writer.finalize()
             if self._quarantine is not None:
                 self._quarantine.finalize(writer.completed_keys())
+            if cfg.trace:
+                write_trace(self.trace_path, self._traces,
+                            name=self.name)
         finally:
             writer.close()
-            stats.wall_seconds = time.perf_counter() - start
+            stats.set_wall_seconds(self.clock.now() - start)
+            stats.check_accounting()
         return stats
 
     # --- shared bookkeeping ---------------------------------------------------
@@ -159,13 +199,16 @@ class CampaignEngine:
     def _record_success(self, payload: Dict[str, object],
                         writer: ArtifactWriter,
                         stats: CampaignStats) -> None:
-        stats.task_seconds += float(payload.pop("elapsed_s", 0.0))
+        stats.add_task_seconds(float(payload.pop("elapsed_s", 0.0)))
+        trace_events = payload.pop("trace", None)
         artifact = TaskArtifact(
             task_key=payload["task_key"], spec=payload["spec"],
             task_seed=payload["task_seed"],
             records=payload["records"], stats=payload["stats"])
+        if trace_events is not None:
+            self._traces[artifact.task_key] = trace_events
         writer.write(artifact)
-        stats.completed += 1
+        stats.note_completed()
         stats.merge_task_stats(artifact.stats)
         self.progress("done", artifact.task_key, stats)
 
@@ -175,14 +218,14 @@ class CampaignEngine:
         failure = TaskFailure(task_key=spec.task_key(),
                               attempts=attempts, error=error)
         if self._quarantine is not None:
-            stats.quarantined += 1
+            stats.note_quarantined()
             stats.quarantine.append(failure)
             self._quarantine.add(QuarantineEntry(
                 task_key=failure.task_key, spec=spec.to_dict(),
                 attempts=attempts, error=error))
             self.progress("quarantine", failure.task_key, stats)
             return
-        stats.failed += 1
+        stats.note_failed()
         stats.failures.append(failure)
         self.progress("fail", spec.task_key(), stats)
         if stats.failed > self.config.max_failures:
@@ -203,12 +246,13 @@ class CampaignEngine:
             attempt = 0
             while True:
                 try:
-                    payload = _run_task_payload(spec.to_dict(), attempt)
+                    payload = _run_task_payload(spec.to_dict(), attempt,
+                                                self.config.trace)
                 except Exception as exc:  # noqa: BLE001 — task sandbox
                     if attempt < self.config.retries:
-                        stats.retries += 1
+                        stats.note_retry()
                         self.progress("retry", spec.task_key(), stats)
-                        time.sleep(self._backoff_s(attempt))
+                        self.clock.sleep(self._backoff_s(attempt))
                         attempt += 1
                         continue
                     self._record_permanent_failure(
@@ -232,7 +276,7 @@ class CampaignEngine:
         pool = ProcessPoolExecutor(max_workers=cfg.workers)
         try:
             while queue or retry_heap or in_flight:
-                now = time.perf_counter()
+                now = self.clock.now()
                 while retry_heap and retry_heap[0][0] <= now:
                     _, _, spec, attempt = heapq.heappop(retry_heap)
                     queue.appendleft((spec, attempt))
@@ -242,11 +286,12 @@ class CampaignEngine:
                 while queue and len(in_flight) < cfg.workers:
                     spec, attempt = queue.popleft()
                     future = pool.submit(_run_task_payload,
-                                         spec.to_dict(), attempt)
+                                         spec.to_dict(), attempt,
+                                         cfg.trace)
                     in_flight[future] = (spec, attempt, now)
                 wait_s = self._wait_budget(retry_heap, in_flight, now)
                 if not in_flight:
-                    time.sleep(wait_s)
+                    self.clock.sleep(wait_s)
                     continue
                 done, _ = wait(set(in_flight), timeout=wait_s,
                                return_when=FIRST_COMPLETED)
@@ -275,9 +320,11 @@ class CampaignEngine:
                         error: str, retry_heap, tiebreak,
                         stats: CampaignStats) -> None:
         if attempt < self.config.retries:
-            stats.retries += 1
+            stats.note_retry()
             self.progress("retry", spec.task_key(), stats)
-            ready = time.perf_counter() + self._backoff_s(attempt)
+            # Same clock as the pool loop's ``now`` reads: the deadline
+            # and its comparison share one epoch by construction.
+            ready = self.clock.now() + self._backoff_s(attempt)
             heapq.heappush(retry_heap,
                            (ready, next(tiebreak), spec, attempt + 1))
         else:
@@ -288,13 +335,13 @@ class CampaignEngine:
                          stats: CampaignStats) -> int:
         if self.config.timeout_s is None:
             return 0
-        now = time.perf_counter()
+        now = self.clock.now()
         expired = [f for f, (_, _, submitted) in in_flight.items()
                    if now - submitted > self.config.timeout_s]
         for future in expired:
             spec, attempt, _ = in_flight.pop(future)
             future.cancel()  # a no-op if already running — we abandon it
-            stats.timeouts += 1
+            stats.note_timeout()
             self.progress("timeout", spec.task_key(), stats)
             self._handle_failure(
                 spec, attempt,
@@ -322,11 +369,12 @@ class CampaignEngine:
 def run_campaign(specs: Sequence[ExperimentSpec],
                  out_path: Union[str, Path], name: str = "campaign",
                  workers: int = 1, progress: Optional[ProgressFn] = None,
+                 clock: Optional[Clock] = None,
                  **config_kwargs) -> CampaignStats:
     """One-call engine: build the config, run, return stats."""
     config = EngineConfig(workers=workers, **config_kwargs)
     return CampaignEngine(specs, out_path, name=name, config=config,
-                          progress=progress).run()
+                          progress=progress, clock=clock).run()
 
 
 def survey_campaign(preset: str, seeds: Iterable[int],

@@ -4,12 +4,29 @@ Everything here is *observability*, not results: wall-clock timings and
 worker utilisation never enter the artifact file (they would break the
 bit-identical-across-worker-counts contract); they are reported to the
 operator at the end of the run.
+
+:class:`CampaignStats` is a thin view over a
+:class:`repro.obs.metrics.MetricsRegistry`: the engine publishes
+``campaign.*`` counters, scenario tasks ship their ``runner.*`` counters
+across the process boundary as plain dicts, and
+:meth:`CampaignStats.merge_task_stats` folds them in **exactly** —
+scalars sum, ``max_*`` figures take the max, and per-domain utilisation
+merges quanta-weighted (the raw airtime and quanta sums add; the ratio is
+derived at read time). Every ``*_rate`` field is a derived property, so a
+merged aggregate can never carry a stale stored ratio.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Tolerance of the worker-accounting invariant: busy time may exceed
+#: ``workers * wall_seconds`` only by float noise, anything more is an
+#: accounting bug worth counting, not clamping away.
+ACCOUNTING_EPSILON = 1e-9
 
 
 @dataclass
@@ -21,60 +38,141 @@ class TaskFailure:
     error: str
 
 
-@dataclass
+#: RunnerStats keys that are nested per-domain sums, merged elementwise.
+_WEIGHTED_KEYS = ("domain_airtime", "domain_quanta")
+
+
 class CampaignStats:
     """Aggregate counters for one :class:`CampaignEngine.run` call."""
 
-    total_specs: int = 0
-    #: Tasks skipped because a resumable artifact already had them.
-    resumed: int = 0
-    completed: int = 0
-    failed: int = 0
-    #: Permanently failing tasks parked in the quarantine sidecar instead
-    #: of counting against the circuit breaker.
-    quarantined: int = 0
-    #: Re-submissions after a failed/timed-out attempt.
-    retries: int = 0
-    #: Attempts that timed out (each also counts as a failed attempt).
-    timeouts: int = 0
-    wall_seconds: float = 0.0
-    #: Sum of in-worker task durations (busy time across all workers).
-    task_seconds: float = 0.0
-    workers: int = 1
-    failures: List[TaskFailure] = field(default_factory=list)
-    #: Failures routed to quarantine (not in :attr:`failures`).
-    quarantine: List[TaskFailure] = field(default_factory=list)
-    #: Aggregated :class:`repro.netsim.runner.RunnerStats` counters from
-    #: every scenario task that reported them.
-    runner: Dict[str, float] = field(default_factory=dict)
+    def __init__(self, total_specs: int = 0, workers: int = 1,
+                 registry: Optional[MetricsRegistry] = None):
+        self.total_specs = total_specs
+        self.workers = workers
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        self.failures: List[TaskFailure] = []
+        #: Failures routed to quarantine (not in :attr:`failures`).
+        self.quarantine: List[TaskFailure] = []
 
-    # --- updates -------------------------------------------------------------
+    # --- engine-side recording -----------------------------------------------
 
-    def merge_task_stats(self, stats: Optional[Dict[str, object]]) -> None:
+    def note_resumed(self, count: int = 1) -> None:
+        self.registry.inc("campaign.resumed", count)
+
+    def note_completed(self) -> None:
+        self.registry.inc("campaign.completed")
+
+    def note_failed(self) -> None:
+        self.registry.inc("campaign.failed")
+
+    def note_quarantined(self) -> None:
+        self.registry.inc("campaign.quarantined")
+
+    def note_retry(self) -> None:
+        self.registry.inc("campaign.retries")
+
+    def note_timeout(self) -> None:
+        self.registry.inc("campaign.timeouts")
+
+    def add_task_seconds(self, seconds: float) -> None:
+        """Accumulate one task's in-worker busy duration (a *duration*,
+        not an epoch — safe to sum across clock domains)."""
+        self.registry.inc("campaign.task_seconds", float(seconds))
+
+    def set_wall_seconds(self, seconds: float) -> None:
+        self.registry.set_counter("campaign.wall_seconds", float(seconds))
+
+    # --- counter views --------------------------------------------------------
+
+    def _count(self, name: str) -> int:
+        return int(self.registry.counter(f"campaign.{name}"))
+
+    @property
+    def resumed(self) -> int:
+        return self._count("resumed")
+
+    @property
+    def completed(self) -> int:
+        return self._count("completed")
+
+    @property
+    def failed(self) -> int:
+        return self._count("failed")
+
+    @property
+    def quarantined(self) -> int:
+        return self._count("quarantined")
+
+    @property
+    def retries(self) -> int:
+        return self._count("retries")
+
+    @property
+    def timeouts(self) -> int:
+        return self._count("timeouts")
+
+    @property
+    def task_seconds(self) -> float:
+        return float(self.registry.counter("campaign.task_seconds"))
+
+    @property
+    def wall_seconds(self) -> float:
+        return float(self.registry.counter("campaign.wall_seconds"))
+
+    @property
+    def invariant_violations(self) -> int:
+        """Accounting invariants broken so far (see
+        :meth:`check_accounting`)."""
+        return self._count("invariant_violations")
+
+    # --- task-stats merge -----------------------------------------------------
+
+    def merge_task_stats(self, stats: Optional[Mapping[str, object]]
+                         ) -> None:
         """Fold one task's deterministic stats dict into the aggregate.
 
-        Scenario tasks report ``RunnerStats.to_dict()``; the scalar
-        counters sum, nested mappings are ignored (per-domain detail stays
-        in the artifact lines).
+        Scenario tasks report ``RunnerStats.to_dict()``. Scalar counters
+        sum and ``max_*`` figures take the max, as before; nested
+        per-domain mappings — which the old implementation silently
+        dropped, so ``domain_utilisation`` never aggregated — now merge
+        **quanta-weighted**: the raw ``domain_airtime`` / ``domain_quanta``
+        sums add per domain and the utilisation ratio is derived from
+        them at read time. Artifacts that predate the raw sums still
+        merge (their ``domain_utilisation`` is re-weighted by the task's
+        ``quanta``). ``*_rate`` fields are always skipped and recomputed
+        from the summed counters.
         """
         if not stats:
             return
+        reg = self.registry
         for key, value in stats.items():
+            if key in _WEIGHTED_KEYS and isinstance(value, Mapping):
+                for domain, amount in value.items():
+                    reg.inc(f"runner.{key}.{domain}", amount)
+                continue
             if isinstance(value, bool) or not isinstance(value,
                                                          (int, float)):
                 continue
             if key.endswith("_rate"):
                 continue  # recompute ratios from the summed counters
             if key.startswith("max_"):
-                self.runner[key] = max(self.runner.get(key, value), value)
+                reg.watermark(f"runner.{key}", float(value))
             else:
-                self.runner[key] = self.runner.get(key, 0) + value
-        hits = self.runner.get("cache_hits")
-        misses = self.runner.get("cache_misses")
-        if hits is not None and misses is not None and hits + misses > 0:
-            self.runner["cache_hit_rate"] = hits / (hits + misses)
+                reg.inc(f"runner.{key}", value)
+        if ("domain_utilisation" in stats
+                and "domain_airtime" not in stats
+                and isinstance(stats["domain_utilisation"], Mapping)):
+            # Legacy stats dict: reconstruct the weighted sums with the
+            # task's quanta as each domain's weight (the pre-raw-sums
+            # format carried no better information).
+            weight = float(stats.get("quanta", 1) or 1)
+            for domain, util in stats["domain_utilisation"].items():
+                reg.inc(f"runner.domain_airtime.{domain}",
+                        float(util) * weight)
+                reg.inc(f"runner.domain_quanta.{domain}", weight)
 
-    # --- derived -------------------------------------------------------------
+    # --- derived --------------------------------------------------------------
 
     @property
     def done(self) -> int:
@@ -83,12 +181,66 @@ class CampaignStats:
         return (self.completed + self.resumed + self.failed
                 + self.quarantined)
 
+    def domain_utilisation(self) -> Dict[str, float]:
+        """Quanta-weighted mean airtime fraction per contention domain,
+        aggregated across every scenario task that reported stats."""
+        airtime = self.registry.counters_with_prefix(
+            "runner.domain_airtime.")
+        quanta = self.registry.counters_with_prefix(
+            "runner.domain_quanta.")
+        return {d: airtime[d] / quanta[d]
+                for d in sorted(airtime) if quanta.get(d)}
+
+    @property
+    def runner(self) -> Dict[str, object]:
+        """Aggregated scenario-runner stats (a derived view, not a store).
+
+        Scalars are the exact sums/maxima of every merged task's
+        counters; ``cache_hit_rate`` and ``domain_utilisation`` are
+        recomputed from them on each read.
+        """
+        out: Dict[str, object] = {}
+        for key, value in self.registry.counters_with_prefix(
+                "runner.").items():
+            if key.split(".")[0] in _WEIGHTED_KEYS:
+                continue
+            out[key] = value
+        max_airtime = self.registry.gauge("runner.max_domain_airtime",
+                                          None)
+        if max_airtime is not None:
+            out["max_domain_airtime"] = max_airtime
+        hits, misses = out.get("cache_hits"), out.get("cache_misses")
+        if hits is not None and misses is not None and hits + misses > 0:
+            out["cache_hit_rate"] = hits / (hits + misses)
+        utilisation = self.domain_utilisation()
+        if utilisation:
+            out["domain_utilisation"] = utilisation
+        return out
+
     def utilisation(self) -> float:
-        """Mean busy fraction of the worker pool (0..1)."""
+        """Mean busy fraction of the worker pool.
+
+        Deliberately **unclamped**: a value above 1.0 means the busy-time
+        accounting claims more compute than the pool had — an invariant
+        violation the old ``min(1.0, ...)`` silently hid. See
+        :meth:`check_accounting`.
+        """
         if self.wall_seconds <= 0 or self.workers <= 0:
             return 0.0
-        return min(1.0, self.task_seconds
-                   / (self.wall_seconds * self.workers))
+        return self.task_seconds / (self.wall_seconds * self.workers)
+
+    def check_accounting(self) -> bool:
+        """Verify busy time fits the pool; count a violation if not.
+
+        Returns True when the invariant holds. Called by the engine after
+        ``wall_seconds`` is final; callers folding stats by hand can call
+        it whenever both figures are populated.
+        """
+        budget = self.wall_seconds * self.workers
+        if self.task_seconds > budget * (1.0 + ACCOUNTING_EPSILON):
+            self.registry.inc("campaign.invariant_violations")
+            return False
+        return True
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -103,11 +255,12 @@ class CampaignStats:
             "wall_seconds": self.wall_seconds,
             "task_seconds": self.task_seconds,
             "worker_utilisation": self.utilisation(),
+            "invariant_violations": self.invariant_violations,
             "failures": [
                 {"task_key": f.task_key, "attempts": f.attempts,
                  "error": f.error} for f in self.failures],
             "quarantine": [
                 {"task_key": f.task_key, "attempts": f.attempts,
                  "error": f.error} for f in self.quarantine],
-            "runner": dict(self.runner),
+            "runner": self.runner,
         }

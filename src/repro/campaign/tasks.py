@@ -101,12 +101,19 @@ def _survey_pair(spec: ExperimentSpec, attempt: int) -> TaskOutput:
     """§4.1 dual-medium measurement of one directed pair."""
     from repro.testbed.experiments import measure_pair
 
+    from repro.obs.trace import current_tracer
+
     p = spec.params_dict
     testbed = build_preset_testbed(spec.preset, seed=spec.seed)
-    row = measure_pair(testbed, int(p["src"]), int(p["dst"]),
-                       _start_time(p),
-                       duration=float(p.get("duration_s", 30.0)),
+    t0 = _start_time(p)
+    duration = float(p.get("duration_s", 30.0))
+    row = measure_pair(testbed, int(p["src"]), int(p["dst"]), t0,
+                       duration=duration,
                        report_interval=float(p.get("interval_s", 1.0)))
+    tracer = current_tracer()
+    if tracer.enabled:
+        tracer.span("survey.measure_pair", t0, t0 + duration,
+                    src=int(p["src"]), dst=int(p["dst"]))
     return TaskOutput(records=[row.to_dict()])
 
 
@@ -115,14 +122,21 @@ def _survey_pair(spec: ExperimentSpec, attempt: int) -> TaskOutput:
 
 @register_task("scenario")
 def _scenario(spec: ExperimentSpec, attempt: int) -> TaskOutput:
-    """Run a named library scenario through the fluid runner."""
+    """Run a named library scenario through the fluid runner.
+
+    The runner publishes its sim-time events into the task's current
+    tracer (:func:`repro.obs.current_tracer` — a no-op unless the engine
+    enabled tracing), which never changes the returned records or stats.
+    """
     from repro.netsim.runner import ScenarioRunner
     from repro.netsim.scenario import build_scenario
+    from repro.obs.trace import current_tracer
 
     p = spec.params_dict
     testbed = build_preset_testbed(spec.preset, seed=spec.seed)
     scenario = build_scenario(str(p["scenario"]), _start_time(p))
-    runner = ScenarioRunner(testbed, check_invariants=True)
+    runner = ScenarioRunner(testbed, check_invariants=True,
+                            tracer=current_tracer())
     results = runner.run(scenario,
                          horizon_s=float(p.get("horizon_s", 900.0)))
     records = [results[name].to_dict() for name in sorted(results)]

@@ -7,6 +7,8 @@ Subcommands mirror the paper's workflows::
     python -m repro route SRC DST              # §4.3 hybrid mesh route
     python -m repro campaign --out FILE        # parallel experiment campaign
     python -m repro report FILE                # summarise a saved campaign
+    python -m repro report FILE --timeline     # per-domain utilisation view
+    python -m repro trace FILE                 # inspect a trace sidecar
 
 Common options: ``--seed`` (testbed world), ``--day``/``--hour``
 (measurement time), ``--av500`` (validation devices).
@@ -21,7 +23,11 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.analysis.reporting import format_table, summarize_artifacts
+from repro.analysis.reporting import (
+    format_table,
+    summarize_artifacts,
+    summarize_timeline,
+)
 from repro.analysis.traces import load_campaign, record_survey, save_campaign
 from repro.sim.clock import MainsClock
 from repro.testbed import HPAV500_PRESET, HPAV_PRESET, build_testbed
@@ -229,7 +235,7 @@ def cmd_campaign(args) -> int:
             workers=args.workers, progress=progress,
             timeout_s=args.timeout, retries=args.retries,
             max_failures=args.max_failures, resume=not args.no_resume,
-            quarantine=args.quarantine)
+            quarantine=args.quarantine, trace=args.trace)
     except OSError as exc:
         print(f"error: cannot write {args.out}: {exc}", file=sys.stderr)
         return 1
@@ -260,6 +266,9 @@ def cmd_campaign(args) -> int:
                       if isinstance(v, (int, float)))
         print(format_table(["runner stat", "value"], rows,
                            title="aggregated scenario-runner stats"))
+    if args.trace:
+        from repro.obs.trace import trace_path_for
+        print(f"trace sidecar written to {trace_path_for(args.out)}")
     return 0
 
 
@@ -271,6 +280,13 @@ def cmd_report(args) -> int:
     )
 
     try:
+        if args.timeline:
+            if not is_artifact_file(args.file):
+                print("error: --timeline needs a campaign artifact file",
+                      file=sys.stderr)
+                return 2
+            print(summarize_timeline(args.file, top=args.top))
+            return 0
         if is_artifact_file(args.file):
             text, _ = summarize_artifacts(args.file, top=args.top)
         else:
@@ -302,6 +318,61 @@ def cmd_report(args) -> int:
     print(format_table(
         ["link", "medium", "samples", "mean cap (Mbps)", "std"],
         rows, title="per-link summary"))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Inspect a trace sidecar: header, event census, raw event lines."""
+    from pathlib import Path
+
+    from repro.campaign.artifacts import is_artifact_file
+    from repro.obs.trace import read_trace, trace_path_for
+
+    path = Path(args.file)
+    try:
+        if path.exists() and is_artifact_file(path):
+            path = trace_path_for(path)
+        header, events = read_trace(path)
+    except OSError as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.name:
+        events = [e for e in events if args.name in e["name"]]
+    if args.task:
+        events = [e for e in events if args.task in e["task_key"]]
+    print(f"trace {header.get('name')!r} (format "
+          f"{header.get('format')} v{header.get('version')}): "
+          f"{len(events)} events")
+
+    census: dict = {}
+    for ev in events:
+        entry = census.setdefault(
+            ev["name"], {"count": 0, "tasks": set(),
+                         "t_lo": float("inf"), "t_hi": float("-inf")})
+        entry["count"] += 1
+        entry["tasks"].add(ev["task_key"])
+        entry["t_lo"] = min(entry["t_lo"], ev["sim_time"])
+        entry["t_hi"] = max(entry["t_hi"],
+                            ev["sim_time"] + ev.get("duration_s", 0.0))
+    if census:
+        print(format_table(
+            ["event", "count", "tasks", "sim start", "sim end"],
+            [[name, c["count"], len(c["tasks"]), c["t_lo"], c["t_hi"]]
+             for name, c in sorted(census.items())],
+            title="event census"))
+    if args.events:
+        for ev in events[: args.events]:
+            span = (f" +{ev['duration_s']:g}s"
+                    if "duration_s" in ev else "")
+            attrs = f"  {ev['attrs']}" if ev.get("attrs") else ""
+            # .10g, not :g — absolute sim times run ~2e5 s, where six
+            # significant digits would swallow the sub-second quantum.
+            print(f"{ev['task_key']}#{ev['seq']}  t={ev['sim_time']:.10g}"
+                  f"{span}  {ev['name']}{attrs}")
     return 0
 
 
@@ -367,6 +438,10 @@ def build_parser() -> argparse.ArgumentParser:
                                  "everything")
     p_campaign.add_argument("--quiet", action="store_true",
                             help="suppress per-task progress lines")
+    p_campaign.add_argument("--trace", action="store_true",
+                            help="record a sim-time trace sidecar next "
+                                 "to the artifact (never changes the "
+                                 "artifact bytes)")
     p_campaign.set_defaults(func=cmd_campaign)
 
     p_probe = sub.add_parser("probe", help="measure one PLC link")
@@ -384,7 +459,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_report = sub.add_parser("report", help="summarise a saved campaign")
     p_report.add_argument("file")
     p_report.add_argument("--top", type=int, default=15)
+    p_report.add_argument("--timeline", action="store_true",
+                          help="per-domain utilisation + trace activity "
+                               "view of a campaign artifact")
     p_report.set_defaults(func=cmd_report)
+
+    p_trace = sub.add_parser(
+        "trace", help="inspect a campaign trace sidecar")
+    p_trace.add_argument("file",
+                         help="trace sidecar (or its campaign artifact)")
+    p_trace.add_argument("--name", help="only events whose name contains "
+                                        "this substring")
+    p_trace.add_argument("--task", help="only events whose task key "
+                                        "contains this substring")
+    p_trace.add_argument("--events", type=int, default=0,
+                         help="also print the first N raw event lines")
+    p_trace.set_defaults(func=cmd_trace)
     return parser
 
 

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.faults.plan import FaultPlan
 from repro.medium.link import LinkSample, LinkSeries
+from repro.obs.metrics import MetricsRegistry, global_registry
 
 #: Fault kinds FaultyLink consumes, in the canonical multiply order.
 _LINK_KINDS = ("link_outage", "link_degradation", "snr_collapse")
@@ -49,12 +50,16 @@ class FaultyLink:
     """
 
     def __init__(self, inner, plan: FaultPlan,
-                 target: Optional[str] = None):
+                 target: Optional[str] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         self.inner = inner
         self.plan = plan
         self.name = inner.name
         self.medium = inner.medium
         self.target = target if target is not None else inner.name
+        #: ``faults.*`` counters: how often samples were actually hit.
+        self.metrics = metrics if metrics is not None \
+            else global_registry()
         #: (event, factor) pairs that can hit this link, in plan order —
         #: precomputed so the scalar and batch paths share one chain.
         self._chain = [
@@ -91,6 +96,7 @@ class FaultyLink:
         factor = self.fault_factor(t)
         if factor == 1.0:
             return sample
+        self.metrics.inc("faults.samples_faulted")
         return dataclasses.replace(
             sample,
             capacity_bps=sample.capacity_bps * factor,
@@ -103,6 +109,9 @@ class FaultyLink:
         factors = self.fault_factor_series(ts)
         if np.all(factors == 1.0):
             return series
+        self.metrics.inc("faults.series_faulted")
+        self.metrics.inc("faults.samples_faulted",
+                         int(np.count_nonzero(factors != 1.0)))
         data = series.data
         data["capacity_bps"] = data["capacity_bps"] * factors
         data["throughput_bps"] = data["throughput_bps"] * factors

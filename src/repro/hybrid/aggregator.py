@@ -24,6 +24,7 @@ from repro.hybrid.schedulers import (
     fluid_goodput_bps,
 )
 from repro.medium.link import Link
+from repro.obs.metrics import MetricsRegistry, global_registry
 from repro.sim.random import RandomStreams
 from repro.traffic.packet import Packet
 from repro.units import MBPS
@@ -57,9 +58,13 @@ class HybridDevice:
     def __init__(self, plc_link: Link, wifi_link: Link,
                  streams: RandomStreams,
                  capacity_probe_interval_s: float = 1.0,
-                 failover_threshold: float = 0.5):
+                 failover_threshold: float = 0.5,
+                 metrics: Optional[MetricsRegistry] = None):
         self.plc_link = plc_link
         self.wifi_link = wifi_link
+        #: ``hybrid.*`` counters land here (process-global by default).
+        self.metrics = metrics if metrics is not None \
+            else global_registry()
         #: A saturated hybrid quantum whose goodput falls below this
         #: fraction of the best single medium's deliverable rate is a
         #: stall (the split was built from probes that predate a medium
@@ -85,6 +90,7 @@ class HybridDevice:
         within a second for a point sample (§4.2). The device no longer
         needs to know either medium's internals.
         """
+        self.metrics.inc("hybrid.capacity_probes")
         return {m: max(link.capacity_bps(t), 0.0)
                 for m, link in self.links.items()}
 
@@ -165,6 +171,7 @@ class HybridDevice:
                     capacities = self.estimate_capacities_bps(t)
                     last_probe = t
                     failovers += 1
+                    self.metrics.inc("hybrid.failovers")
                     goodput = self._hybrid_goodput(capacities, actual)
                 values.append(goodput)
             else:  # round-robin: capacity-blind equal split

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRegistry, global_registry
 from repro.traffic.packet import Packet
 
 
@@ -34,20 +35,33 @@ class ReorderStats:
 
 
 class ReorderBuffer:
-    """In-order release with a hole timeout and a max window."""
+    """In-order release with a hole timeout and a max window.
+
+    Publishes ``reorder.*`` counters into ``metrics`` (the process-wide
+    :func:`repro.obs.metrics.global_registry` by default) so campaign-
+    and test-level observability sees hole flushes and reordered
+    arrivals without touching :attr:`stats`, which stays per-buffer.
+    """
 
     def __init__(self, hole_timeout_s: float = 0.05,
-                 max_window: int = 2048):
+                 max_window: int = 2048,
+                 metrics: Optional[MetricsRegistry] = None):
         if hole_timeout_s <= 0:
             raise ValueError("timeout must be positive")
         if max_window < 1:
             raise ValueError("window must be >= 1")
         self.hole_timeout_s = hole_timeout_s
         self.max_window = max_window
+        self.metrics = metrics if metrics is not None \
+            else global_registry()
         self._pending: Dict[int, Packet] = {}
         self._next_seq = 0
         self._oldest_wait_since: Optional[float] = None
         self.stats = ReorderStats()
+
+    def _note_hole_flushed(self) -> None:
+        self.stats.holes_flushed += 1
+        self.metrics.inc("reorder.holes_flushed")
 
     def push(self, packet: Packet, now: float) -> List[Packet]:
         """Accept an arrival; return packets released in order."""
@@ -56,6 +70,7 @@ class ReorderBuffer:
             return []
         if packet.seq != self._next_seq:
             self.stats.reordered_arrivals += 1
+            self.metrics.inc("reorder.reordered_arrivals")
         self._pending[packet.seq] = packet
         seq_before = self._next_seq
         released = self._drain(now)
@@ -72,7 +87,7 @@ class ReorderBuffer:
             overflow = len(self._pending) > self.max_window
             if timed_out or overflow:
                 self._next_seq = min(self._pending)
-                self.stats.holes_flushed += 1
+                self._note_hole_flushed()
                 released.extend(self._drain(now))
                 self._reset_timer(now, advanced=True)
         return released
@@ -90,7 +105,7 @@ class ReorderBuffer:
         while (self._pending
                and now - self._oldest_wait_since > self.hole_timeout_s):
             self._next_seq = min(self._pending)
-            self.stats.holes_flushed += 1
+            self._note_hole_flushed()
             released.extend(self._drain(now))
             self._reset_timer(now, advanced=True)
         return released
@@ -105,7 +120,7 @@ class ReorderBuffer:
         released: List[Packet] = []
         while self._pending:
             self._next_seq = min(self._pending)
-            self.stats.holes_flushed += 1
+            self._note_hole_flushed()
             released.extend(self._drain(now))
         self._reset_timer(now, advanced=True)
         return released
@@ -123,6 +138,7 @@ class ReorderBuffer:
             packet.delivered_at = now
             released.append(packet)
             self.stats.delivered += 1
+            self.metrics.inc("reorder.delivered")
             self.stats.release_times.append(now)
             self._next_seq += 1
         return released

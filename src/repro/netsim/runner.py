@@ -30,7 +30,7 @@ paper's metrics exist to serve.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -38,6 +38,9 @@ import numpy as np
 from repro.cache import CacheStats, WindowedLruCache
 from repro.medium.registry import constituent_media, get_medium
 from repro.netsim.scenario import FlowRequest, FlowResult, Scenario
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import NULL_PROFILER, Profiler
+from repro.obs.trace import NULL_TRACER, Tracer
 
 
 def results_to_campaign(results: Dict[str, "FlowResult"],
@@ -87,24 +90,72 @@ class QuantumLog:
     domain_load: Dict[str, int]
 
 
-@dataclass
 class RunnerStats:
     """Aggregate observability for one :meth:`ScenarioRunner.run` call.
 
-    ``domain_airtime`` sums each domain's used airtime fraction over the
-    quanta in which it was active; divide by ``domain_quanta`` (see
-    :meth:`domain_utilisation`) for its mean utilisation. The invariant
-    fields track the work-conservation check: per domain and quantum, the
-    allocated airtime must not exceed 1 + epsilon.
+    A thin **view over a metrics registry** (:mod:`repro.obs.metrics`):
+    the runner publishes counters under ``runner.*`` and this class reads
+    them back as the familiar attributes, so per-task registries merge
+    exactly into campaign-wide aggregates. ``domain_airtime`` sums each
+    domain's used airtime fraction over the quanta in which it was
+    active; divide by ``domain_quanta`` (see :meth:`domain_utilisation`)
+    for its mean utilisation — both raw sums are exported by
+    :meth:`to_dict` so downstream merges can stay quanta-weighted. Every
+    rate/ratio is derived at read time, never stored.
     """
 
-    quanta: int = 0
-    starved_quanta: int = 0
-    domain_airtime: Dict[str, float] = field(default_factory=dict)
-    domain_quanta: Dict[str, int] = field(default_factory=dict)
-    max_domain_airtime: float = 0.0
-    invariant_violations: int = 0
-    cache: CacheStats = field(default_factory=CacheStats)
+    def __init__(self, cache: Optional[CacheStats] = None,
+                 registry: Optional[MetricsRegistry] = None):
+        self.cache = cache if cache is not None else CacheStats()
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+
+    # --- recording (runner-side) ---------------------------------------------
+
+    def note_quantum(self) -> None:
+        self.registry.inc("runner.quanta")
+
+    def note_starved(self) -> None:
+        self.registry.inc("runner.starved_quanta")
+
+    def note_violation(self) -> None:
+        self.registry.inc("runner.invariant_violations")
+
+    def add_domain_airtime(self, domain: str, airtime: float) -> None:
+        self.registry.inc(f"runner.domain_airtime.{domain}",
+                          float(airtime))
+        self.registry.inc(f"runner.domain_quanta.{domain}")
+
+    def note_peak_airtime(self, peak: float, sim_time: float) -> None:
+        self.registry.watermark("runner.max_domain_airtime",
+                                float(peak), sim_time)
+
+    # --- views ----------------------------------------------------------------
+
+    @property
+    def quanta(self) -> int:
+        return int(self.registry.counter("runner.quanta"))
+
+    @property
+    def starved_quanta(self) -> int:
+        return int(self.registry.counter("runner.starved_quanta"))
+
+    @property
+    def invariant_violations(self) -> int:
+        return int(self.registry.counter("runner.invariant_violations"))
+
+    @property
+    def max_domain_airtime(self) -> float:
+        return self.registry.gauge("runner.max_domain_airtime", 0.0)
+
+    @property
+    def domain_airtime(self) -> Dict[str, float]:
+        return self.registry.counters_with_prefix("runner.domain_airtime.")
+
+    @property
+    def domain_quanta(self) -> Dict[str, int]:
+        return {d: int(n) for d, n in self.registry.counters_with_prefix(
+            "runner.domain_quanta.").items()}
 
     @property
     def cache_hit_rate(self) -> float:
@@ -112,11 +163,18 @@ class RunnerStats:
 
     def domain_utilisation(self) -> Dict[str, float]:
         """Mean airtime fraction used per domain while it was active."""
-        return {d: self.domain_airtime[d] / self.domain_quanta[d]
-                for d in self.domain_airtime if self.domain_quanta.get(d)}
+        airtime, quanta = self.domain_airtime, self.domain_quanta
+        return {d: airtime[d] / quanta[d]
+                for d in airtime if quanta.get(d)}
 
     def to_dict(self) -> Dict[str, object]:
-        """Plain-dict summary (for reports / JSON export)."""
+        """Plain-dict summary (for reports / JSON export).
+
+        Includes the raw ``domain_airtime`` / ``domain_quanta`` sums:
+        they are what makes the campaign-level per-domain merge exact
+        (``domain_utilisation`` alone cannot be averaged without its
+        weights).
+        """
         return {
             "quanta": self.quanta,
             "starved_quanta": self.starved_quanta,
@@ -125,6 +183,8 @@ class RunnerStats:
             "cache_hit_rate": self.cache.hit_rate,
             "max_domain_airtime": self.max_domain_airtime,
             "invariant_violations": self.invariant_violations,
+            "domain_airtime": self.domain_airtime,
+            "domain_quanta": self.domain_quanta,
             "domain_utilisation": self.domain_utilisation(),
         }
 
@@ -142,6 +202,13 @@ class ScenarioRunner:
     quantum ever allocates more than ``1 + invariant_epsilon`` of any
     domain's airtime; the violation count is always tracked in
     :attr:`stats` either way.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) records the sim-time event
+    stream — per-quantum domain airtime, flow completions, invariant
+    violations — with zero effect on results. ``profiler`` (a
+    :class:`repro.obs.Profiler`) times the wall-clock hot stages
+    (capacity recompute, allocation) into the metrics registry. Both
+    default to the shared no-op instances.
     """
 
     def __init__(self, testbed, quantum_s: float = 0.5,
@@ -149,7 +216,10 @@ class ScenarioRunner:
                  cache_entries: int = 50_000,
                  check_invariants: bool = False,
                  invariant_epsilon: float = 1e-6,
-                 link_decorator=None):
+                 link_decorator=None,
+                 tracer: Optional[Tracer] = None,
+                 profiler: Optional[Profiler] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         if quantum_s <= 0:
             raise ValueError("quantum must be positive")
         self.testbed = testbed
@@ -162,10 +232,14 @@ class ScenarioRunner:
         #: cache: a fault edge (outage start/end) is observed at the next
         #: recompute, so detection lag is bounded by ``cache_window_s``.
         self.link_decorator = link_decorator
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
+        self._metrics = metrics
         self._capacity_cache = WindowedLruCache(cache_window_s,
                                                 max_entries=cache_entries)
         self.log: List[QuantumLog] = []
-        self.stats = RunnerStats(cache=self._capacity_cache.stats)
+        self.stats = RunnerStats(cache=self._capacity_cache.stats,
+                                 registry=self._metrics)
 
     # --- per-flow capacity on one medium at time t ------------------------------
 
@@ -177,13 +251,15 @@ class ScenarioRunner:
 
     def _compute_capacity(self, flow: FlowRequest, medium: str,
                           t: float) -> float:
-        link = get_medium(medium).get_link(self.testbed, flow.src,
+        with self.profiler.stage("runner.capacity_compute"):
+            link = get_medium(medium).get_link(self.testbed, flow.src,
+                                               flow.dst)
+            if link is None:  # e.g. PLC pairs split across boards
+                return 0.0
+            if self.link_decorator is not None:
+                link = self.link_decorator(link, medium, flow.src,
                                            flow.dst)
-        if link is None:  # e.g. PLC pairs split across boards
-            return 0.0
-        if self.link_decorator is not None:
-            link = self.link_decorator(link, medium, flow.src, flow.dst)
-        return max(link.throughput_bps(t, measured=False), 0.0)
+            return max(link.throughput_bps(t, measured=False), 0.0)
 
     def _domain(self, flow: FlowRequest, medium: str) -> str:
         return get_medium(medium).contention_domain(self.testbed,
@@ -202,8 +278,10 @@ class ScenarioRunner:
         bounds file flows that never complete (e.g. on a dead link)
         without double-counting a late scenario start.
 
-        Each call resets :attr:`log` and :attr:`stats`; the capacity
-        cache persists across calls (it is keyed by absolute time).
+        Each call resets :attr:`log` and :attr:`stats` (when no shared
+        ``metrics`` registry was injected — an injected registry keeps
+        accumulating across runs); the capacity cache persists across
+        calls (it is keyed by absolute time).
         """
         if not scenario.flows:
             return {}
@@ -214,7 +292,9 @@ class ScenarioRunner:
             deadline = scenario.end_time() + 60.0
         self.log = []
         self._capacity_cache.stats.reset()
-        self.stats = RunnerStats(cache=self._capacity_cache.stats)
+        self.stats = RunnerStats(cache=self._capacity_cache.stats,
+                                 registry=self._metrics)
+        tracer = self.tracer
         results = {f.name: FlowResult(request=f) for f in scenario.flows}
         t = t0
         while t < deadline:
@@ -233,6 +313,9 @@ class ScenarioRunner:
                 time=t, active_flows=len(active),
                 domain_load=self._domain_census(active)))
             t += self.quantum_s
+        if tracer.enabled:
+            tracer.span("runner.run", t0, t, quanta=self.stats.quanta,
+                        flows=len(scenario.flows))
         return results
 
     def _done(self, result: FlowResult, flow: FlowRequest,
@@ -261,11 +344,13 @@ class ScenarioRunner:
 
     def _step(self, active: List[FlowRequest],
               results: Dict[str, FlowResult], t: float) -> None:
-        airtime, rates, fidx, didx, caps, domain_names = (
-            self._allocate(active, t))
+        with self.profiler.stage("runner.allocate"):
+            airtime, rates, fidx, didx, caps, domain_names = (
+                self._allocate(active, t))
         n_flows = len(active)
         totals = np.bincount(fidx, weights=rates, minlength=n_flows)
         self._account(active, airtime, didx, domain_names, t)
+        tracer = self.tracer
         # Book the quantum.
         for i, flow in enumerate(active):
             result = results[flow.name]
@@ -278,12 +363,19 @@ class ScenarioRunner:
                     result.delivered_bytes = flow.size_bytes
                     result.active_time_s += self.quantum_s * fraction
                     result.completed_at = t + self.quantum_s * fraction
+                    if tracer.enabled:
+                        tracer.event("runner.flow_done",
+                                     result.completed_at,
+                                     flow=flow.name,
+                                     bytes=float(flow.size_bytes))
                     continue
             result.delivered_bytes += moved
             result.active_time_s += self.quantum_s
             if rate <= 0:
                 result.starved_quanta += 1
-                self.stats.starved_quanta += 1
+                self.stats.note_starved()
+                if tracer.enabled:
+                    tracer.event("runner.flow_starved", t, flow=flow.name)
 
     def _allocate(self, active: List[FlowRequest], t: float):
         """Two-pass airtime allocation over all (flow, medium) pairs.
@@ -295,13 +387,14 @@ class ScenarioRunner:
         pair_domain: List[int] = []
         caps_list: List[float] = []
         domain_ids: Dict[str, int] = {}
-        for i, flow in enumerate(active):
-            for medium in self._media(flow):
-                pair_flow.append(i)
-                domain = self._domain(flow, medium)
-                pair_domain.append(
-                    domain_ids.setdefault(domain, len(domain_ids)))
-                caps_list.append(self._link_capacity(flow, medium, t))
+        with self.profiler.stage("runner.capacity_lookup"):
+            for i, flow in enumerate(active):
+                for medium in self._media(flow):
+                    pair_flow.append(i)
+                    domain = self._domain(flow, medium)
+                    pair_domain.append(
+                        domain_ids.setdefault(domain, len(domain_ids)))
+                    caps_list.append(self._link_capacity(flow, medium, t))
         fidx = np.asarray(pair_flow, dtype=np.intp)
         didx = np.asarray(pair_domain, dtype=np.intp)
         caps = np.asarray(caps_list, dtype=float)
@@ -348,20 +441,25 @@ class ScenarioRunner:
                  t: float) -> None:
         """Record per-domain utilisation and check work conservation."""
         stats = self.stats
-        stats.quanta += 1
+        tracer = self.tracer
+        stats.note_quantum()
         used = np.bincount(didx, weights=airtime,
                            minlength=len(domain_names))
         for k, name in enumerate(domain_names):
-            stats.domain_airtime[name] = (
-                stats.domain_airtime.get(name, 0.0) + float(used[k]))
-            stats.domain_quanta[name] = (
-                stats.domain_quanta.get(name, 0) + 1)
+            stats.add_domain_airtime(name, float(used[k]))
+        if tracer.enabled:
+            tracer.event("runner.quantum", t,
+                         domains={name: round(float(used[k]), 9)
+                                  for k, name in enumerate(domain_names)})
         peak = float(used.max()) if len(used) else 0.0
-        stats.max_domain_airtime = max(stats.max_domain_airtime, peak)
+        stats.note_peak_airtime(peak, t)
         if peak > 1.0 + self.invariant_epsilon:
-            stats.invariant_violations += 1
+            stats.note_violation()
+            worst = domain_names[int(np.argmax(used))]
+            if tracer.enabled:
+                tracer.event("runner.violation", t, domain=worst,
+                             airtime=peak)
             if self.check_invariants:
-                worst = domain_names[int(np.argmax(used))]
                 raise WorkConservationError(
                     f"domain {worst} allocated {peak:.6f} airtime at "
                     f"t={t:.3f} (> 1 + {self.invariant_epsilon})")

@@ -1,0 +1,62 @@
+"""Unified observability: metrics, traces and profiling for the stack.
+
+Three concerns, three modules, one determinism rule:
+
+* :mod:`repro.obs.metrics` — a process-safe :class:`MetricsRegistry` of
+  counters, high-watermark gauges and fixed-bucket histograms whose merge
+  is *exact* (associative and commutative), so per-worker registries fold
+  into one campaign-wide view without drift;
+* :mod:`repro.obs.trace` — span/event tracing keyed on **sim-time**
+  (deterministic, seed-stable), persisted as a ``.trace.jsonl`` sidecar so
+  result artifacts stay byte-identical whether tracing is on or off;
+* :mod:`repro.obs.profile` — lightweight per-stage wall-clock timers that
+  publish into the registry (`profile.<stage>.seconds` / ``.calls``);
+* :mod:`repro.obs.clock` — the single wall-clock seam: every monotonic
+  read outside this package goes through an injected :class:`Clock`
+  (``SystemClock`` in production, ``FakeClock`` in tests).
+
+The determinism rule: **results and traces carry sim-time only**.
+Wall-clock readings exist solely in metrics, profiles and operator
+summaries — never in artifact or sidecar lines (a tracer *can* annotate
+wall time for local debugging, which forfeits cross-run sidecar identity
+and is off by default).
+"""
+
+from repro.obs.clock import Clock, FakeClock, SystemClock
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+    reset_global_registry,
+)
+from repro.obs.profile import NULL_PROFILER, Profiler
+from repro.obs.trace import (
+    NULL_TRACER,
+    TraceEvent,
+    Tracer,
+    current_tracer,
+    read_trace,
+    task_trace,
+    trace_path_for,
+    write_trace,
+)
+
+__all__ = [
+    "Clock",
+    "FakeClock",
+    "SystemClock",
+    "Histogram",
+    "MetricsRegistry",
+    "global_registry",
+    "reset_global_registry",
+    "Profiler",
+    "NULL_PROFILER",
+    "Tracer",
+    "TraceEvent",
+    "NULL_TRACER",
+    "current_tracer",
+    "task_trace",
+    "trace_path_for",
+    "read_trace",
+    "write_trace",
+]

@@ -1,0 +1,113 @@
+"""Per-stage profiling hooks publishing into the metrics registry.
+
+A :class:`Profiler` wraps named stages (``with profiler.stage("..."):``)
+and accumulates wall-clock time and call counts into a
+:class:`~repro.obs.metrics.MetricsRegistry` under ``profile.<stage>.*``,
+plus a fixed-edge latency histogram per stage. Profiles are *metrics*,
+never results: they ride the registry across process boundaries and show
+up in ``repro report --timeline`` / operator summaries, but no artifact
+or trace line ever contains one.
+
+The disabled :data:`NULL_PROFILER` costs one attribute check per stage,
+so hot paths (per-quantum cache lookups, ``sample_series`` batches) can
+be instrumented unconditionally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.obs.clock import Clock, SystemClock
+from repro.obs.metrics import MetricsRegistry, global_registry
+
+#: Stage-latency bucket edges (seconds): fixed so merges stay exact.
+STAGE_EDGES = (1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
+
+
+class _NullStage:
+    """Free context manager for disabled profilers (no allocation)."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_STAGE = _NullStage()
+
+
+class _Stage:
+    """One stage's reusable timer — metric names are precomputed so the
+    per-entry cost is two clock reads plus the registry updates."""
+
+    __slots__ = ("_profiler", "_calls", "_seconds", "_latency", "_start")
+
+    def __init__(self, profiler: "Profiler", name: str):
+        self._profiler = profiler
+        self._calls = f"{profiler.prefix}{name}.calls"
+        self._seconds = f"{profiler.prefix}{name}.seconds"
+        self._latency = f"{profiler.prefix}{name}.latency"
+        self._start = 0.0
+
+    def __enter__(self):
+        self._start = self._profiler._clock.now()
+        return None
+
+    def __exit__(self, *exc):
+        elapsed = self._profiler._clock.now() - self._start
+        registry = self._profiler.metrics
+        registry.inc(self._calls)
+        registry.inc(self._seconds, elapsed)
+        registry.observe(self._latency, elapsed, edges=STAGE_EDGES)
+        return False
+
+
+class Profiler:
+    """Accumulates per-stage wall time into a registry."""
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None,
+                 clock: Optional[Clock] = None, enabled: bool = True,
+                 prefix: str = "profile."):
+        self.enabled = enabled
+        self.prefix = prefix
+        self._metrics = metrics
+        self._clock = clock or SystemClock()
+        self._stages: Dict[str, _Stage] = {}
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self._metrics if self._metrics is not None \
+            else global_registry()
+
+    def stage(self, name: str):
+        """Time one pass through stage ``name`` (a context manager)."""
+        if not self.enabled:
+            return _NULL_STAGE
+        timer = self._stages.get(name)
+        if timer is None:
+            timer = self._stages[name] = _Stage(self, name)
+        return timer
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """``{stage: {"calls": n, "seconds": s, "mean_s": s/n}}`` — the
+        mean is derived at read time, never stored."""
+        registry = self.metrics
+        stages: Dict[str, Dict[str, float]] = {}
+        for key, value in registry.counters_with_prefix(
+                self.prefix).items():
+            stage, _, field = key.rpartition(".")
+            if field not in ("calls", "seconds"):
+                continue
+            stages.setdefault(stage, {})[field] = value
+        for entry in stages.values():
+            calls = entry.get("calls", 0)
+            entry["mean_s"] = (entry.get("seconds", 0.0) / calls
+                               if calls else 0.0)
+        return stages
+
+
+#: Shared disabled profiler: instrument freely, pay nothing.
+NULL_PROFILER = Profiler(enabled=False)

@@ -30,6 +30,7 @@ from typing import Optional
 import numpy as np
 
 from repro.medium.link import BatchSamplingMixin, LinkSample, LinkSeries
+from repro.obs.metrics import MetricsRegistry, global_registry
 from repro.plc import mac, phy
 from repro.plc.channel import PlcChannel
 from repro.plc.spec import PlcSpec
@@ -63,12 +64,16 @@ class PlcLink(BatchSamplingMixin):
     medium = "plc"
 
     def __init__(self, channel: PlcChannel, streams: RandomStreams,
-                 name: Optional[str] = None):
+                 name: Optional[str] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         self.channel = channel
         self.spec: PlcSpec = channel.spec
         self.name = name or channel.name
         self._rng = streams.get(f"plc.link.{self.name}")
         self._throughput_model = mac.SaturatedThroughputModel(self.spec)
+        #: ``medium.plc.*`` sampling counters (process-global by default).
+        self.metrics = metrics if metrics is not None \
+            else global_registry()
 
     # --- BLE --------------------------------------------------------------------
 
@@ -165,6 +170,7 @@ class PlcLink(BatchSamplingMixin):
 
     def sample(self, t: float, measured: bool = True) -> PlcSample:
         """Take a full measurement snapshot at ``t``."""
+        self.metrics.inc("medium.plc.samples")
         per_slot = self.ble_per_slot_bps(t)
         pb = self.pb_err(t)
         return PlcSample(
@@ -186,6 +192,8 @@ class PlcLink(BatchSamplingMixin):
         changes — and fans the values back out to every timestamp.
         """
         ts = np.asarray(ts, dtype=float)
+        self.metrics.inc("medium.plc.series_calls")
+        self.metrics.inc("medium.plc.samples", len(ts))
         series = LinkSeries.allocate(
             len(ts),
             extra_fields=[("ble_per_slot_bps", "f8",

@@ -14,6 +14,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.medium.link import BatchSamplingMixin, LinkSample, LinkSeries
+from repro.obs.metrics import MetricsRegistry, global_registry
 from repro.sim.random import RandomStreams
 from repro.units import MBPS
 from repro.wifi import phy
@@ -50,10 +51,14 @@ class WifiLink(BatchSamplingMixin):
     medium = "wifi"
 
     def __init__(self, channel: WifiChannel, streams: RandomStreams,
-                 name: Optional[str] = None):
+                 name: Optional[str] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         self.channel = channel
         self.name = name or channel.name
         self._rng = streams.get(f"wifi.link.{self.name}")
+        #: ``medium.wifi.*`` sampling counters (process-global by default).
+        self.metrics = metrics if metrics is not None \
+            else global_registry()
 
     @classmethod
     def between(cls, src_pos: Tuple[float, float],
@@ -115,6 +120,7 @@ class WifiLink(BatchSamplingMixin):
         return phy.select_mcs(self.channel.state(t).snr_db).index >= 0
 
     def sample(self, t: float, measured: bool = True) -> WifiSample:
+        self.metrics.inc("medium.wifi.samples")
         state = self.channel.state(t)
         entry = phy.select_mcs(state.snr_db)
         return WifiSample(
@@ -132,6 +138,8 @@ class WifiLink(BatchSamplingMixin):
         """Vectorized :meth:`sample` over a time grid (same values, one
         fading draw per coherence block instead of per timestamp)."""
         ts = np.asarray(ts, dtype=float)
+        self.metrics.inc("medium.wifi.series_calls")
+        self.metrics.inc("medium.wifi.samples", len(ts))
         series = LinkSeries.allocate(
             len(ts), extra_fields=[("mcs_index", "i8"),
                                    ("phy_rate_bps", "f8")],

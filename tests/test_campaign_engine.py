@@ -165,18 +165,20 @@ def test_expire_timeouts_abandons_only_overdue_attempts(tmp_path):
     are abandoned (timeout counted, retry scheduled with the
     deterministic error string); in-budget attempts stay in flight."""
     import itertools
-    import time
     from concurrent.futures import Future
 
     from repro.campaign import CampaignStats
+    from repro.obs import FakeClock
 
     spec_old = ExperimentSpec.make("rng_probe", "mini3", 7, idx=0)
     spec_new = ExperimentSpec.make("rng_probe", "mini3", 7, idx=1)
+    clock = FakeClock(start=100.0)
     engine = CampaignEngine(
         [spec_old, spec_new], tmp_path / "x.jsonl",
         config=EngineConfig(workers=1, timeout_s=1.0, retries=1,
-                            backoff_base_s=0.0))
-    now = time.perf_counter()
+                            backoff_base_s=0.0),
+        clock=clock)
+    now = clock.now()
     stale, fresh = Future(), Future()
     in_flight = {stale: (spec_old, 0, now - 5.0),
                  fresh: (spec_new, 0, now - 0.01)}
@@ -191,7 +193,7 @@ def test_expire_timeouts_abandons_only_overdue_attempts(tmp_path):
     assert attempt == 1  # retry carries the incremented attempt
 
 
-def test_retry_heap_is_fifo_under_equal_deadlines(tmp_path, monkeypatch):
+def test_retry_heap_is_fifo_under_equal_deadlines(tmp_path):
     """Retries whose backoffs expire at the same instant dequeue in
     submission order — the tiebreak counter, not spec comparison (specs
     are unorderable) or hash order, decides."""
@@ -199,14 +201,14 @@ def test_retry_heap_is_fifo_under_equal_deadlines(tmp_path, monkeypatch):
     import itertools
 
     from repro.campaign import CampaignStats
+    from repro.obs import FakeClock
 
     specs = [ExperimentSpec.make("rng_probe", "mini3", 7, idx=i)
              for i in range(4)]
     engine = CampaignEngine(
         specs, tmp_path / "x.jsonl",
-        config=EngineConfig(workers=1, retries=3, backoff_base_s=0.0))
-    monkeypatch.setattr("repro.campaign.engine.time.perf_counter",
-                        lambda: 1000.0)
+        config=EngineConfig(workers=1, retries=3, backoff_base_s=0.0),
+        clock=FakeClock(start=1000.0))
     heap, tiebreak, stats = [], itertools.count(), CampaignStats()
     for spec in specs:
         engine._handle_failure(spec, 0, "boom", heap, tiebreak, stats)

@@ -9,6 +9,8 @@ can afford whole-campaign executions per example.
 
 from __future__ import annotations
 
+import math
+
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -18,6 +20,8 @@ from repro.campaign import (
     run_campaign,
     spec_grid,
 )
+from repro.campaign.tasks import TASK_REGISTRY, TaskOutput, register_task
+from repro.obs import MetricsRegistry, current_tracer, trace_path_for
 from repro.sim.random import RandomStreams, derive_seed
 
 # Engine runs fork real processes on the pool path; keep example counts
@@ -138,3 +142,144 @@ def test_resume_after_kill_matches_uninterrupted_run(specs, data,
     assert stats.resumed == k
     assert stats.completed == len(specs) - k
     assert victim.read_bytes() == reference
+
+
+# --- metrics-registry merge laws ----------------------------------------------
+
+
+mutations = st.lists(
+    st.one_of(
+        st.tuples(st.just("inc"), st.sampled_from("abc"),
+                  st.integers(-5, 5)),
+        st.tuples(st.just("inc"), st.sampled_from("abc"),
+                  st.floats(-10, 10, allow_nan=False)),
+        st.tuples(st.just("watermark"), st.sampled_from("pq"),
+                  st.floats(0, 100, allow_nan=False)),
+        st.tuples(st.just("observe"), st.sampled_from("hk"),
+                  st.floats(0, 100, allow_nan=False)),
+    ), max_size=20)
+
+
+def _registry_from(ops) -> MetricsRegistry:
+    reg = MetricsRegistry()
+    for op, name, value in ops:
+        if op == "inc":
+            reg.inc(name, value)
+        elif op == "watermark":
+            reg.watermark(name, value, sim_time=abs(value) / 2)
+        else:
+            reg.observe(name, value, edges=(1.0, 10.0, 100.0))
+    return reg
+
+
+def _assert_registries_match(left: MetricsRegistry,
+                             right: MetricsRegistry) -> None:
+    """Bit-exact on the discrete structure (int counters, bucket counts,
+    gauges, min/max); float sums are IEEE additions, so regrouping may
+    move the last ulp — compare those to relative 1e-12."""
+    la, ra = left.to_dict(), right.to_dict()
+    assert la["gauges"] == ra["gauges"]
+    assert set(la["counters"]) == set(ra["counters"])
+    for name, value in la["counters"].items():
+        other = ra["counters"][name]
+        if isinstance(value, int) and isinstance(other, int):
+            assert value == other, name
+        else:
+            assert math.isclose(value, other, rel_tol=1e-12,
+                                abs_tol=1e-12), name
+    assert set(la["histograms"]) == set(ra["histograms"])
+    for name, hist in la["histograms"].items():
+        other = ra["histograms"][name]
+        for key in ("edges", "counts", "min", "max"):
+            assert hist[key] == other[key], (name, key)
+        assert math.isclose(hist["sum"], other["sum"], rel_tol=1e-12,
+                            abs_tol=1e-12), name
+
+
+@given(ops_a=mutations, ops_b=mutations)
+def test_registry_merge_is_commutative(ops_a, ops_b):
+    # Commutativity is bit-exact: IEEE addition commutes, and gauge/
+    # min/max picks are order-free selections.
+    ab, ba = _registry_from(ops_a), _registry_from(ops_b)
+    ab.merge(_registry_from(ops_b))
+    ba.merge(_registry_from(ops_a))
+    assert ab.to_dict() == ba.to_dict()
+
+
+@given(ops_a=mutations, ops_b=mutations, ops_c=mutations)
+def test_registry_merge_is_associative(ops_a, ops_b, ops_c):
+    left = _registry_from(ops_a)
+    left.merge(_registry_from(ops_b))
+    left.merge(_registry_from(ops_c))
+    bc = _registry_from(ops_b)
+    bc.merge(_registry_from(ops_c))
+    right = _registry_from(ops_a)
+    right.merge(bc)
+    _assert_registries_match(left, right)
+
+
+@given(ops=mutations)
+def test_registry_merge_roundtrips_through_serialised_form(ops):
+    """Merging a ``to_dict()`` payload (the cross-process path) equals
+    merging the live registry."""
+    via_dict, via_object = MetricsRegistry(), MetricsRegistry()
+    via_dict.merge(_registry_from(ops).to_dict())
+    via_object.merge(_registry_from(ops))
+    assert via_dict.to_dict() == via_object.to_dict()
+
+
+# --- tracing never moves a result byte ----------------------------------------
+
+
+if "traced_probe" not in TASK_REGISTRY:
+    @register_task("traced_probe")
+    def _traced_probe(spec: ExperimentSpec, attempt: int) -> TaskOutput:
+        """``rng_probe`` plus sim-time trace events — cheap enough for
+        hypothesis to run whole traced campaigns per example."""
+        p = spec.params_dict
+        streams = RandomStreams(seed=spec.task_seed())
+        draws = int(p.get("draws", 4))
+        values = [float(x) for x in
+                  streams.get("probe").uniform(size=draws)]
+        tracer = current_tracer()
+        if tracer.enabled:
+            for k, value in enumerate(values):
+                tracer.event("probe.draw", float(k), value=value)
+            tracer.span("probe.run", 0.0, float(draws), draws=draws)
+        return TaskOutput(records=[{"task_seed": spec.task_seed(),
+                                    "uniform": values}])
+
+
+traced_spec_lists = st.lists(
+    st.tuples(seeds, st.integers(0, 99), st.integers(1, 6)),
+    min_size=1, max_size=6, unique=True,
+).map(lambda items: [
+    ExperimentSpec.make("traced_probe", "mini3", seed, idx=idx,
+                        draws=draws)
+    for seed, idx, draws in items])
+
+
+@ENGINE_SETTINGS
+@given(specs=traced_spec_lists)
+def test_tracing_never_changes_result_bytes(specs, tmp_path_factory):
+    """The tentpole determinism contract: a traced campaign's result
+    artifact is byte-identical to an untraced one at workers 1 and 4,
+    and the trace sidecar itself is byte-identical across worker
+    counts (its events carry sim-time only)."""
+    base = tmp_path_factory.mktemp("traced")
+    plain = base / "plain.jsonl"
+    run_campaign(specs, plain, workers=1)
+    reference = plain.read_bytes()
+
+    sidecars = []
+    for workers in (1, 4):
+        path = base / f"traced-w{workers}.jsonl"
+        stats = run_campaign(specs, path, workers=workers, trace=True)
+        assert stats.completed == len(specs)
+        assert path.read_bytes() == reference
+        sidecar = trace_path_for(path)
+        assert sidecar.exists()
+        sidecars.append(sidecar.read_bytes())
+    assert sidecars[0] == sidecars[1]
+    assert b"probe.draw" in sidecars[0]  # events actually flowed
+    assert b'"wall"' not in sidecars[0]  # sim-time only, no wall clock

@@ -1,0 +1,235 @@
+"""The observability core: registry semantics, exact merges, profiling.
+
+The merge-exactness contract (associative, commutative, bit-for-bit) is
+what lets ``CampaignStats`` fold worker registries in any completion
+order and still report one canonical aggregate; the tests here pin the
+mechanism, ``tests/test_campaign_properties.py`` pins the law over
+random operation streams.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.obs import (
+    FakeClock,
+    Histogram,
+    MetricsRegistry,
+    Profiler,
+    SystemClock,
+    global_registry,
+    reset_global_registry,
+)
+from repro.obs.profile import STAGE_EDGES
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+# --- counters -----------------------------------------------------------------
+
+
+def test_counters_sum_and_preserve_int_type():
+    reg = MetricsRegistry()
+    reg.inc("quanta")
+    reg.inc("quanta", 3)
+    assert reg.counter("quanta") == 4
+    assert isinstance(reg.counter("quanta"), int)
+    reg.inc("airtime", 0.5)
+    assert isinstance(reg.counter("airtime"), float)
+
+
+def test_counters_with_prefix_strips_prefix():
+    reg = MetricsRegistry()
+    reg.inc("runner.domain_airtime.plc:B1", 0.25)
+    reg.inc("runner.domain_airtime.wifi:floor", 1.0)
+    reg.inc("runner.quanta", 7)
+    assert reg.counters_with_prefix("runner.domain_airtime.") == {
+        "plc:B1": 0.25, "wifi:floor": 1.0}
+
+
+def test_set_counter_assigns_but_merge_still_sums():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.set_counter("wall_seconds", 2.0)
+    a.set_counter("wall_seconds", 3.0)  # overwrite, not accumulate
+    b.set_counter("wall_seconds", 1.5)
+    a.merge(b)
+    assert a.counter("wall_seconds") == 4.5
+
+
+# --- gauges -------------------------------------------------------------------
+
+
+def test_watermark_keeps_lexicographic_max():
+    reg = MetricsRegistry()
+    reg.watermark("peak", 0.8, sim_time=10.0)
+    reg.watermark("peak", 0.5, sim_time=99.0)  # lower value loses
+    assert reg.gauge("peak") == 0.8
+    reg.watermark("peak", 0.8, sim_time=20.0)  # tie: later sim time wins
+    assert reg.to_dict()["gauges"]["peak"] == [0.8, 20.0]
+    reg.watermark("peak", 1.2, sim_time=1.0)
+    assert reg.gauge("peak") == 1.2
+
+
+def test_gauge_default_when_unset():
+    reg = MetricsRegistry()
+    assert reg.gauge("missing") == 0.0
+    assert reg.gauge("missing", None) is None
+
+
+# --- histograms ---------------------------------------------------------------
+
+
+def test_histogram_edges_must_be_strictly_increasing():
+    with pytest.raises(ValueError, match="strictly increasing"):
+        Histogram([1.0, 1.0, 2.0])
+    with pytest.raises(ValueError, match="at least one edge"):
+        Histogram([])
+
+
+def test_histogram_buckets_and_overflow():
+    hist = Histogram([1.0, 10.0])
+    for value in (0.5, 1.0, 5.0, 100.0):
+        hist.observe(value)
+    # <=1, (1,10], >10 — boundary values land in the lower bucket.
+    assert hist.counts == [2, 1, 1]
+    assert hist.total == 4
+    assert hist.min == 0.5 and hist.max == 100.0
+
+
+def test_histogram_merge_requires_equal_edges():
+    a, b = Histogram([1.0]), Histogram([2.0])
+    with pytest.raises(ValueError, match="different edges"):
+        a.merge(b)
+
+
+def test_histogram_merge_adds_counts_exactly():
+    a, b = Histogram([1.0, 10.0]), Histogram([1.0, 10.0])
+    a.observe(0.5)
+    b.observe(5.0)
+    b.observe(50.0)
+    a.merge(b)
+    assert a.counts == [1, 1, 1]
+    assert a.total == 3
+    assert a.sum == 55.5
+    assert a.min == 0.5 and a.max == 50.0
+
+
+# --- registry merge / serialisation -------------------------------------------
+
+
+def _sample_registry(offset: float) -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.inc("n", 2)
+    reg.inc("x", offset)
+    reg.watermark("peak", offset, sim_time=offset * 2)
+    reg.observe("lat", offset, edges=(1.0, 10.0))
+    return reg
+
+
+def test_merge_is_commutative_and_associative():
+    regs = [_sample_registry(v) for v in (0.5, 5.0, 50.0)]
+
+    def folded(order):
+        acc = MetricsRegistry()
+        for k in order:
+            acc.merge(_sample_registry((0.5, 5.0, 50.0)[k]))
+        return acc.to_dict()
+
+    reference = folded((0, 1, 2))
+    assert folded((2, 1, 0)) == reference
+    assert folded((1, 2, 0)) == reference
+    assert regs[0].to_dict() != reference  # merge actually did something
+
+
+def test_roundtrip_through_dict_is_lossless():
+    reg = _sample_registry(5.0)
+    clone = MetricsRegistry.from_dict(reg.to_dict())
+    assert clone.to_dict() == reg.to_dict()
+
+
+def test_global_registry_reset():
+    reset_global_registry()
+    global_registry().inc("tests.ping")
+    assert global_registry().counter("tests.ping") == 1
+    reset_global_registry()
+    assert global_registry().counter("tests.ping") == 0
+
+
+# --- clock + profiler ---------------------------------------------------------
+
+
+def test_fake_clock_advances_and_records_sleeps():
+    clock = FakeClock(start=100.0)
+    assert clock.now() == 100.0
+    clock.sleep(2.5)
+    assert clock.now() == 102.5
+    clock.advance(1.0)
+    assert clock.now() == 103.5
+    assert clock.sleeps == [2.5]
+
+
+def test_system_clock_is_monotonic_nonblocking():
+    clock = SystemClock()
+    a = clock.now()
+    clock.sleep(0.0)
+    assert clock.now() >= a
+
+
+def test_profiler_accumulates_stage_time_into_registry():
+    reg, clock = MetricsRegistry(), FakeClock()
+    profiler = Profiler(metrics=reg, clock=clock)
+    for _ in range(3):
+        with profiler.stage("capacity"):
+            clock.advance(0.05)
+    assert reg.counter("profile.capacity.calls") == 3
+    assert reg.counter("profile.capacity.seconds") == pytest.approx(0.15)
+    hist = reg.histogram("profile.capacity.latency")
+    assert hist.total == 3 and hist.edges == STAGE_EDGES
+    summary = profiler.summary()
+    assert summary["capacity"]["mean_s"] == pytest.approx(0.05)
+
+
+def test_disabled_profiler_records_nothing():
+    reg = MetricsRegistry()
+    profiler = Profiler(metrics=reg, enabled=False)
+    with profiler.stage("anything"):
+        pass
+    assert reg.to_dict() == {"counters": {}, "gauges": {},
+                             "histograms": {}}
+
+
+def test_profiler_times_raising_stages():
+    reg, clock = MetricsRegistry(), FakeClock()
+    profiler = Profiler(metrics=reg, clock=clock)
+    with pytest.raises(RuntimeError):
+        with profiler.stage("boom"):
+            clock.advance(0.2)
+            raise RuntimeError("boom")
+    assert reg.counter("profile.boom.seconds") == pytest.approx(0.2)
+
+
+# --- the clock-discipline static scan -----------------------------------------
+
+
+def test_no_wall_clock_reads_outside_obs():
+    """``time.time()`` / ``time.perf_counter()`` are banned in ``src``
+    outside ``repro.obs`` — every component reads epochs through an
+    injected :class:`~repro.obs.clock.Clock` so tests can substitute
+    :class:`~repro.obs.clock.FakeClock` and no code mixes clock domains.
+    (CI enforces the same rule via ruff's banned-api lint.)"""
+    banned = re.compile(r"\btime\.(time|perf_counter|monotonic)\s*\(")
+    offenders = []
+    for path in SRC.rglob("*.py"):
+        if (SRC / "obs") in path.parents:
+            continue
+        for lineno, line in enumerate(
+                path.read_text().splitlines(), start=1):
+            code = line.split("#", 1)[0]
+            if banned.search(code):
+                offenders.append(f"{path.relative_to(SRC)}:{lineno}")
+    assert not offenders, (
+        "wall-clock reads outside repro.obs (inject a Clock instead): "
+        + ", ".join(offenders))
