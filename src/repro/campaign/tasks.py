@@ -50,7 +50,7 @@ def register_task(kind: str):
 #: :func:`execute_spec` (importing them here would cycle: they import
 #: ``register_task`` from this module), so worker processes find plugin
 #: kinds under any pool start method.
-PLUGIN_KIND_MODULES = ("repro.faults.tasks",)
+PLUGIN_KIND_MODULES = ("repro.faults.tasks", "repro.verify.fuzzer")
 
 
 def _load_plugin_kinds() -> None:

@@ -6,9 +6,11 @@ Subcommands mirror the paper's workflows::
     python -m repro probe SRC DST              # Table 2 metrics + Table 3 advice
     python -m repro route SRC DST              # §4.3 hybrid mesh route
     python -m repro campaign --out FILE        # parallel experiment campaign
+    python -m repro campaign ... --check       # + invariant sweep of artifact
     python -m repro report FILE                # summarise a saved campaign
     python -m repro report FILE --timeline     # per-domain utilisation view
     python -m repro trace FILE                 # inspect a trace sidecar
+    python -m repro verify --suite smoke       # verification suites / fuzzer
 
 Common options: ``--seed`` (testbed world), ``--day``/``--hour``
 (measurement time), ``--av500`` (validation devices).
@@ -269,6 +271,95 @@ def cmd_campaign(args) -> int:
     if args.trace:
         from repro.obs.trace import trace_path_for
         print(f"trace sidecar written to {trace_path_for(args.out)}")
+    if args.check:
+        return _check_artifact(args.out)
+    return 0
+
+
+def _check_artifact(path: str) -> int:
+    """Sweep a finalized campaign artifact with the registered
+    ``artifact_task`` invariants (``repro campaign --check``)."""
+    from repro.campaign.artifacts import read_artifacts
+    from repro.verify.invariants import check_invariants
+
+    try:
+        _, artifacts = read_artifacts(path)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot check {path}: {exc}", file=sys.stderr)
+        return 1
+    violations = []
+    for artifact in artifacts:
+        violations.extend(check_invariants(
+            "artifact_task", artifact, subject_name=artifact.task_key))
+    if violations:
+        print(f"--check: {len(violations)} invariant violation(s) in "
+              f"{path}:", file=sys.stderr)
+        for v in violations:
+            print(f"  {v}", file=sys.stderr)
+        return 1
+    print(f"--check: {len(artifacts)} task artifact(s) satisfy all "
+          f"invariants")
+    return 0
+
+
+def cmd_verify(args) -> int:
+    """Run a verification suite (or replay a fuzz-failure artifact)."""
+    from repro.obs.clock import SystemClock
+    from repro.verify import replay_repro, run_suite, write_report
+
+    if args.replay:
+        try:
+            spec, results = replay_repro(args.replay)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot replay {args.replay}: {exc}",
+                  file=sys.stderr)
+            return 1
+        failures = [r for r in results if not r.passed]
+        print(f"replayed {spec.task_key()}: {len(results)} check(s), "
+              f"{len(failures)} failing")
+        for r in failures:
+            print(f"  FAIL {r.check} [{r.subject}]: {r.detail}")
+        return 1 if failures else 0
+
+    clock = SystemClock()
+    started = clock.now()
+    report = run_suite(args.suite, preset=args.preset, seed=args.seed,
+                       budget_s=args.budget_s, max_cases=args.max_cases,
+                       repro_dir=args.repro_dir)
+    wall_s = clock.now() - started
+    summary = report.summary()
+    for r in report.failures:
+        print(f"  FAIL {r.check} [{r.subject}]: {r.detail}")
+    print(f"suite {report.suite!r} on preset {report.preset!r} "
+          f"(seed {report.seed}): {summary['passed']}/"
+          f"{summary['checks']} checks passed in {wall_s:.1f}s")
+    if args.report:
+        try:
+            write_report(args.report, report)
+        except OSError as exc:
+            print(f"error: cannot write {args.report}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"report written to {args.report}")
+    bench_path = os.environ.get("BENCH_VERIFY_JSON")
+    if bench_path:
+        import json
+
+        try:
+            with open(bench_path, "w", encoding="utf-8") as fh:
+                json.dump({"suite": report.suite,
+                           "preset": report.preset,
+                           "seed": report.seed, "wall_s": wall_s,
+                           **summary}, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        except OSError as exc:
+            print(f"error: cannot write {bench_path}: {exc}",
+                  file=sys.stderr)
+            return 1
+    if not report.ok:
+        print(f"error: {summary['failed']} verification check(s) "
+              f"failed", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -442,6 +533,10 @@ def build_parser() -> argparse.ArgumentParser:
                             help="record a sim-time trace sidecar next "
                                  "to the artifact (never changes the "
                                  "artifact bytes)")
+    p_campaign.add_argument("--check", action="store_true",
+                            help="after the run, sweep the artifact "
+                                 "with the registered invariants and "
+                                 "fail on any violation")
     p_campaign.set_defaults(func=cmd_campaign)
 
     p_probe = sub.add_parser("probe", help="measure one PLC link")
@@ -475,6 +570,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--events", type=int, default=0,
                          help="also print the first N raw event lines")
     p_trace.set_defaults(func=cmd_trace)
+
+    p_verify = sub.add_parser(
+        "verify", help="run a verification suite (invariants, "
+                       "differential oracles, metamorphic relations, "
+                       "scenario fuzzer)")
+    p_verify.add_argument("--suite", choices=("smoke", "full", "fuzz"),
+                          default="smoke",
+                          help="which suite to run (default smoke)")
+    p_verify.add_argument("--preset", default=None,
+                          help="testbed preset (default: the suite's "
+                               "own — mini3 for smoke/fuzz, office for "
+                               "full)")
+    p_verify.add_argument("--seed", type=int, default=7,
+                          help="root seed (default 7)")
+    p_verify.add_argument("--report",
+                          help="write the canonical JSONL report here")
+    p_verify.add_argument("--budget-s", type=float, default=None,
+                          help="fuzz: wall-clock budget in seconds "
+                               "(default 60)")
+    p_verify.add_argument("--max-cases", type=int, default=None,
+                          help="fuzz: maximum cases (default 64)")
+    p_verify.add_argument("--repro-dir", default="verify-failures",
+                          help="fuzz: where failure repro artifacts go")
+    p_verify.add_argument("--replay",
+                          help="replay a fuzz-failure repro artifact "
+                               "instead of running a suite")
+    p_verify.set_defaults(func=cmd_verify)
     return parser
 
 

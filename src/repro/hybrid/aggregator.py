@@ -185,12 +185,20 @@ class HybridDevice:
 
     def run_packet_level(self, mode: str, t_start: float, duration: float,
                          packet_bytes: int = 1500,
-                         hole_timeout_s: float = 0.05) -> ReorderStats:
+                         hole_timeout_s: float = 0.05,
+                         check_invariants: bool = False) -> ReorderStats:
         """Short packet-level run exercising the reorder buffer.
 
         Each medium is modelled as a FIFO served at its instantaneous
         capacity; the scheduler assigns packets as they are generated at the
         bonded pair's sustainable rate.
+
+        ``check_invariants=True`` runs the registered ``reorder_release``
+        and ``pipeline`` invariants (:mod:`repro.verify.invariants`) over
+        the released stream — in-order release, no minted or silently
+        dropped packets — and raises
+        :class:`~repro.verify.invariants.InvariantViolationError` on any
+        breach.
         """
         scheduler = (CapacityProportionalScheduler(self._rng)
                      if mode == "hybrid" else RoundRobinScheduler())
@@ -225,10 +233,26 @@ class HybridDevice:
             arrivals.append(packet)
             seq += 1
             t += interval
+        released: List[Packet] = []
         for packet in sorted(arrivals, key=lambda p: p.delivered_at):
-            reorder.push(packet, packet.delivered_at)
+            released.extend(reorder.push(packet, packet.delivered_at))
         # End-of-stream drain: without it the tail packets behind the last
         # hole would never be counted (see ReorderBuffer.flush).
         end = max(next_free.values()) if arrivals else t_start
-        reorder.flush(end)
+        released.extend(reorder.flush(end))
+        if check_invariants:
+            # Lazy: the verify layer is optional at runtime and importing
+            # it here keeps the hybrid package cycle-free.
+            from repro.verify.invariants import enforce_invariants
+
+            subject = f"{self.plc_link.name}|{self.wifi_link.name}"
+            seqs = [p.seq for p in released]
+            enforce_invariants("reorder_release", seqs,
+                               subject_name=subject, metrics=self.metrics)
+            enforce_invariants(
+                "pipeline",
+                {"scheduled": seq, "released": len(released),
+                 "pending": reorder.pending_count, "duplicates": 0,
+                 "released_unique": len(set(seqs))},
+                subject_name=subject, metrics=self.metrics)
         return reorder.stats

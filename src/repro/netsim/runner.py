@@ -219,7 +219,8 @@ class ScenarioRunner:
                  link_decorator=None,
                  tracer: Optional[Tracer] = None,
                  profiler: Optional[Profiler] = None,
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None,
+                 legacy_default_horizon: bool = False):
         if quantum_s <= 0:
             raise ValueError("quantum must be positive")
         self.testbed = testbed
@@ -232,6 +233,11 @@ class ScenarioRunner:
         #: cache: a fault edge (outage start/end) is observed at the next
         #: recompute, so detection lag is bounded by ``cache_window_s``.
         self.link_decorator = link_decorator
+        #: Test-only: reinstate the pre-fix default deadline
+        #: ``t0 + (end_time + 60)`` that double-offset late scenario
+        #: starts. Exists solely so `repro.verify` can demonstrate its
+        #: oracles catch the historical bug; never set it in real runs.
+        self.legacy_default_horizon = legacy_default_horizon
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.profiler = profiler if profiler is not None else NULL_PROFILER
         self._metrics = metrics
@@ -288,6 +294,8 @@ class ScenarioRunner:
         t0 = min(f.start_s for f in scenario.flows)
         if horizon_s is not None:
             deadline = t0 + horizon_s
+        elif self.legacy_default_horizon:
+            deadline = t0 + (scenario.end_time() + 60.0)
         else:
             deadline = scenario.end_time() + 60.0
         self.log = []

@@ -1,0 +1,399 @@
+"""The invariant registry: properties that must hold on *any* scenario.
+
+Every prior layer defended its contracts with one-off assertions spread
+across the test suite.  This module centralises them: an
+:class:`Invariant` is a named, registered predicate over one *subject
+kind* — a runner's stats, a scenario's flow results, a sampled
+:class:`~repro.medium.link.LinkSeries`, a :class:`~repro.plc.tonemap.ToneMap`,
+a released packet stream, or a campaign :class:`TaskArtifact` — and
+:func:`check_invariants` runs every invariant registered for that kind,
+publishing ``verify.*`` counters into a :class:`repro.obs.MetricsRegistry`
+so violations are first-class observability events, not just test
+failures.
+
+The registry is the seam the rest of the toolkit hooks into:
+
+* the fluid runner's results are checked by the ``runner`` and
+  ``flow_results`` kinds (``repro verify``, the fuzzer, and the
+  campaign's ``--check`` mode all call the same functions);
+* the hybrid packet pipeline checks ``reorder_release`` /
+  ``packet_conservation`` when asked
+  (:meth:`repro.hybrid.aggregator.HybridDevice.run_packet_level` with
+  ``check_invariants=True``);
+* ``repro campaign --check`` replays the ``artifact_task`` kind over a
+  finalized artifact file.
+
+Registering a new invariant is one decorated function — see
+``docs/testing.md`` ("Adding an invariant").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.obs.metrics import MetricsRegistry, global_registry
+
+#: Slack for airtime sums: float accumulation across a quantum's passes.
+AIRTIME_EPSILON = 1e-6
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One observed breach of a registered invariant."""
+
+    invariant: str
+    subject: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        return f"[{self.invariant}] {self.subject}: {self.message}"
+
+
+class InvariantViolationError(AssertionError):
+    """Raised by :func:`enforce_invariants` when any check fails."""
+
+    def __init__(self, violations: List[Violation]):
+        self.violations = violations
+        lines = [f"{len(violations)} invariant violation(s):"]
+        lines += [f"  {v}" for v in violations]
+        super().__init__("\n".join(lines))
+
+
+#: An invariant body: subject -> iterable of violation messages (empty
+#: means the invariant holds).
+InvariantFn = Callable[[object], Iterable[str]]
+
+
+@dataclass(frozen=True)
+class Invariant:
+    name: str
+    kind: str
+    description: str
+    fn: InvariantFn
+
+
+INVARIANT_REGISTRY: Dict[str, Invariant] = {}
+
+
+def register_invariant(name: str, kind: str, description: str):
+    """Decorator adding an invariant to the registry.
+
+    ``name`` must be globally unique (it becomes the
+    ``verify.violations.<name>`` counter); ``kind`` groups invariants by
+    the subject they understand.
+    """
+    def wrap(fn: InvariantFn) -> InvariantFn:
+        if name in INVARIANT_REGISTRY:
+            raise ValueError(f"duplicate invariant {name!r}")
+        INVARIANT_REGISTRY[name] = Invariant(
+            name=name, kind=kind, description=description, fn=fn)
+        return fn
+    return wrap
+
+
+def invariants_for(kind: str) -> Tuple[Invariant, ...]:
+    """Registered invariants of one subject kind, in name order."""
+    return tuple(sorted(
+        (inv for inv in INVARIANT_REGISTRY.values() if inv.kind == kind),
+        key=lambda inv: inv.name))
+
+
+def registered_kinds() -> Tuple[str, ...]:
+    return tuple(sorted({inv.kind for inv in INVARIANT_REGISTRY.values()}))
+
+
+def check_invariants(kind: str, subject, subject_name: str = "",
+                     metrics: Optional[MetricsRegistry] = None
+                     ) -> List[Violation]:
+    """Run every invariant registered for ``kind`` against ``subject``.
+
+    Returns the violations (empty list = all hold) and publishes
+    ``verify.checks`` / ``verify.violations.<invariant>`` counters into
+    ``metrics`` (the process-wide registry by default), so `--check`
+    modes surface violations through the same observability pipe as
+    every other runtime signal.
+    """
+    registry = metrics if metrics is not None else global_registry()
+    violations: List[Violation] = []
+    for invariant in invariants_for(kind):
+        registry.inc("verify.checks")
+        for message in invariant.fn(subject):
+            violations.append(Violation(invariant=invariant.name,
+                                        subject=subject_name,
+                                        message=message))
+            registry.inc(f"verify.violations.{invariant.name}")
+    return violations
+
+
+def enforce_invariants(kind: str, subject, subject_name: str = "",
+                       metrics: Optional[MetricsRegistry] = None) -> None:
+    """:func:`check_invariants`, raising on any violation."""
+    violations = check_invariants(kind, subject, subject_name, metrics)
+    if violations:
+        raise InvariantViolationError(violations)
+
+
+# --- helpers ------------------------------------------------------------------
+
+
+def _finite(value) -> bool:
+    try:
+        return bool(np.isfinite(value))
+    except TypeError:
+        return False
+
+
+# --- runner stats (work conservation, airtime <= 1) ---------------------------
+
+
+@register_invariant(
+    "runner.work_conservation", "runner",
+    "the runner never allocated more than a domain's airtime "
+    "(RunnerStats.invariant_violations == 0)")
+def _runner_work_conservation(stats) -> Iterable[str]:
+    count = stats.invariant_violations
+    if count:
+        yield (f"{count} quantum(s) over-allocated a contention domain "
+               f"(peak airtime {stats.max_domain_airtime:.9f})")
+
+
+@register_invariant(
+    "runner.airtime_bounded", "runner",
+    "per-domain airtime never exceeds 1 per quantum, in the peak or in "
+    "the per-domain sums")
+def _runner_airtime_bounded(stats) -> Iterable[str]:
+    peak = stats.max_domain_airtime
+    if peak > 1.0 + AIRTIME_EPSILON:
+        yield f"peak domain airtime {peak:.9f} > 1"
+    quanta = stats.domain_quanta
+    for domain, airtime in sorted(stats.domain_airtime.items()):
+        active = quanta.get(domain, 0)
+        if airtime > active * (1.0 + AIRTIME_EPSILON):
+            yield (f"domain {domain} used {airtime:.9f} airtime over "
+                   f"{active} active quanta")
+
+
+# --- flow results -------------------------------------------------------------
+
+
+@register_invariant(
+    "flows.nonnegative", "flow_results",
+    "delivered bytes, active time and rates are finite and >= 0")
+def _flows_nonnegative(results) -> Iterable[str]:
+    for name, result in sorted(results.items()):
+        for attr in ("delivered_bytes", "active_time_s", "mean_rate_bps"):
+            value = getattr(result, attr)
+            if not _finite(value) or value < 0:
+                yield f"flow {name}: {attr} = {value!r}"
+        if result.starved_quanta < 0:
+            yield f"flow {name}: starved_quanta = {result.starved_quanta}"
+
+
+@register_invariant(
+    "flows.completion_after_start", "flow_results",
+    "a finished flow completed at or after its start time")
+def _flows_completion_after_start(results) -> Iterable[str]:
+    for name, result in sorted(results.items()):
+        if result.finished and \
+                result.completed_at < result.request.start_s:
+            yield (f"flow {name}: completed_at {result.completed_at} < "
+                   f"start {result.request.start_s}")
+
+
+@register_invariant(
+    "flows.offered_load_cap", "flow_results",
+    "a CBR flow never delivers more than rate * duration; a file flow "
+    "never delivers more than its size")
+def _flows_offered_load_cap(results) -> Iterable[str]:
+    for name, result in sorted(results.items()):
+        request = result.request
+        if request.kind == "cbr" and request.rate_bps:
+            cap = request.rate_bps * (request.duration_s or 0.0) / 8.0
+            if result.delivered_bytes > cap * (1.0 + AIRTIME_EPSILON):
+                yield (f"cbr flow {name} delivered "
+                       f"{result.delivered_bytes:.0f} B > offered "
+                       f"{cap:.0f} B")
+        if request.kind == "file" and request.size_bytes:
+            if result.delivered_bytes > request.size_bytes * (1 + 1e-9):
+                yield (f"file flow {name} delivered "
+                       f"{result.delivered_bytes:.0f} B > size "
+                       f"{request.size_bytes:.0f} B")
+
+
+# --- link series (BLE / PBerr / rate range checks) ----------------------------
+
+
+@register_invariant(
+    "series.rates_valid", "series",
+    "sampled capacities and throughputs are finite and >= 0")
+def _series_rates_valid(series) -> Iterable[str]:
+    for field in ("capacity_bps", "throughput_bps"):
+        values = np.asarray(series.column(field), dtype=float)
+        bad = ~np.isfinite(values) | (values < 0)
+        if bad.any():
+            k = int(np.argmax(bad))
+            yield (f"{field}[{k}] = {values[k]!r} at "
+                   f"t={float(series.times[k])!r}")
+
+
+@register_invariant(
+    "series.loss_in_unit_interval", "series",
+    "the loss column (PBerr for PLC, outage indicator for WiFi) stays "
+    "within [0, 1]")
+def _series_loss_valid(series) -> Iterable[str]:
+    loss = np.asarray(series.loss, dtype=float)
+    bad = ~np.isfinite(loss) | (loss < 0.0) | (loss > 1.0)
+    if bad.any():
+        k = int(np.argmax(bad))
+        yield f"loss[{k}] = {loss[k]!r} outside [0, 1]"
+
+
+@register_invariant(
+    "series.ble_valid", "series",
+    "PLC BLE columns (per-slot and averaged) are finite and >= 0, and "
+    "the average matches the per-slot mean")
+def _series_ble_valid(series) -> Iterable[str]:
+    names = series.data.dtype.names
+    if "avg_ble_bps" not in names:
+        return
+    avg = np.asarray(series.column("avg_ble_bps"), dtype=float)
+    bad = ~np.isfinite(avg) | (avg < 0)
+    if bad.any():
+        k = int(np.argmax(bad))
+        yield f"avg_ble_bps[{k}] = {avg[k]!r}"
+    if "ble_per_slot_bps" in names:
+        slots = np.asarray(series.column("ble_per_slot_bps"), dtype=float)
+        if slots.size:
+            if (~np.isfinite(slots)).any() or (slots < 0).any():
+                yield "ble_per_slot_bps contains negative or non-finite"
+            drift = np.abs(slots.mean(axis=-1) - avg)
+            if (drift > 1e-6 * np.maximum(avg, 1.0)).any():
+                k = int(np.argmax(drift))
+                yield (f"avg_ble_bps[{k}] = {avg[k]!r} != mean of slots "
+                       f"{slots[k].mean()!r}")
+
+
+@register_invariant(
+    "series.pb_err_valid", "series",
+    "the PLC PB error rate stays within [0, 1]")
+def _series_pb_err_valid(series) -> Iterable[str]:
+    if "pb_err" not in series.data.dtype.names:
+        return
+    pb = np.asarray(series.column("pb_err"), dtype=float)
+    bad = ~np.isfinite(pb) | (pb < 0.0) | (pb > 1.0)
+    if bad.any():
+        k = int(np.argmax(bad))
+        yield f"pb_err[{k}] = {pb[k]!r} outside [0, 1]"
+
+
+# --- tone maps ----------------------------------------------------------------
+
+
+@register_invariant(
+    "tonemap.valid", "tonemap",
+    "a tone map's per-slot BLE is finite/non-negative, its assumed "
+    "PBerr and FEC rate are in range, and the averaged BLE equals the "
+    "slot mean")
+def _tonemap_valid(tonemap) -> Iterable[str]:
+    per_slot = np.asarray(tonemap.ble_per_slot_bps(), dtype=float)
+    if (~np.isfinite(per_slot)).any() or (per_slot < 0).any():
+        yield f"per-slot BLE invalid: {per_slot!r}"
+    if not 0.0 <= tonemap.pb_err <= 1.0:
+        yield f"assumed pb_err {tonemap.pb_err!r} outside [0, 1]"
+    if not 0.0 < tonemap.fec_rate <= 1.0:
+        yield f"fec_rate {tonemap.fec_rate!r} outside (0, 1]"
+    if (tonemap.bits < 0).any():
+        yield "negative bits per carrier"
+    if per_slot.size:
+        avg = tonemap.avg_ble_bps()
+        if abs(avg - float(per_slot.mean())) > 1e-6 * max(avg, 1.0):
+            yield (f"avg_ble_bps {avg!r} != per-slot mean "
+                   f"{float(per_slot.mean())!r}")
+
+
+# --- hybrid reorder pipeline --------------------------------------------------
+
+
+@register_invariant(
+    "reorder.sequence_monotone", "reorder_release",
+    "packets leave the reorder buffer in strictly increasing sequence "
+    "order")
+def _reorder_sequence_monotone(seqs) -> Iterable[str]:
+    seqs = list(seqs)
+    for k in range(1, len(seqs)):
+        if seqs[k] <= seqs[k - 1]:
+            yield (f"release #{k} has seq {seqs[k]} after seq "
+                   f"{seqs[k - 1]}")
+            return
+
+
+@register_invariant(
+    "reorder.packet_conservation", "pipeline",
+    "the aggregator->reorder pipeline neither mints nor silently drops "
+    "packets: scheduled == released + still pending (+ late duplicates)")
+def _reorder_packet_conservation(pipeline) -> Iterable[str]:
+    scheduled = int(pipeline["scheduled"])
+    released = int(pipeline["released"])
+    pending = int(pipeline.get("pending", 0))
+    duplicates = int(pipeline.get("duplicates", 0))
+    if scheduled != released + pending + duplicates:
+        yield (f"{scheduled} scheduled != {released} released + "
+               f"{pending} pending + {duplicates} duplicates")
+    if released:
+        unique = pipeline.get("released_unique", released)
+        if int(unique) != released:
+            yield f"{released - int(unique)} duplicate release(s)"
+
+
+# --- campaign artifacts -------------------------------------------------------
+
+
+@register_invariant(
+    "artifact.runner_stats", "artifact_task",
+    "per-task runner stats in a campaign artifact respect work "
+    "conservation and the airtime bound")
+def _artifact_runner_stats(artifact) -> Iterable[str]:
+    stats = artifact.stats or {}
+    if not stats or "quanta" not in stats:
+        return
+    violations = stats.get("invariant_violations", 0)
+    if violations:
+        yield (f"task {artifact.task_key}: {violations} work-conservation "
+               f"violation(s)")
+    peak = stats.get("max_domain_airtime", 0.0)
+    if peak > 1.0 + AIRTIME_EPSILON:
+        yield f"task {artifact.task_key}: peak airtime {peak:.9f} > 1"
+    quanta = stats.get("domain_quanta", {})
+    for domain, airtime in sorted(
+            (stats.get("domain_airtime") or {}).items()):
+        active = quanta.get(domain, 0)
+        if airtime > active * (1.0 + AIRTIME_EPSILON):
+            yield (f"task {artifact.task_key}: domain {domain} airtime "
+                   f"{airtime:.9f} over {active} quanta")
+
+
+@register_invariant(
+    "artifact.records_sane", "artifact_task",
+    "record payloads in a campaign artifact carry finite, non-negative "
+    "rates and consistent completion flags")
+def _artifact_records_sane(artifact) -> Iterable[str]:
+    for i, record in enumerate(artifact.records):
+        if not isinstance(record, dict):
+            continue
+        for field in ("mean_rate_bps", "delivered_bytes", "active_time_s",
+                      "capacity_bps", "throughput_bps"):
+            value = record.get(field)
+            if value is None:
+                continue
+            values = value if isinstance(value, list) else [value]
+            for v in values:
+                if not _finite(v) or v < 0:
+                    yield (f"task {artifact.task_key} record[{i}]: "
+                           f"{field} = {v!r}")
+                    break
+        if record.get("finished") and record.get("completed_at") is None:
+            yield (f"task {artifact.task_key} record[{i}]: finished "
+                   f"without completed_at")

@@ -1,0 +1,272 @@
+"""Metamorphic relations derived from the paper's structure.
+
+Where an oracle needs two implementations of the *same* computation, a
+metamorphic relation needs only one: it perturbs the input in a way whose
+effect on the output is known from the physics — and checks that effect.
+
+* **Time shift** (§6's invariance band): inside a window where the
+  channel is constant, the medium has no absolute clock, so shifting
+  every flow by Δ shifts every completion by Δ and changes nothing else.
+  We make the band explicit by freezing link capacities at a reference
+  time (:class:`FrozenLink`), which turns the relation into an exact
+  equality rather than a tolerance judgement.
+* **SNR monotonicity** (§5, Fig. 6): a tone map generated from a
+  uniformly better channel can only carry more — BLE is non-decreasing
+  in SNR.
+* **Attenuation monotonicity**: losing more dB through a fault window
+  (:class:`repro.faults.FaultyLink` ``snr_collapse``) can only lower
+  throughput.
+* **CBR/file scaling** (§7.4): with frozen capacity, moving ``k×`` the
+  bytes takes ``k×`` the time, and giving a competing CBR flow more of
+  the channel can only delay a file transfer.
+
+Every check returns a list of violation messages; empty means the
+relation held.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.medium.link import LinkSample, LinkSeries
+from repro.netsim.scenario import FlowRequest, Scenario
+from repro.verify.oracles import RunnerFactory, default_runner_factory
+
+#: Tolerance for completion-time comparisons under time shift: the sums
+#: ``(t+Δ) + q·f`` vs ``(t + q·f) + Δ`` reassociate float additions, so
+#: the last ulp can differ even though every delivered byte matches.
+SHIFT_TIME_RTOL = 1e-9
+SHIFT_TIME_ATOL = 1e-6
+
+
+class FrozenLink:
+    """A link whose channel state is pinned to one reference time.
+
+    Delegates every probe to the inner link *at* ``t_ref`` with
+    ``measured=False`` (no noise-stream consumption), then restamps the
+    requested time — the in-band idealisation of the paper's invariance
+    scale, where consecutive samples see the same channel.
+    """
+
+    def __init__(self, inner, t_ref: float):
+        self.inner = inner
+        self.t_ref = float(t_ref)
+        self.name = inner.name
+        self.medium = inner.medium
+        self._sample = inner.sample(self.t_ref, measured=False)
+
+    def sample(self, t: float, measured: bool = True) -> LinkSample:
+        return dataclasses.replace(self._sample, time=float(t))
+
+    def sample_series(self, ts: np.ndarray,
+                      measured: bool = True) -> LinkSeries:
+        series = self.inner.sample_series(
+            np.full(len(np.asarray(ts, dtype=float)), self.t_ref),
+            measured=False)
+        series.data["time"] = np.asarray(ts, dtype=float)
+        return series
+
+    def capacity_bps(self, t: float) -> float:
+        return self._sample.capacity_bps
+
+    def throughput_bps(self, t: float, measured: bool = True) -> float:
+        return self._sample.throughput_bps
+
+    def is_connected(self, t: float) -> bool:
+        return self.inner.is_connected(self.t_ref)
+
+
+def frozen_link_decorator(t_ref: float):
+    """A ``ScenarioRunner`` link decorator pinning capacities to ``t_ref``."""
+    def decorate(link, medium: str, src: int, dst: int):
+        if link is None:
+            return None
+        return FrozenLink(link, t_ref)
+    return decorate
+
+
+def shift_scenario(scenario: Scenario, delta_s: float) -> Scenario:
+    """The same scenario, every flow start moved by ``delta_s``."""
+    shifted = Scenario(name=f"{scenario.name}+{delta_s:g}s")
+    for flow in scenario.flows:
+        shifted.add(dataclasses.replace(flow,
+                                        start_s=flow.start_s + delta_s))
+    return shifted
+
+
+def check_time_shift(testbed, scenario: Scenario, delta_s: float,
+                     t_ref: Optional[float] = None,
+                     runner_factory: RunnerFactory =
+                     default_runner_factory,
+                     **runner_kwargs) -> List[str]:
+    """Shift equivariance on frozen links.
+
+    Runs ``scenario`` and ``scenario + Δ`` with capacities pinned at
+    ``t_ref`` (default: the scenario's first start) and demands that
+    delivered bytes / active time / starvation match exactly while every
+    completion time moves by exactly Δ (up to float reassociation).
+    """
+    if not scenario.flows:
+        return []
+    if t_ref is None:
+        t_ref = min(f.start_s for f in scenario.flows)
+    decorator = frozen_link_decorator(t_ref)
+    runner_a = runner_factory(testbed, link_decorator=decorator,
+                              **runner_kwargs)
+    runner_b = runner_factory(testbed, link_decorator=decorator,
+                              **runner_kwargs)
+    base = runner_a.run(scenario)
+    shifted = runner_b.run(shift_scenario(scenario, delta_s))
+    diffs: List[str] = []
+    for name in sorted(base):
+        a, b = base[name], shifted[name]
+        for attr in ("delivered_bytes", "active_time_s",
+                     "starved_quanta"):
+            if getattr(a, attr) != getattr(b, attr):
+                diffs.append(
+                    f"flow {name}.{attr} not shift-invariant: "
+                    f"{getattr(a, attr)!r} vs {getattr(b, attr)!r} "
+                    f"(delta={delta_s})")
+        if (a.completed_at is None) != (b.completed_at is None):
+            diffs.append(f"flow {name} completion existence changed "
+                         f"under shift: {a.completed_at} vs "
+                         f"{b.completed_at}")
+        elif a.completed_at is not None:
+            want = a.completed_at + delta_s
+            if not np.isclose(b.completed_at, want,
+                              rtol=SHIFT_TIME_RTOL,
+                              atol=SHIFT_TIME_ATOL):
+                diffs.append(
+                    f"flow {name} completed at {b.completed_at!r}, "
+                    f"expected {want!r} (= {a.completed_at!r} + "
+                    f"{delta_s})")
+    return diffs
+
+
+def check_snr_monotonicity(link, t: float,
+                           deltas_db: Sequence[float] = (0.0, 3.0, 6.0,
+                                                         12.0)
+                           ) -> List[str]:
+    """BLE is non-decreasing in SNR (Fig. 6's rate-vs-attenuation law).
+
+    Regenerates the tone map of a PLC ``link`` from its true channel SNR
+    shifted by each ``delta_db`` (via the estimation-model override) and
+    checks the resulting BLE ordering. Links without a ``channel``
+    attribute (non-PLC facades) are skipped.
+    """
+    from repro.plc.tonemap import generate_tone_map
+
+    channel = getattr(link, "channel", None)
+    if channel is None or not hasattr(channel, "snr_db"):
+        return []
+    base_snr = channel.snr_db(t)
+    deltas = sorted(float(d) for d in deltas_db)
+    bles = []
+    for delta in deltas:
+        tone_map = generate_tone_map(channel, t, tmi=1,
+                                     snr_override=base_snr + delta)
+        bles.append(tone_map.avg_ble_bps())
+    diffs: List[str] = []
+    for k in range(1, len(bles)):
+        if bles[k] < bles[k - 1]:
+            diffs.append(
+                f"BLE decreased with SNR: +{deltas[k - 1]:g} dB -> "
+                f"{bles[k - 1]:.1f} bps but +{deltas[k]:g} dB -> "
+                f"{bles[k]:.1f} bps")
+    return diffs
+
+
+def check_attenuation_monotonicity(link, t: float,
+                                   severities_db: Sequence[float] =
+                                   (0.0, 3.0, 10.0, 20.0)
+                                   ) -> List[str]:
+    """More dB lost in a fault window can only lower throughput."""
+    from repro.faults.link import FaultyLink
+    from repro.faults.plan import FaultEvent, FaultPlan
+
+    severities = sorted(float(s) for s in severities_db)
+    rates = []
+    for severity in severities:
+        events = [] if severity == 0.0 else [FaultEvent(
+            kind="snr_collapse", target=link.name, t_start=t - 1.0,
+            t_end=t + 1.0, severity=severity)]
+        plan = FaultPlan(events=events, seed=0, name="verify.attenuation")
+        faulted = FaultyLink(link, plan)
+        rates.append(faulted.throughput_bps(t, measured=False))
+    diffs: List[str] = []
+    for k in range(1, len(rates)):
+        if rates[k] > rates[k - 1] * (1.0 + 1e-12):
+            diffs.append(
+                f"throughput rose under deeper collapse: "
+                f"-{severities[k - 1]:g} dB -> {rates[k - 1]:.1f} bps "
+                f"but -{severities[k]:g} dB -> {rates[k]:.1f} bps")
+    return diffs
+
+
+def check_file_size_scaling(testbed, src: int, dst: int, medium: str,
+                            size_bytes: float = 4e6, factor: int = 3,
+                            t0: float = 0.0,
+                            runner_factory: RunnerFactory =
+                            default_runner_factory,
+                            **runner_kwargs) -> List[str]:
+    """On a frozen link, ``k×`` the bytes takes ``k×`` the time."""
+    decorator = frozen_link_decorator(t0)
+    durations = []
+    for scale in (1, factor):
+        scenario = Scenario(name=f"verify-size-x{scale}").add(FlowRequest(
+            name="xfer", src=src, dst=dst, start_s=t0, kind="file",
+            medium=medium, size_bytes=size_bytes * scale))
+        runner = runner_factory(testbed, link_decorator=decorator,
+                                **runner_kwargs)
+        result = runner.run(scenario, horizon_s=86_400.0)["xfer"]
+        if not result.finished:
+            return [f"file flow never completed at scale {scale} "
+                    f"({medium} {src}->{dst}; dead link?)"]
+        durations.append(result.completed_at - t0)
+    if durations[0] <= 0:
+        return [f"degenerate base transfer time {durations[0]!r}"]
+    ratio = durations[1] / durations[0]
+    if not np.isclose(ratio, factor, rtol=1e-6):
+        return [f"completion time scaled by {ratio:.9f} for {factor}x "
+                f"bytes (expected {factor}x): {durations[0]!r} s -> "
+                f"{durations[1]!r} s"]
+    return []
+
+
+def check_cbr_contention_monotonicity(
+        testbed, src: int, dst: int, medium: str,
+        size_bytes: float = 4e6,
+        rates_bps: Sequence[float] = (1e6, 4e6, 16e6),
+        t0: float = 0.0,
+        runner_factory: RunnerFactory = default_runner_factory,
+        **runner_kwargs) -> List[str]:
+    """A hungrier competing CBR flow can only delay a file transfer."""
+    decorator = frozen_link_decorator(t0)
+    completions = []
+    rates = sorted(float(r) for r in rates_bps)
+    for rate in rates:
+        scenario = Scenario(name="verify-contention")
+        scenario.add(FlowRequest(name="xfer", src=src, dst=dst,
+                                 start_s=t0, kind="file", medium=medium,
+                                 size_bytes=size_bytes))
+        scenario.add(FlowRequest(name="cross", src=dst, dst=src,
+                                 start_s=t0, kind="cbr", medium=medium,
+                                 rate_bps=rate, duration_s=3600.0))
+        runner = runner_factory(testbed, link_decorator=decorator,
+                                **runner_kwargs)
+        result = runner.run(scenario, horizon_s=86_400.0)["xfer"]
+        if not result.finished:
+            return [f"file flow never completed against {rate:.0f} bps "
+                    f"CBR ({medium} {src}->{dst})"]
+        completions.append(result.completed_at)
+    diffs: List[str] = []
+    for k in range(1, len(completions)):
+        if completions[k] < completions[k - 1] - 1e-9:
+            diffs.append(
+                f"transfer finished earlier against a hungrier CBR: "
+                f"{rates[k - 1]:.0f} bps -> t={completions[k - 1]!r} but "
+                f"{rates[k]:.0f} bps -> t={completions[k]!r}")
+    return diffs

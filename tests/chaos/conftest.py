@@ -32,6 +32,14 @@ CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "7"))
 _RECORDED_PLANS = {}
 
 
+def pytest_collection_modifyitems(items):
+    """Every test under tests/chaos/ carries the ``chaos`` marker."""
+    here = Path(__file__).parent
+    for item in items:
+        if here in Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.chaos)
+
+
 @pytest.fixture(scope="session")
 def chaos_seed() -> int:
     return CHAOS_SEED

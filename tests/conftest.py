@@ -7,16 +7,33 @@ from __future__ import annotations
 import csv
 import io
 import json
+import os
 from pathlib import Path
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.sim.random import RandomStreams
 from repro.testbed import build_testbed
 from repro.testbed.experiments import night_start, working_hours_start
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
+
+# Hypothesis settings profiles. Property tests rely on these instead of
+# per-test ``@settings`` boilerplate: ``dev`` (the default) keeps local
+# runs fast; ``ci`` is deterministic (``derandomize``) and never flakes
+# on shared-runner timing (``deadline=None``). Select with
+# ``HYPOTHESIS_PROFILE=ci pytest ...``. Tests whose *examples* are
+# expensive (e.g. whole campaign runs) still pin ``max_examples`` down
+# locally — a cost decision, not environment tuning.
+settings.register_profile(
+    "dev", max_examples=25, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+settings.register_profile(
+    "ci", max_examples=50, deadline=None, derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow])
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 #: Tolerances for golden comparisons: tight enough to catch any numeric
 #: drift in the metric pipeline, loose enough to forgive libm/BLAS
@@ -58,6 +75,11 @@ def _assert_close(actual, expected, path: str) -> None:
 
 
 def _rows_to_csv(rows) -> str:
+    if not rows:
+        # An empty golden is legitimate (e.g. a filter that matches
+        # nothing); without a first row there are no fieldnames, so the
+        # file is just empty text and DictReader round-trips it to [].
+        return ""
     buf = io.StringIO()
     writer = csv.DictWriter(buf, fieldnames=sorted(rows[0]))
     writer.writeheader()

@@ -11,7 +11,9 @@ from __future__ import annotations
 
 import math
 
-from hypothesis import HealthCheck, given, settings
+import pytest
+
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.campaign import (
@@ -24,11 +26,11 @@ from repro.campaign.tasks import TASK_REGISTRY, TaskOutput, register_task
 from repro.obs import MetricsRegistry, current_tracer, trace_path_for
 from repro.sim.random import RandomStreams, derive_seed
 
+pytestmark = pytest.mark.slow
+
 # Engine runs fork real processes on the pool path; keep example counts
-# low and deadlines off.
-ENGINE_SETTINGS = settings(
-    max_examples=5, deadline=None,
-    suppress_health_check=[HealthCheck.too_slow])
+# low (deadline/health-check policy comes from the conftest profiles).
+ENGINE_SETTINGS = settings(max_examples=5)
 
 names = st.text(
     alphabet="abcdefghijklmnopqrstuvwxyz0123456789.-", min_size=1,

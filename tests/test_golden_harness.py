@@ -1,0 +1,36 @@
+"""Golden-harness regression tests.
+
+The CSV renderer used to crash with an IndexError when a test produced
+zero rows (``rows[0]`` for the fieldnames); an empty golden is legitimate
+— e.g. a filter that matches nothing — and must round-trip as an empty
+file."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+import tests.conftest as conftest
+
+
+def test_rows_to_csv_accepts_empty_rows():
+    assert conftest._rows_to_csv([]) == ""
+
+
+def test_empty_csv_text_roundtrips_to_no_rows():
+    text = conftest._rows_to_csv([])
+    assert list(csv.DictReader(io.StringIO(text))) == []
+
+
+def test_nonempty_rows_still_render_with_header():
+    text = conftest._rows_to_csv([{"b": 1, "a": 2.5}])
+    lines = text.splitlines()
+    assert lines[0] == "a,b"
+    assert lines[1] == "2.5,1"
+
+
+def test_golden_fixture_compares_empty_csv(tmp_path, monkeypatch, golden):
+    monkeypatch.setattr(conftest, "GOLDEN_DIR", tmp_path)
+    (tmp_path / "empty.csv").write_text(
+        conftest._rows_to_csv([]), encoding="utf-8")
+    golden("empty.csv", [])  # must not raise

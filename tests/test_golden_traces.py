@@ -23,6 +23,8 @@ from repro.testbed.experiments import (
     working_hours_start,
 )
 
+pytestmark = pytest.mark.slow
+
 SEED = 7
 #: A spread of pairs: good short links, the kitchen-adjacent bad ones,
 #: and one B2 pair.

@@ -1,7 +1,8 @@
 """Property-based tests for the extension modules."""
 
 import numpy as np
-from hypothesis import given, settings
+import pytest
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.interference import AirtimeReport, available_bandwidth_bps
@@ -11,6 +12,8 @@ from repro.plc import mm_wire
 from repro.plc.beacon import BeaconSchedule
 from repro.plc.tdma import TdmaScheduler
 from repro.sim.random import RandomStreams
+
+pytestmark = pytest.mark.slow
 from repro.transport.tcp import padhye_throughput_bps
 from repro.units import BEACON_PERIOD
 
@@ -68,7 +71,6 @@ def test_tdma_allocations_tile_their_budget(demands):
 @given(st.dictionaries(st.sampled_from(["a", "b", "c"]),
                        st.floats(min_value=1e5, max_value=1e8),
                        min_size=1, max_size=3))
-@settings(max_examples=40)
 def test_beacon_schedule_from_any_allocation_tiles(demands):
     allocations = TdmaScheduler(
         schedulable_fraction=0.7).allocate(demands)
@@ -84,7 +86,6 @@ def test_beacon_schedule_from_any_allocation_tiles(demands):
 @given(st.floats(min_value=0, max_value=1.0),
        st.floats(min_value=0, max_value=1.0),
        st.floats(min_value=0, max_value=1e9))
-@settings(max_examples=60)
 def test_available_bandwidth_bounded(own, foreign, capacity):
     report = AirtimeReport(window_s=1.0, own_airtime_s=own,
                            foreign_airtime_s=foreign)
@@ -98,7 +99,6 @@ def test_available_bandwidth_bounded(own, foreign, capacity):
 @given(st.floats(min_value=1e6, max_value=2e8),
        st.floats(min_value=0.0, max_value=0.2),
        st.floats(min_value=0.0, max_value=0.5))
-@settings(max_examples=40)
 def test_two_metric_model_outputs_always_sane(mean_ble, sigma, pb):
     params = TwoMetricParameters(
         slot_ble_bps=tuple([mean_ble] * 6), jitter_sigma_rel=sigma,
@@ -128,7 +128,6 @@ def test_padhye_monotonicity(rtt, loss):
 
 @given(st.lists(st.floats(min_value=1e3, max_value=1e9), min_size=2,
                 max_size=2))
-@settings(max_examples=40)
 def test_proportional_split_matches_weights(caps):
     capacities = {"plc": caps[0], "wifi": caps[1]}
     split = CapacityProportionalScheduler(

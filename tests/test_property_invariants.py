@@ -1,7 +1,8 @@
 """Property-based tests (hypothesis) on core data structures and invariants."""
 
 import numpy as np
-from hypothesis import given, settings
+import pytest
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.analysis.stats import empirical_cdf
@@ -15,6 +16,8 @@ from repro.plc.spec import HPAV
 from repro.sim.clock import tone_map_slot_at
 from repro.sim.engine import Simulator
 from repro.traffic.packet import Packet
+
+pytestmark = pytest.mark.slow
 
 
 # --- simulation kernel -------------------------------------------------------
@@ -103,7 +106,6 @@ def test_frame_duration_bounded(n_pbs, ble, pb_err):
 
 
 @given(st.permutations(list(range(12))))
-@settings(max_examples=60)
 def test_reorder_buffer_releases_in_order_within_window(perm):
     buf = ReorderBuffer(hole_timeout_s=100.0, max_window=64)
     released = []
@@ -117,7 +119,6 @@ def test_reorder_buffer_releases_in_order_within_window(perm):
 
 @given(st.lists(st.integers(min_value=0, max_value=30), min_size=1,
                 max_size=60))
-@settings(max_examples=60)
 def test_reorder_buffer_never_regresses(seqs):
     buf = ReorderBuffer(hole_timeout_s=0.01, max_window=8)
     released = []

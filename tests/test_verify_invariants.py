@@ -1,0 +1,262 @@
+"""Invariant-registry tests: each registered invariant has a passing and a
+failing subject, violations publish ``verify.*`` counters, and two
+registries' verify counters merge like any other metric."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.campaign.artifacts import TaskArtifact
+from repro.netsim.runner import ScenarioRunner
+from repro.netsim.scenario import FlowRequest, FlowResult, Scenario
+from repro.obs.metrics import MetricsRegistry
+from repro.plc.tonemap import generate_tone_map
+from repro.testbed import build_preset_testbed
+from repro.verify.invariants import (
+    INVARIANT_REGISTRY,
+    InvariantViolationError,
+    Violation,
+    check_invariants,
+    enforce_invariants,
+    invariants_for,
+    register_invariant,
+    registered_kinds,
+)
+
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def mini3():
+    return build_preset_testbed("mini3", seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def run_outcome(mini3):
+    """One real scenario run shared by the passing-subject tests."""
+    scenario = Scenario("verify-unit")
+    scenario.add(FlowRequest("sat", 0, 1, 10.0, kind="saturated",
+                             medium="plc", duration_s=6.0))
+    scenario.add(FlowRequest("cbr", 1, 2, 10.0, kind="cbr", medium="wifi",
+                             duration_s=6.0, rate_bps=4e6))
+    runner = ScenarioRunner(mini3)
+    results = runner.run(scenario, horizon_s=20.0)
+    return runner, results
+
+
+# --- registry mechanics -------------------------------------------------------
+
+
+def test_registered_kinds_cover_the_toolkit():
+    assert registered_kinds() == (
+        "artifact_task", "flow_results", "pipeline", "reorder_release",
+        "runner", "series", "tonemap")
+
+
+def test_invariants_for_is_name_sorted():
+    for kind in registered_kinds():
+        names = [inv.name for inv in invariants_for(kind)]
+        assert names == sorted(names)
+        assert names, f"kind {kind} has no invariants"
+
+
+def test_duplicate_registration_rejected():
+    name = next(iter(INVARIANT_REGISTRY))
+    with pytest.raises(ValueError, match="duplicate invariant"):
+        register_invariant(name, "runner", "clone")(lambda s: [])
+
+
+def test_unknown_kind_checks_nothing():
+    metrics = MetricsRegistry()
+    assert check_invariants("no_such_kind", object(),
+                            metrics=metrics) == []
+    assert metrics.counter("verify.checks") == 0
+
+
+def test_enforce_raises_with_violations_attached():
+    bad = {"scheduled": 5, "released": 3, "pending": 0, "duplicates": 0}
+    with pytest.raises(InvariantViolationError) as err:
+        enforce_invariants("pipeline", bad, subject_name="unit",
+                           metrics=MetricsRegistry())
+    assert isinstance(err.value, AssertionError)
+    assert all(isinstance(v, Violation) for v in err.value.violations)
+    assert err.value.violations[0].subject == "unit"
+
+
+# --- counter publication & registry merge -------------------------------------
+
+
+def test_checks_counter_counts_every_invariant(run_outcome):
+    runner, _ = run_outcome
+    metrics = MetricsRegistry()
+    assert check_invariants("runner", runner.stats, metrics=metrics) == []
+    assert metrics.counter("verify.checks") == len(invariants_for("runner"))
+    assert metrics.counters_with_prefix("verify.violations.") == {}
+
+
+def test_violation_counter_named_after_invariant():
+    metrics = MetricsRegistry()
+    violations = check_invariants(
+        "reorder_release", [1, 2, 2], subject_name="dup", metrics=metrics)
+    assert [v.invariant for v in violations] == ["reorder.sequence_monotone"]
+    assert metrics.counter(
+        "verify.violations.reorder.sequence_monotone") == 1
+
+
+def test_verify_counters_merge_across_registries():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    check_invariants("reorder_release", [3, 1], metrics=a)
+    check_invariants("reorder_release", [5, 4], metrics=b)
+    check_invariants("reorder_release", [1, 2, 3], metrics=b)
+    a.merge(b)
+    assert a.counter("verify.checks") == 3
+    assert a.counter("verify.violations.reorder.sequence_monotone") == 2
+    # A round trip through the artifact form merges identically.
+    c = MetricsRegistry()
+    c.merge(MetricsRegistry.from_dict(a.to_dict()).to_dict())
+    assert c.counter("verify.checks") == 3
+
+
+# --- runner & flow-result invariants ------------------------------------------
+
+
+def test_runner_invariants_hold_on_real_run(run_outcome):
+    runner, results = run_outcome
+    assert check_invariants("runner", runner.stats,
+                            metrics=MetricsRegistry()) == []
+    assert check_invariants("flow_results", results,
+                            metrics=MetricsRegistry()) == []
+
+
+class _BadStats:
+    invariant_violations = 2
+    max_domain_airtime = 1.5
+    domain_airtime = {"plc": 7.0}
+    domain_quanta = {"plc": 4}
+
+
+def test_runner_invariants_flag_overallocation():
+    violations = check_invariants("runner", _BadStats(),
+                                  metrics=MetricsRegistry())
+    names = sorted(v.invariant for v in violations)
+    assert "runner.work_conservation" in names
+    assert "runner.airtime_bounded" in names
+
+
+def _flow(name="f", **overrides):
+    request = FlowRequest(name, 0, 1, 100.0, kind="file", medium="plc",
+                          size_bytes=1e6)
+    return FlowResult(request, **overrides)
+
+
+def test_flow_invariants_flag_negative_and_time_travel():
+    results = {
+        "neg": _flow("neg", delivered_bytes=-4.0, active_time_s=1.0),
+        "early": _flow("early", delivered_bytes=10.0, completed_at=50.0),
+    }
+    names = {v.invariant for v in check_invariants(
+        "flow_results", results, metrics=MetricsRegistry())}
+    assert names == {"flows.nonnegative", "flows.completion_after_start"}
+
+
+def test_flow_invariants_flag_offered_load_breach():
+    request = FlowRequest("over", 0, 1, 0.0, kind="cbr", medium="wifi",
+                          duration_s=10.0, rate_bps=1e6)
+    results = {"over": FlowResult(request, delivered_bytes=10e6,
+                                  active_time_s=10.0)}
+    names = {v.invariant for v in check_invariants(
+        "flow_results", results, metrics=MetricsRegistry())}
+    assert "flows.offered_load_cap" in names
+
+
+# --- series & tonemap invariants ----------------------------------------------
+
+
+@pytest.mark.parametrize("medium", ["plc", "wifi"])
+def test_series_invariants_hold_on_sampled_link(mini3, medium):
+    link = mini3.link(medium, 0, 1)
+    series = link.sample_series(np.arange(50.0, 52.0, 0.25))
+    assert check_invariants("series", series,
+                            metrics=MetricsRegistry()) == []
+
+
+def test_series_invariants_flag_corrupted_columns(mini3):
+    series = mini3.link("plc", 0, 1).sample_series(
+        np.arange(50.0, 52.0, 0.25))
+    series.data["capacity_bps"][1] = -1.0
+    series.data["loss"][2] = 1.5
+    names = {v.invariant for v in check_invariants(
+        "series", series, metrics=MetricsRegistry())}
+    assert {"series.rates_valid", "series.loss_in_unit_interval"} <= names
+
+
+def test_tonemap_invariant_holds_on_generated_map(mini3):
+    link = mini3.plc_link(0, 1)
+    tonemap = generate_tone_map(link.channel, 50.0, tmi=1)
+    assert check_invariants("tonemap", tonemap,
+                            metrics=MetricsRegistry()) == []
+
+
+class _BadToneMap:
+    pb_err = 1.5
+    fec_rate = 0.0
+    bits = np.array([-1])
+
+    def ble_per_slot_bps(self):
+        return np.array([-5.0, np.nan])
+
+    def avg_ble_bps(self):
+        return 100.0
+
+
+def test_tonemap_invariant_flags_out_of_range_fields():
+    violations = check_invariants("tonemap", _BadToneMap(),
+                                  metrics=MetricsRegistry())
+    text = "\n".join(v.message for v in violations)
+    assert "pb_err" in text and "fec_rate" in text
+
+
+# --- pipeline & artifact invariants -------------------------------------------
+
+
+def test_pipeline_conservation_accepts_pending_packets():
+    ok = {"scheduled": 10, "released": 7, "pending": 3, "duplicates": 0,
+          "released_unique": 7}
+    assert check_invariants("pipeline", ok, metrics=MetricsRegistry()) == []
+
+
+def test_pipeline_conservation_flags_duplicate_releases():
+    bad = {"scheduled": 10, "released": 10, "pending": 0, "duplicates": 0,
+           "released_unique": 9}
+    violations = check_invariants("pipeline", bad,
+                                  metrics=MetricsRegistry())
+    assert "duplicate release" in violations[0].message
+
+
+def _artifact(stats, records=()):
+    return TaskArtifact(task_key="t/abc", spec={"kind": "scenario"},
+                        task_seed=1, records=list(records), stats=stats)
+
+
+def test_artifact_invariants_hold_on_clean_stats():
+    artifact = _artifact(
+        stats={"quanta": 8, "invariant_violations": 0,
+               "max_domain_airtime": 0.9,
+               "domain_airtime": {"plc": 3.5}, "domain_quanta": {"plc": 8}},
+        records=[{"mean_rate_bps": 1e6, "finished": True,
+                  "completed_at": 12.0}])
+    assert check_invariants("artifact_task", artifact,
+                            metrics=MetricsRegistry()) == []
+
+
+def test_artifact_invariants_flag_bad_stats_and_records():
+    artifact = _artifact(
+        stats={"quanta": 8, "invariant_violations": 1,
+               "max_domain_airtime": 1.2,
+               "domain_airtime": {"plc": 9.0}, "domain_quanta": {"plc": 8}},
+        records=[{"mean_rate_bps": -1.0},
+                 {"finished": True, "completed_at": None}])
+    names = {v.invariant for v in check_invariants(
+        "artifact_task", artifact, metrics=MetricsRegistry())}
+    assert names == {"artifact.runner_stats", "artifact.records_sane"}
