@@ -15,6 +15,14 @@ See ``docs/architecture.md`` ("The campaign layer") for the determinism and
 resume contracts.
 """
 
+from repro.campaign.backends import (
+    BACKEND_NAMES,
+    ChunkedBackend,
+    InlineBackend,
+    ProcessBackend,
+    ThreadBackend,
+    create_backend,
+)
 from repro.campaign.artifacts import (
     ArtifactWriter,
     QuarantineEntry,
@@ -47,9 +55,18 @@ from repro.campaign.tasks import (
     TaskOutput,
     execute_spec,
     register_task,
+    temporary_task_kind,
+    unregister_task,
+    validate_task_params,
 )
 
 __all__ = [
+    "BACKEND_NAMES",
+    "ChunkedBackend",
+    "InlineBackend",
+    "ProcessBackend",
+    "ThreadBackend",
+    "create_backend",
     "ArtifactWriter",
     "QuarantineEntry",
     "QuarantineWriter",
@@ -76,4 +93,7 @@ __all__ = [
     "TaskOutput",
     "execute_spec",
     "register_task",
+    "temporary_task_kind",
+    "unregister_task",
+    "validate_task_params",
 ]

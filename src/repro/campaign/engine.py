@@ -1,18 +1,26 @@
-"""The parallel campaign engine.
+"""The parallel campaign engine: the *policy* half of the campaign path.
 
-Fans a list of :class:`ExperimentSpec` out across a process pool and
-collects artifacts, with:
+Fans a list of :class:`ExperimentSpec` out across an
+:class:`~repro.campaign.backends.ExecutionBackend` and collects
+artifacts, with:
 
 * **deterministic seeding** — every task's world is a pure function of its
   spec (`seed` + :meth:`ExperimentSpec.task_seed`), so artifacts are
-  bit-identical at any worker count (``workers=0`` runs inline in this
-  process, any other count uses a pool);
+  bit-identical at any worker count *and any backend* (inline, process,
+  thread, chunked — see :mod:`repro.campaign.backends`);
 * **per-task timeout and retry** — failed or timed-out attempts are
   resubmitted with exponential backoff, up to ``retries`` times;
 * **a circuit breaker** — more than ``max_failures`` permanently failed
   tasks abort the campaign (completed artifacts survive for resume);
 * **resume** — specs whose task keys already sit in the artifact file are
-  skipped, so an interrupted campaign continues where it stopped.
+  skipped, so an interrupted campaign continues where it stopped;
+* **precompile** — distinct testbed worlds the spec list needs are
+  compiled into the :mod:`repro.compile` cache before the backend
+  starts, so (fork-started) pool workers inherit them read-only.
+
+The engine never touches an executor directly: it submits batches,
+waits on futures, and applies policy to the outcomes. Mechanism —
+pools, chunking, IPC — lives entirely in the backend.
 
 **Clock discipline.** Every engine-side epoch — the run's wall-clock
 span, retry-heap deadlines, timeout expiry, wait budgets — is read from
@@ -28,7 +36,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections import deque
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, wait
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -40,6 +48,11 @@ from repro.campaign.artifacts import (
     TaskArtifact,
     quarantine_path_for,
 )
+from repro.campaign.backends import (
+    BACKEND_NAMES,
+    create_backend,
+    run_task_payload as _run_task_payload,  # noqa: F401 — back-compat name
+)
 from repro.campaign.spec import (
     ExperimentSpec,
     check_specs,
@@ -47,14 +60,12 @@ from repro.campaign.spec import (
     survey_specs,
 )
 from repro.campaign.stats import CampaignStats, TaskFailure
-from repro.campaign.tasks import execute_spec
+from repro.campaign.tasks import validate_task_params
 from repro.obs.clock import Clock, SystemClock
-from repro.obs.trace import task_trace, trace_path_for, write_trace
+from repro.obs.metrics import global_registry
+from repro.obs.trace import trace_path_for, write_trace
 
 ProgressFn = Callable[[str, str, CampaignStats], None]
-
-#: Worker-process clock: used only for the in-worker task *duration*.
-_WORKER_CLOCK = SystemClock()
 
 
 class CampaignAborted(RuntimeError):
@@ -88,6 +99,14 @@ class EngineConfig:
     #: result artifact: its bytes are identical with tracing on or off,
     #: and the sidecar itself is canonical at any worker count.
     trace: bool = False
+    #: Execution mechanism (see :mod:`repro.campaign.backends`).
+    #: ``auto`` = ``inline`` when ``workers == 0``, else ``process``.
+    backend: str = "auto"
+    #: Specs per pool round-trip for the ``chunked`` backend.
+    chunk_size: int = 8
+    #: Compile the spec list's distinct testbed worlds into the process-
+    #: wide cache before the backend starts (fork-inherited by workers).
+    precompile: bool = True
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -96,25 +115,12 @@ class EngineConfig:
             raise ValueError("retries must be >= 0")
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise ValueError("timeout must be positive")
-
-
-def _run_task_payload(spec_dict: Dict[str, object], attempt: int,
-                      trace: bool = False) -> Dict[str, object]:
-    """Worker-side entry point (module-level: it must pickle by name).
-
-    ``elapsed_s`` is a worker-local *duration* (safe to aggregate in the
-    parent); ``trace`` installs a tracer for the task's executors to
-    publish sim-time events into, returned out-of-band from the records.
-    """
-    t0 = _WORKER_CLOCK.now()
-    spec = ExperimentSpec.from_dict(spec_dict)
-    with task_trace(enabled=trace) as tracer:
-        out = execute_spec(spec, attempt)
-    return {"task_key": spec.task_key(), "spec": spec.to_dict(),
-            "task_seed": spec.task_seed(), "records": out.records,
-            "stats": out.stats,
-            "trace": tracer.to_dicts() if trace else None,
-            "elapsed_s": _WORKER_CLOCK.now() - t0}
+        if self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown backend {self.backend!r} "
+                f"(known: {', '.join(BACKEND_NAMES)})")
+        if self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
 
 
 class CampaignEngine:
@@ -126,6 +132,11 @@ class CampaignEngine:
                  progress: Optional[ProgressFn] = None,
                  clock: Optional[Clock] = None):
         check_specs(specs)
+        # Fail fast on misspelled parameters for kinds whose schema is
+        # already registered; unknown kinds still fail at execution time
+        # (workers import plugin kinds the engine may not have loaded).
+        for spec in specs:
+            validate_task_params(spec.kind, spec.params_dict)
         self.specs = list(specs)
         self.out_path = Path(out_path)
         self.name = name
@@ -178,10 +189,15 @@ class CampaignEngine:
             if len(self.specs) > len(pending):
                 stats.note_resumed(len(self.specs) - len(pending))
                 self.progress("resumed", f"{stats.resumed} tasks", stats)
-            if cfg.workers == 0:
-                self._run_inline(pending, writer, stats)
-            else:
-                self._run_pool(pending, writer, stats)
+            if cfg.precompile and pending:
+                # Before the backend exists: a fork-started pool spawned
+                # after this point inherits the compiled worlds.
+                from repro.compile import precompile_specs
+                precompile_specs(pending)
+            backend = create_backend(cfg.backend, cfg.workers,
+                                     cfg.chunk_size)
+            global_registry().inc(f"backend.selected.{backend.name}")
+            self._run_backend(pending, writer, stats, backend)
             writer.finalize()
             if self._quarantine is not None:
                 self._quarantine.finalize(writer.completed_keys())
@@ -238,57 +254,49 @@ class CampaignEngine:
         return min(self.config.backoff_cap_s,
                    self.config.backoff_base_s * (2.0 ** attempt))
 
-    # --- inline execution (workers=0) ----------------------------------------
+    # --- the policy loop (any backend) ----------------------------------------
 
-    def _run_inline(self, pending: Sequence[ExperimentSpec],
-                    writer: ArtifactWriter, stats: CampaignStats) -> None:
-        for spec in pending:
-            attempt = 0
-            while True:
-                try:
-                    payload = _run_task_payload(spec.to_dict(), attempt,
-                                                self.config.trace)
-                except Exception as exc:  # noqa: BLE001 — task sandbox
-                    if attempt < self.config.retries:
-                        stats.note_retry()
-                        self.progress("retry", spec.task_key(), stats)
-                        self.clock.sleep(self._backoff_s(attempt))
-                        attempt += 1
-                        continue
-                    self._record_permanent_failure(
-                        spec, attempt + 1, repr(exc), stats)
-                    break
-                self._record_success(payload, writer, stats)
-                break
+    def _run_backend(self, pending: Sequence[ExperimentSpec],
+                     writer: ArtifactWriter, stats: CampaignStats,
+                     backend) -> None:
+        """Drive ``backend`` over ``pending``, applying all policy.
 
-    # --- pooled execution -----------------------------------------------------
-
-    def _run_pool(self, pending: Sequence[ExperimentSpec],
-                  writer: ArtifactWriter, stats: CampaignStats) -> None:
+        One loop serves every backend: the inline backend is a
+        capacity-1 executor whose futures complete at submit time, the
+        pools differ only in capacity and chunk size. Batches are the
+        unit of flight; specs remain the unit of retry, timeout
+        accounting and artifact ordering.
+        """
         cfg = self.config
+        reg = global_registry()
         queue = deque((spec, 0) for spec in pending)
         #: (ready_time, tiebreak, spec, attempt) — retries waiting out
         #: their backoff.
         retry_heap: List[Tuple[float, int, ExperimentSpec, int]] = []
         tiebreak = itertools.count()
-        in_flight: Dict[object, Tuple[ExperimentSpec, int, float]] = {}
+        #: future -> ([(spec, attempt), ...], submitted_at).
+        in_flight: Dict[object, Tuple[List[Tuple[ExperimentSpec, int]],
+                                      float]] = {}
         abandoned = 0
-        pool = ProcessPoolExecutor(max_workers=cfg.workers)
         try:
             while queue or retry_heap or in_flight:
                 now = self.clock.now()
                 while retry_heap and retry_heap[0][0] <= now:
                     _, _, spec, attempt = heapq.heappop(retry_heap)
                     queue.appendleft((spec, attempt))
-                # Keep at most ``workers`` tasks in flight so a
-                # submitted task starts ~immediately and its timeout
+                # Keep at most ``capacity`` batches in flight so a
+                # submitted batch starts ~immediately and its timeout
                 # clock measures compute, not queueing.
-                while queue and len(in_flight) < cfg.workers:
-                    spec, attempt = queue.popleft()
-                    future = pool.submit(_run_task_payload,
-                                         spec.to_dict(), attempt,
-                                         cfg.trace)
-                    in_flight[future] = (spec, attempt, now)
+                while queue and len(in_flight) < backend.capacity:
+                    batch = [queue.popleft()
+                             for _ in range(min(backend.chunk_size,
+                                                len(queue)))]
+                    future = backend.submit(
+                        [(spec.to_dict(), attempt)
+                         for spec, attempt in batch], cfg.trace)
+                    in_flight[future] = (batch, now)
+                    reg.inc("backend.batches")
+                    reg.inc("backend.tasks", len(batch))
                 wait_s = self._wait_budget(retry_heap, in_flight, now)
                 if not in_flight:
                     self.clock.sleep(wait_s)
@@ -296,25 +304,36 @@ class CampaignEngine:
                 done, _ = wait(set(in_flight), timeout=wait_s,
                                return_when=FIRST_COMPLETED)
                 for future in done:
-                    spec, attempt, _ = in_flight.pop(future)
+                    batch, _ = in_flight.pop(future)
                     error = future.exception()
-                    if error is None:
-                        self._record_success(future.result(),
-                                             writer, stats)
-                    else:
-                        self._handle_failure(spec, attempt,
-                                             repr(error), retry_heap,
-                                             tiebreak, stats)
+                    if error is not None:
+                        # Infrastructure failure (broken pool, unpickle-
+                        # able payload): every member fails this attempt.
+                        reg.inc("backend.infra_failures")
+                        for spec, attempt in batch:
+                            self._handle_failure(spec, attempt,
+                                                 repr(error), retry_heap,
+                                                 tiebreak, stats)
+                        continue
+                    for (spec, attempt), result in zip(batch,
+                                                       future.result()):
+                        task_error = result.get("error")
+                        if task_error is not None:
+                            self._handle_failure(spec, attempt,
+                                                 task_error, retry_heap,
+                                                 tiebreak, stats)
+                        else:
+                            self._record_success(result, writer, stats)
                 abandoned += self._expire_timeouts(
                     in_flight, retry_heap, tiebreak, stats)
         except BaseException:
-            pool.shutdown(wait=False, cancel_futures=True)
+            backend.shutdown(wait=False, cancel_futures=True)
             raise
         # Timed-out attempts may still be running in the pool; don't
         # block campaign completion on them (the interpreter reaps the
         # stragglers at exit).
-        pool.shutdown(wait=(abandoned == 0),
-                      cancel_futures=(abandoned > 0))
+        backend.shutdown(wait=(abandoned == 0),
+                         cancel_futures=(abandoned > 0))
 
     def _handle_failure(self, spec: ExperimentSpec, attempt: int,
                         error: str, retry_heap, tiebreak,
@@ -333,21 +352,28 @@ class CampaignEngine:
 
     def _expire_timeouts(self, in_flight, retry_heap, tiebreak,
                          stats: CampaignStats) -> int:
+        """Abandon in-flight batches past the attempt budget.
+
+        The timeout is per *batch* submission (a batch is one attempt's
+        worth of pool occupancy); every member of an expired batch is
+        counted and retried individually.
+        """
         if self.config.timeout_s is None:
             return 0
         now = self.clock.now()
-        expired = [f for f, (_, _, submitted) in in_flight.items()
+        expired = [f for f, (_, submitted) in in_flight.items()
                    if now - submitted > self.config.timeout_s]
         for future in expired:
-            spec, attempt, _ = in_flight.pop(future)
+            batch, _ = in_flight.pop(future)
             future.cancel()  # a no-op if already running — we abandon it
-            stats.note_timeout()
-            self.progress("timeout", spec.task_key(), stats)
-            self._handle_failure(
-                spec, attempt,
-                f"TimeoutError(attempt exceeded "
-                f"{self.config.timeout_s:g}s)", retry_heap, tiebreak,
-                stats)
+            for spec, attempt in batch:
+                stats.note_timeout()
+                self.progress("timeout", spec.task_key(), stats)
+                self._handle_failure(
+                    spec, attempt,
+                    f"TimeoutError(attempt exceeded "
+                    f"{self.config.timeout_s:g}s)", retry_heap, tiebreak,
+                    stats)
         return len(expired)
 
     def _wait_budget(self, retry_heap, in_flight, now: float) -> float:
@@ -358,7 +384,7 @@ class CampaignEngine:
         if self.config.timeout_s is not None and in_flight:
             next_deadline = min(
                 submitted + self.config.timeout_s
-                for _, _, submitted in in_flight.values())
+                for _, submitted in in_flight.values())
             budget = min(budget, max(0.0, next_deadline - now))
         return max(budget, 0.01)
 
@@ -390,8 +416,11 @@ def survey_campaign(preset: str, seeds: Iterable[int],
     """
     seeds = list(seeds)
     if pairs is None:
-        from repro.testbed.builder import build_preset_testbed
-        world = build_preset_testbed(preset, seed=seeds[0] if seeds else 7)
+        # Pair enumeration is read-only: use the compiled template
+        # directly (no fork) — the same world the tasks will check out.
+        from repro.compile import compiled_testbed
+        world = compiled_testbed(preset,
+                                 seed=seeds[0] if seeds else 7).template
         pairs = world.same_board_pairs()
     specs = survey_specs(preset, seeds, pairs, day=day, hour=hour,
                          duration_s=duration_s, interval_s=interval_s)

@@ -12,15 +12,27 @@ workers, otherwise they must live in an importable module.
 
 from __future__ import annotations
 
+import difflib
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
 from repro.campaign.spec import ExperimentSpec
+from repro.compile import checkout_testbed
 from repro.sim.clock import MainsClock
 from repro.sim.random import RandomStreams
-from repro.testbed.builder import Testbed, build_preset_testbed
+from repro.testbed.builder import Testbed
 
 
 @dataclass
@@ -36,14 +48,110 @@ TaskFn = Callable[[ExperimentSpec, int], TaskOutput]
 TASK_REGISTRY: Dict[str, TaskFn] = {}
 
 
-def register_task(kind: str):
-    """Decorator registering an executor for a spec ``kind``."""
+@dataclass(frozen=True)
+class TaskKindInfo:
+    """Declared metadata for one registered kind.
+
+    ``params=None`` means the kind declared no parameter schema —
+    validation passes everything through (ad-hoc test kinds). A declared
+    schema makes unknown keys a hard error: ``durration_s`` fails loudly
+    instead of silently measuring for the 30-second default.
+    """
+
+    params: Optional[FrozenSet[str]] = None
+    required: FrozenSet[str] = frozenset()
+    uses_testbed: bool = False
+
+
+TASK_KIND_INFO: Dict[str, TaskKindInfo] = {}
+
+
+def register_task(kind: str, *, params: Optional[Iterable[str]] = None,
+                  required: Iterable[str] = (),
+                  uses_testbed: bool = False):
+    """Decorator registering an executor for a spec ``kind``.
+
+    ``params`` declares the complete set of recognised parameter keys
+    (``required`` ⊆ ``params`` must be present); omitting it skips
+    validation for the kind. ``uses_testbed`` marks kinds that check out
+    a compiled testbed, so the engine can precompile their worlds before
+    forking a pool.
+    """
+    required = frozenset(required)
+    allowed = None if params is None else frozenset(params) | required
+
     def wrap(fn: TaskFn) -> TaskFn:
         if kind in TASK_REGISTRY:
             raise ValueError(f"duplicate task kind {kind!r}")
         TASK_REGISTRY[kind] = fn
+        TASK_KIND_INFO[kind] = TaskKindInfo(
+            params=allowed, required=required, uses_testbed=uses_testbed)
         return fn
     return wrap
+
+
+def unregister_task(kind: str) -> None:
+    """Remove a registered kind (no-op if absent).
+
+    Exists so tests can register throwaway kinds without leaking them
+    into later tests as duplicate-kind errors; prefer
+    :func:`temporary_task_kind`, which cannot forget the cleanup.
+    """
+    TASK_REGISTRY.pop(kind, None)
+    TASK_KIND_INFO.pop(kind, None)
+
+
+@contextmanager
+def temporary_task_kind(kind: str, fn: TaskFn, **meta):
+    """Register ``kind`` for the duration of a ``with`` block.
+
+    ``meta`` is forwarded to :func:`register_task` (``params``,
+    ``required``, ``uses_testbed``). The kind is removed on exit even if
+    the body raises — the test-suite-safe way to try out an executor.
+    """
+    register_task(kind, **meta)(fn)
+    try:
+        yield fn
+    finally:
+        unregister_task(kind)
+
+
+def task_uses_testbed(kind: str) -> bool:
+    """Whether ``kind`` declared that it checks out a compiled testbed."""
+    if kind not in TASK_KIND_INFO:
+        _load_plugin_kinds()
+    info = TASK_KIND_INFO.get(kind)
+    return bool(info is not None and info.uses_testbed)
+
+
+def validate_task_params(kind: str, params: Dict[str, object]) -> None:
+    """Reject unknown or missing parameter keys for a declared kind.
+
+    Kinds without a declared schema (``params=None`` at registration)
+    pass through untouched; unknown *kinds* are the dispatcher's problem,
+    not this function's.
+    """
+    info = TASK_KIND_INFO.get(kind)
+    if info is None or info.params is None:
+        return
+    unknown = sorted(set(params) - info.params)
+    if unknown:
+        hints = []
+        for key in unknown:
+            close = difflib.get_close_matches(key, sorted(info.params),
+                                              n=1)
+            hints.append(f"{key!r}"
+                         + (f" (did you mean {close[0]!r}?)" if close
+                            else ""))
+        raise ValueError(
+            f"unknown parameter(s) for task kind {kind!r}: "
+            f"{', '.join(hints)}; recognised keys: "
+            f"{', '.join(sorted(info.params))}")
+    missing = sorted(info.required - set(params))
+    if missing:
+        raise ValueError(
+            f"missing required parameter(s) for task kind {kind!r}: "
+            f"{', '.join(missing)}")
 
 
 #: Modules that register extra task kinds on import. Resolved lazily in
@@ -70,6 +178,7 @@ def execute_spec(spec: ExperimentSpec, attempt: int = 0) -> TaskOutput:
         known = ", ".join(sorted(TASK_REGISTRY))
         raise KeyError(
             f"unknown task kind {spec.kind!r} (known: {known})") from None
+    validate_task_params(spec.kind, spec.params_dict)
     return fn(spec, attempt)
 
 
@@ -96,7 +205,9 @@ def run_survey_inline(testbed: Testbed, t_start: float, duration: float,
                          report_interval) for i, j in pairs]
 
 
-@register_task("survey_pair")
+@register_task("survey_pair", uses_testbed=True,
+               params=("day", "hour", "duration_s", "interval_s"),
+               required=("src", "dst"))
 def _survey_pair(spec: ExperimentSpec, attempt: int) -> TaskOutput:
     """§4.1 dual-medium measurement of one directed pair."""
     from repro.testbed.experiments import measure_pair
@@ -104,7 +215,7 @@ def _survey_pair(spec: ExperimentSpec, attempt: int) -> TaskOutput:
     from repro.obs.trace import current_tracer
 
     p = spec.params_dict
-    testbed = build_preset_testbed(spec.preset, seed=spec.seed)
+    testbed = checkout_testbed(spec.preset, seed=spec.seed)
     t0 = _start_time(p)
     duration = float(p.get("duration_s", 30.0))
     row = measure_pair(testbed, int(p["src"]), int(p["dst"]), t0,
@@ -120,7 +231,9 @@ def _survey_pair(spec: ExperimentSpec, attempt: int) -> TaskOutput:
 # --- scenario -----------------------------------------------------------------
 
 
-@register_task("scenario")
+@register_task("scenario", uses_testbed=True,
+               params=("day", "hour", "horizon_s"),
+               required=("scenario",))
 def _scenario(spec: ExperimentSpec, attempt: int) -> TaskOutput:
     """Run a named library scenario through the fluid runner.
 
@@ -133,7 +246,7 @@ def _scenario(spec: ExperimentSpec, attempt: int) -> TaskOutput:
     from repro.obs.trace import current_tracer
 
     p = spec.params_dict
-    testbed = build_preset_testbed(spec.preset, seed=spec.seed)
+    testbed = checkout_testbed(spec.preset, seed=spec.seed)
     scenario = build_scenario(str(p["scenario"]), _start_time(p))
     runner = ScenarioRunner(testbed, check_invariants=True,
                             tracer=current_tracer())
@@ -146,13 +259,15 @@ def _scenario(spec: ExperimentSpec, attempt: int) -> TaskOutput:
 # --- BLE polling --------------------------------------------------------------
 
 
-@register_task("ble_series")
+@register_task("ble_series", uses_testbed=True,
+               params=("day", "hour", "duration_s", "interval_s"),
+               required=("src", "dst"))
 def _ble_series(spec: ExperimentSpec, attempt: int) -> TaskOutput:
     """§6.2 MM polling of one link's average BLE."""
     from repro.testbed.experiments import poll_ble_series
 
     p = spec.params_dict
-    testbed = build_preset_testbed(spec.preset, seed=spec.seed)
+    testbed = checkout_testbed(spec.preset, seed=spec.seed)
     series = poll_ble_series(testbed, int(p["src"]), int(p["dst"]),
                              _start_time(p),
                              duration=float(p.get("duration_s", 2.0)),
@@ -166,7 +281,10 @@ def _ble_series(spec: ExperimentSpec, attempt: int) -> TaskOutput:
 # --- medium-agnostic link sampling --------------------------------------------
 
 
-@register_task("link_series")
+@register_task("link_series", uses_testbed=True,
+               params=("medium", "day", "hour", "duration_s", "interval_s",
+                       "measured"),
+               required=("src", "dst"))
 def _link_series(spec: ExperimentSpec, attempt: int) -> TaskOutput:
     """Sample any registered medium's link through the ``repro.medium``
     contract — the campaign engine's view of ``Link.sample_series``.
@@ -175,7 +293,7 @@ def _link_series(spec: ExperimentSpec, attempt: int) -> TaskOutput:
     default "plc"), ``duration_s``, ``interval_s``, ``measured``.
     """
     p = spec.params_dict
-    testbed = build_preset_testbed(spec.preset, seed=spec.seed)
+    testbed = checkout_testbed(spec.preset, seed=spec.seed)
     medium = str(p.get("medium", "plc"))
     src, dst = int(p["src"]), int(p["dst"])
     link = testbed.link(medium, src, dst)
@@ -198,7 +316,7 @@ def _link_series(spec: ExperimentSpec, attempt: int) -> TaskOutput:
 # --- diagnostics --------------------------------------------------------------
 
 
-@register_task("rng_probe")
+@register_task("rng_probe", params=("draws", "idx", "tags"))
 def _rng_probe(spec: ExperimentSpec, attempt: int) -> TaskOutput:
     """Draw from the task's derived streams — no testbed, near-zero cost.
 
@@ -217,7 +335,7 @@ def _rng_probe(spec: ExperimentSpec, attempt: int) -> TaskOutput:
                    streams.get("noise").normal(size=draws)]}])
 
 
-@register_task("sleepy")
+@register_task("sleepy", params=("sleep_s", "idx"))
 def _sleepy(spec: ExperimentSpec, attempt: int) -> TaskOutput:
     """Block for ``sleep_s`` seconds — exercises the timeout path.
 
@@ -231,7 +349,7 @@ def _sleepy(spec: ExperimentSpec, attempt: int) -> TaskOutput:
     return TaskOutput(records=[{"slept_s": sleep_s}])
 
 
-@register_task("flaky")
+@register_task("flaky", params=("fail_attempts", "idx"))
 def _flaky(spec: ExperimentSpec, attempt: int) -> TaskOutput:
     """Deterministic failure injection for retry/circuit-breaker tests.
 

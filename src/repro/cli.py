@@ -180,7 +180,8 @@ def cmd_campaign(args) -> int:
         scenario_specs,
         survey_specs,
     )
-    from repro.testbed import build_preset_testbed, resolve_testbed_preset
+    from repro.compile import compiled_testbed
+    from repro.testbed import resolve_testbed_preset
 
     try:
         resolve_testbed_preset(args.preset)
@@ -199,7 +200,9 @@ def cmd_campaign(args) -> int:
 
     if args.kind == "survey":
         if pairs is None:
-            world = build_preset_testbed(args.preset, seed=seeds[0])
+            # Read-only pair enumeration on the compiled template — the
+            # same cached world the survey tasks will check out.
+            world = compiled_testbed(args.preset, seed=seeds[0]).template
             pairs = world.same_board_pairs()
             if args.max_pairs:
                 pairs = pairs[: args.max_pairs]
@@ -235,6 +238,7 @@ def cmd_campaign(args) -> int:
         stats = run_campaign(
             specs, args.out, name=f"{args.kind}-{args.preset}",
             workers=args.workers, progress=progress,
+            backend=args.backend, chunk_size=args.chunk_size,
             timeout_s=args.timeout, retries=args.retries,
             max_failures=args.max_failures, resume=not args.no_resume,
             quarantine=args.quarantine, trace=args.trace)
@@ -497,6 +501,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_campaign.add_argument("--workers", type=int, default=1,
                             help="worker processes; 0 = run inline "
                                  "(default 1)")
+    p_campaign.add_argument("--backend",
+                            choices=("auto", "inline", "process",
+                                     "thread", "chunked"),
+                            default="auto",
+                            help="execution backend (default auto: "
+                                 "inline when --workers 0, else "
+                                 "process); artifacts are byte-identical "
+                                 "across backends")
+    p_campaign.add_argument("--chunk-size", type=int, default=8,
+                            help="chunked backend: specs per pool "
+                                 "round-trip (default 8)")
     p_campaign.add_argument("--pairs",
                             help="survey: directed pairs, e.g. 0-1,1-0")
     p_campaign.add_argument("--max-pairs", type=int, default=0,

@@ -56,7 +56,9 @@ def classify_task(fault_seed: int, task_key: str,
     return "clean"
 
 
-@register_task("chaos_probe")
+@register_task("chaos_probe",
+               params=("fault_seed", "poison_rate", "crash_rate",
+                       "hang_rate", "crashes", "hang_s", "draws", "idx"))
 def _chaos_probe(spec: ExperimentSpec, attempt: int) -> TaskOutput:
     """A cheap task whose failure behaviour follows its classification.
 

@@ -18,6 +18,7 @@ same campaign produce byte-identical sidecars too.
 from __future__ import annotations
 
 import json
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -113,7 +114,10 @@ NULL_TRACER = Tracer(enabled=False)
 
 # --- the per-task current tracer ----------------------------------------------
 
-_CURRENT: Tracer = NULL_TRACER
+#: Thread-local slot: the ``thread`` execution backend runs several
+#: tasks concurrently in one process, so a process-global here would let
+#: overlapping :func:`task_trace` installs capture each other's events.
+_CURRENT = threading.local()
 
 
 def current_tracer() -> Tracer:
@@ -124,19 +128,18 @@ def current_tracer() -> Tracer:
     one around :func:`repro.campaign.tasks.execute_spec` via
     :func:`task_trace`; executors just read this.
     """
-    return _CURRENT
+    return getattr(_CURRENT, "tracer", NULL_TRACER)
 
 
 @contextmanager
 def task_trace(enabled: bool) -> Iterator[Tracer]:
     """Install a fresh tracer as :func:`current_tracer` for one task."""
-    global _CURRENT
-    previous = _CURRENT
-    _CURRENT = Tracer(enabled=enabled)
+    previous = getattr(_CURRENT, "tracer", NULL_TRACER)
+    _CURRENT.tracer = Tracer(enabled=enabled)
     try:
-        yield _CURRENT
+        yield _CURRENT.tracer
     finally:
-        _CURRENT = previous
+        _CURRENT.tracer = previous
 
 
 # --- sidecar persistence ------------------------------------------------------

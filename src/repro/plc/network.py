@@ -36,7 +36,35 @@ class PlcNetwork:
         self._overreact = overreact_to_bursts
         self._stations: Dict[str, PlcStation] = {}
         self._links: Dict[Tuple[str, str], PlcLink] = {}
+        #: Channel objects, separately from the link facades: a channel's
+        #: structure is a pure function of ``(seed, name)`` (it only ever
+        #: replays ``streams.fresh*`` draws), so forked views of this
+        #: network share this dict and build each channel once.
+        self._channels: Dict[Tuple[str, str], PlcChannel] = {}
         self._cco_id: Optional[str] = None
+
+    def fork(self, streams: RandomStreams) -> "PlcNetwork":
+        """A fresh-RNG view of this AVLN sharing its compiled state.
+
+        The fork shares the electrical load and the channel cache (both
+        deterministic: their mutable state is memoisation of pure
+        functions of the seed) but rebuilds every stateful wrapper —
+        stations, estimators, link facades — against ``streams``, whose
+        monotonic measurement-noise generators start at their initial
+        state. A fork is therefore bit-identical to a from-scratch build
+        with the same seed, at a fraction of the cost.
+        """
+        clone = PlcNetwork(network_key=self.network_key, load=self.load,
+                           streams=streams,
+                           overreact_to_bursts=self._overreact)
+        clone._channels = self._channels
+        for station in self.stations():
+            clone.add_station(PlcStation(
+                station_id=station.station_id,
+                outlet_id=station.outlet_id, spec=station.spec))
+        if self._cco_id is not None:
+            clone.set_cco(self._cco_id)
+        return clone
 
     # --- membership -------------------------------------------------------------
 
@@ -91,6 +119,28 @@ class PlcNetwork:
 
     # --- links ----------------------------------------------------------------------
 
+    def channel(self, src_id: str, dst_id: str) -> PlcChannel:
+        """The directed channel src → dst (built and cached on first use).
+
+        Cached separately from the link facade because the channel is
+        deterministic (it replays named fresh streams) while the link's
+        measurement noise is monotonic state — :meth:`fork` shares this
+        cache but never the links.
+        """
+        key = (src_id, dst_id)
+        channel = self._channels.get(key)
+        if channel is None:
+            src = self._stations[src_id]
+            dst = self._stations[dst_id]
+            if not src.can_communicate_with(dst):
+                raise ValueError(
+                    f"{src_id} and {dst_id} are not in the same AVLN")
+            channel = PlcChannel(
+                self.load, src.outlet_id, dst.outlet_id, dst.spec,
+                self._streams, name=f"{self.network_key}:{src_id}->{dst_id}")
+            self._channels[key] = channel
+        return channel
+
     def link(self, src_id: str, dst_id: str) -> PlcLink:
         """The directed link src → dst (built and cached on first use)."""
         key = (src_id, dst_id)
@@ -100,9 +150,7 @@ class PlcNetwork:
             if not src.can_communicate_with(dst):
                 raise ValueError(
                     f"{src_id} and {dst_id} are not in the same AVLN")
-            channel = PlcChannel(
-                self.load, src.outlet_id, dst.outlet_id, dst.spec,
-                self._streams, name=f"{self.network_key}:{src_id}->{dst_id}")
+            channel = self.channel(src_id, dst_id)
             self._links[key] = PlcLink(channel, self._streams)
             if src_id not in dst.estimators:
                 dst.estimators[src_id] = ChannelEstimator(

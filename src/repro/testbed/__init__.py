@@ -10,7 +10,7 @@ stations + PLC networks + WiFi links; :mod:`repro.testbed.experiments` holds
 the measurement runners the benchmarks share.
 """
 
-from repro.testbed.builder import Testbed, build_preset_testbed, build_testbed
+from repro.testbed.builder import Testbed, build_preset_testbed, build_testbed  # noqa: TID251 — package re-export
 from repro.testbed.presets import (
     HPAV500_PRESET,
     HPAV_PRESET,

@@ -15,6 +15,7 @@ from repro.plc.station import PlcStation
 from repro.powergrid.activity import OfficeActivityModel
 from repro.powergrid.load import ElectricalLoad
 from repro.sim.random import RandomStreams
+from repro.wifi import WifiChannel  # package re-export, not channel internals
 from repro.testbed.floorplan import (
     CCO_BY_BOARD,
     StationSite,
@@ -41,6 +42,12 @@ class Testbed:
     preset: VendorPreset
     _wifi_links: Dict[Tuple[int, int], WifiLink] = field(default_factory=dict)
     _mm_clients: Dict[str, MmClient] = field(default_factory=dict)
+    #: WiFi channel objects, separately from the link facades: a channel
+    #: only replays named fresh streams (pure functions of the seed), so
+    #: :meth:`fork` shares this dict and each channel is built once per
+    #: compiled testbed, never per task.
+    _wifi_channels: Dict[Tuple[int, int], WifiChannel] = field(
+        default_factory=dict)
 
     # --- station / pair enumeration ------------------------------------------
 
@@ -76,10 +83,38 @@ class Testbed:
         """Directed WiFi link i→j (WiFi ignores the electrical wiring)."""
         key = (i, j)
         if key not in self._wifi_links:
-            self._wifi_links[key] = WifiLink.between(
-                self.sites[i].position, self.sites[j].position,
-                self.streams, name=f"{i}->{j}")
+            channel = self._wifi_channels.get(key)
+            if channel is None:
+                link = WifiLink.between(self.sites[i].position,
+                                        self.sites[j].position,
+                                        self.streams, name=f"{i}->{j}")
+                self._wifi_channels[key] = link.channel
+            else:
+                link = WifiLink(channel, self.streams)
+            self._wifi_links[key] = link
         return self._wifi_links[key]
+
+    def fork(self) -> "Testbed":
+        """A fresh-RNG view of this testbed sharing its compiled state.
+
+        Everything deterministic is shared: the electrical load (with its
+        distance/geometry/noise memoisation), the station sites, and both
+        media's channel caches — all of it state that only ever replays
+        ``streams.fresh*`` draws, i.e. pure functions of the seed. The
+        monotonic state is rebuilt fresh: a new :class:`RandomStreams` at
+        the same seed, and new link facades / channel estimators whose
+        measurement-noise generators start at their initial state. The
+        fork is bit-identical to ``build_testbed`` with the same
+        arguments (see ``tests/test_compile.py``) at a fraction of the
+        cost — the seam :mod:`repro.compile` builds its per-task
+        checkouts on.
+        """
+        streams = RandomStreams(seed=self.streams.seed)
+        networks = {board: network.fork(streams)
+                    for board, network in self.networks.items()}
+        return Testbed(streams=streams, load=self.load, sites=self.sites,
+                       networks=networks, preset=self.preset,
+                       _wifi_channels=self._wifi_channels)
 
     def link(self, medium: str, i: int, j: int):
         """Medium-agnostic link lookup: dispatches through the medium

@@ -31,10 +31,10 @@ import numpy as np
 
 from repro.campaign.spec import ExperimentSpec
 from repro.campaign.tasks import TaskOutput, register_task
+from repro.compile import checkout_testbed
 from repro.obs.clock import Clock, SystemClock
 from repro.obs.metrics import MetricsRegistry, global_registry
 from repro.sim.random import RandomStreams, derive_seed
-from repro.testbed.builder import build_preset_testbed
 from repro.verify import invariants, metamorphic, oracles
 from repro.verify.report import CheckResult, from_messages
 
@@ -118,7 +118,7 @@ def _runner_factory_from(params: Dict[str, object],
 
 def _case_scenario(spec: ExperimentSpec,
                    p: Dict[str, object]) -> List[CheckResult]:
-    testbed = build_preset_testbed(spec.preset, seed=spec.seed)
+    testbed = checkout_testbed(spec.preset, seed=spec.seed)
     rng = RandomStreams(seed=spec.task_seed()).get("case")
     t0 = float(p["t0"])
     scenario = _fuzz_scenario(testbed, rng, t0, int(p["n_flows"]),
@@ -149,10 +149,11 @@ def _case_scenario(spec: ExperimentSpec,
 
 def _case_series(spec: ExperimentSpec,
                  p: Dict[str, object]) -> List[CheckResult]:
-    # Two identically seeded builds: measured sampling consumes the
-    # noise stream, so the scalar reference needs its own world.
-    testbed_a = build_preset_testbed(spec.preset, seed=spec.seed)
-    testbed_b = build_preset_testbed(spec.preset, seed=spec.seed)
+    # Two identically seeded checkouts: measured sampling consumes the
+    # noise stream, so the scalar reference needs its own view (both are
+    # forks of one compiled template — built once, not twice).
+    testbed_a = checkout_testbed(spec.preset, seed=spec.seed)
+    testbed_b = checkout_testbed(spec.preset, seed=spec.seed)
     medium = str(p["medium"])
     src, dst = int(p["src"]), int(p["dst"])
     link_a = testbed_a.link(medium, src, dst)
@@ -187,7 +188,7 @@ def _case_faults(spec: ExperimentSpec,
     from repro.faults.plan import FaultPlan, FaultPlanConfig
     from repro.netsim.scenario import FlowRequest, Scenario
 
-    testbed = build_preset_testbed(spec.preset, seed=spec.seed)
+    testbed = checkout_testbed(spec.preset, seed=spec.seed)
     rng = RandomStreams(seed=spec.task_seed()).get("case")
     t0 = float(p["t0"])
     src, dst = _stations_for(testbed, "plc", rng)
@@ -229,7 +230,7 @@ def _case_relabel(spec: ExperimentSpec,
              for k in range(int(p["n_seeds"]))]
 
     def evaluate(seed: int) -> float:
-        testbed = build_preset_testbed(spec.preset, seed=seed)
+        testbed = checkout_testbed(spec.preset, seed=seed)
         rng = RandomStreams(seed=derive_seed(seed, "relabel.pair")) \
             .get("pair")
         src, dst = _stations_for(testbed, medium, rng)
@@ -260,7 +261,13 @@ def invariant_results(kind: str, subject, subject_name: str,
             for name, messages in sorted(by_name.items())]
 
 
-@register_task("verify_case")
+@register_task("verify_case", uses_testbed=True,
+               params=("index", "t0", "n_flows", "huge_file", "delta_s",
+                       "medium", "src", "dst", "n_points", "interval_s",
+                       "measured", "horizon_s", "outages", "degradations",
+                       "snr_collapses", "n_seeds", "legacy_default_horizon",
+                       "quantum_s", "cache_window_s"),
+               required=("case",))
 def _verify_case(spec: ExperimentSpec, attempt: int) -> TaskOutput:
     """Campaign executor for one fuzz case (pure function of the spec)."""
     p = spec.params_dict
@@ -321,8 +328,8 @@ class ScenarioFuzzer:
         elif case == "series":
             medium = ("plc", "wifi")[int(rng.integers(2))]
             # Pair indices are resolved against the preset's pair list
-            # inside a throwaway build so the spec stays self-contained.
-            probe = build_preset_testbed(preset, seed=case_seed)
+            # inside a throwaway checkout so the spec stays self-contained.
+            probe = checkout_testbed(preset, seed=case_seed)
             src, dst = _stations_for(probe, medium, rng)
             params.update(
                 medium=medium, src=src, dst=dst,

@@ -176,6 +176,43 @@ def diff_inline_vs_pool(specs: Sequence, out_dir: Path,
                                  f"pool({workers})")
 
 
+def diff_backend_equivalence(specs: Sequence, out_dir: Path,
+                             backends: Sequence[Tuple[str, int]] = (
+                                 ("inline", 0), ("process", 4),
+                                 ("thread", 4), ("chunked", 4)),
+                             chunk_size: int = 3, name: str = "verify",
+                             trace: bool = True) -> List[str]:
+    """The execute plane's core promise: artifacts (and trace sidecars)
+    are byte-identical whichever :mod:`repro.campaign.backends` mechanism
+    ran the campaign, at any worker count.
+
+    ``backends`` is a list of ``(backend_name, workers)`` pairs; the
+    first entry is the reference the rest are compared against.
+    """
+    from repro.campaign.engine import run_campaign
+    from repro.obs.trace import trace_path_for
+
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for backend, workers in backends:
+        path = out_dir / f"{backend}-w{workers}.jsonl"
+        run_campaign(specs, path, name=name, workers=workers,
+                     backend=backend, chunk_size=chunk_size,
+                     resume=False, trace=trace)
+        paths.append((f"{backend}(w{workers})", path))
+    diffs: List[str] = []
+    ref_label, ref_path = paths[0]
+    for label, path in paths[1:]:
+        diffs.extend(_artifact_bytes_delta(ref_path, path, ref_label,
+                                           label))
+        if trace:
+            diffs.extend(_artifact_bytes_delta(
+                trace_path_for(ref_path), trace_path_for(path),
+                f"{ref_label} trace", f"{label} trace"))
+    return diffs
+
+
 def diff_traced_vs_untraced(specs: Sequence, out_dir: Path,
                             name: str = "verify") -> List[str]:
     """Tracing must never change a campaign artifact's bytes."""

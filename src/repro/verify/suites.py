@@ -6,7 +6,8 @@
 * ``full``  — the complete deterministic battery on the paper's full
   testbed (default ``office``): everything in smoke on office links,
   plus the campaign-engine equivalences (inline vs process pool, traced
-  vs untraced) and a library-scenario invariant run.
+  vs untraced, and byte-identity across all four execution backends)
+  and a library-scenario invariant run.
 * ``fuzz``  — the :class:`~repro.verify.fuzzer.ScenarioFuzzer`, bounded
   by a case budget and a wall-clock budget.
 
@@ -24,10 +25,11 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.campaign.spec import ExperimentSpec
+from repro.compile import checkout_testbed
 from repro.netsim.scenario import FlowRequest, Scenario
 from repro.obs.clock import Clock
 from repro.obs.metrics import MetricsRegistry
-from repro.testbed.builder import Testbed, build_preset_testbed
+from repro.testbed.builder import Testbed
 from repro.verify import metamorphic, oracles
 from repro.verify.fuzzer import ScenarioFuzzer, invariant_results
 from repro.verify.report import VerifyReport, from_messages
@@ -83,8 +85,11 @@ def _deterministic_checks(report: VerifyReport, preset: str, seed: int,
     from repro.plc.tonemap import generate_tone_map
 
     t0 = 64.0
-    testbed = build_preset_testbed(preset, seed=seed)
-    lockstep = build_preset_testbed(preset, seed=seed)
+    # Two identically seeded checkouts of one compiled world: measured
+    # sampling consumes noise streams, so the lockstep reference needs
+    # its own fresh-RNG view.
+    testbed = checkout_testbed(preset, seed=seed)
+    lockstep = checkout_testbed(preset, seed=seed)
     (pi, pj), (wi, wj) = _pairs(testbed)
 
     # Differential: scalar vs vectorized sampling, both media, measured.
@@ -193,7 +198,7 @@ def _deterministic_checks(report: VerifyReport, preset: str, seed: int,
 
     # Seed relabeling of an aggregate link statistic.
     def evaluate(s: int) -> float:
-        tb = build_preset_testbed(preset, seed=s)
+        tb = checkout_testbed(preset, seed=s)
         (i, j), _ = _pairs(tb)
         return tb.wifi_link(i, j).capacity_bps(t0)
 
@@ -205,13 +210,16 @@ def _deterministic_checks(report: VerifyReport, preset: str, seed: int,
 
 def _campaign_checks(report: VerifyReport, preset: str,
                      seed: int) -> None:
-    """Campaign-engine equivalences (full suite only: spawns a pool)."""
+    """Campaign-engine equivalences (full suite only: spawns pools)."""
     probes = [ExperimentSpec.make("rng_probe", preset, seed + k, draws=6)
               for k in range(4)]
     scenario_spec = ExperimentSpec.make("scenario", "mini3", seed,
                                         scenario="mini3-mixed",
                                         horizon_s=60.0)
-    specs = probes + [scenario_spec]
+    survey_spec = ExperimentSpec.make("survey_pair", "mini3", seed,
+                                      src=0, dst=1, duration_s=2.0,
+                                      interval_s=0.5)
+    specs = probes + [scenario_spec, survey_spec]
     with tempfile.TemporaryDirectory(prefix="repro-verify-") as tmp:
         report.add(from_messages(
             "oracle.inline_vs_pool", f"campaign:{preset}",
@@ -220,6 +228,10 @@ def _campaign_checks(report: VerifyReport, preset: str,
             "oracle.traced_vs_untraced", f"campaign:{preset}",
             oracles.diff_traced_vs_untraced(specs,
                                             Path(tmp) / "trace")))
+        report.add(from_messages(
+            "oracle.backend_equivalence", f"campaign:{preset}",
+            oracles.diff_backend_equivalence(specs,
+                                             Path(tmp) / "backends")))
 
 
 def _library_scenario_checks(report: VerifyReport, preset: str,
@@ -231,7 +243,7 @@ def _library_scenario_checks(report: VerifyReport, preset: str,
 
     name = "office-afternoon" if preset.startswith("office") \
         else "mini3-mixed"
-    testbed = build_preset_testbed(preset, seed=seed)
+    testbed = checkout_testbed(preset, seed=seed)
     scenario = build_scenario(name, 14 * 3600.0)
     runner = ScenarioRunner(testbed, cache_window_s=30.0)
     flow_results = runner.run(scenario, horizon_s=180.0)

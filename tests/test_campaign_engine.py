@@ -180,8 +180,8 @@ def test_expire_timeouts_abandons_only_overdue_attempts(tmp_path):
         clock=clock)
     now = clock.now()
     stale, fresh = Future(), Future()
-    in_flight = {stale: (spec_old, 0, now - 5.0),
-                 fresh: (spec_new, 0, now - 0.01)}
+    in_flight = {stale: ([(spec_old, 0)], now - 5.0),
+                 fresh: ([(spec_new, 0)], now - 0.01)}
     heap, stats = [], CampaignStats()
     abandoned = engine._expire_timeouts(in_flight, heap,
                                         itertools.count(), stats)

@@ -22,7 +22,11 @@ from repro.campaign import (
     run_campaign,
     spec_grid,
 )
-from repro.campaign.tasks import TASK_REGISTRY, TaskOutput, register_task
+from repro.campaign.tasks import (
+    TASK_REGISTRY,
+    TaskOutput,
+    temporary_task_kind,
+)
 from repro.obs import MetricsRegistry, current_tracer, trace_path_for
 from repro.sim.random import RandomStreams, derive_seed
 
@@ -233,23 +237,23 @@ def test_registry_merge_roundtrips_through_serialised_form(ops):
 # --- tracing never moves a result byte ----------------------------------------
 
 
-if "traced_probe" not in TASK_REGISTRY:
-    @register_task("traced_probe")
-    def _traced_probe(spec: ExperimentSpec, attempt: int) -> TaskOutput:
-        """``rng_probe`` plus sim-time trace events — cheap enough for
-        hypothesis to run whole traced campaigns per example."""
-        p = spec.params_dict
-        streams = RandomStreams(seed=spec.task_seed())
-        draws = int(p.get("draws", 4))
-        values = [float(x) for x in
-                  streams.get("probe").uniform(size=draws)]
-        tracer = current_tracer()
-        if tracer.enabled:
-            for k, value in enumerate(values):
-                tracer.event("probe.draw", float(k), value=value)
-            tracer.span("probe.run", 0.0, float(draws), draws=draws)
-        return TaskOutput(records=[{"task_seed": spec.task_seed(),
-                                    "uniform": values}])
+def _traced_probe(spec: ExperimentSpec, attempt: int) -> TaskOutput:
+    """``rng_probe`` plus sim-time trace events — cheap enough for
+    hypothesis to run whole traced campaigns per example.  Registered
+    per-test via :func:`temporary_task_kind` so the kind never leaks
+    into other test modules."""
+    p = spec.params_dict
+    streams = RandomStreams(seed=spec.task_seed())
+    draws = int(p.get("draws", 4))
+    values = [float(x) for x in
+              streams.get("probe").uniform(size=draws)]
+    tracer = current_tracer()
+    if tracer.enabled:
+        for k, value in enumerate(values):
+            tracer.event("probe.draw", float(k), value=value)
+        tracer.span("probe.run", 0.0, float(draws), draws=draws)
+    return TaskOutput(records=[{"task_seed": spec.task_seed(),
+                                "uniform": values}])
 
 
 traced_spec_lists = st.lists(
@@ -269,19 +273,61 @@ def test_tracing_never_changes_result_bytes(specs, tmp_path_factory):
     and the trace sidecar itself is byte-identical across worker
     counts (its events carry sim-time only)."""
     base = tmp_path_factory.mktemp("traced")
-    plain = base / "plain.jsonl"
-    run_campaign(specs, plain, workers=1)
-    reference = plain.read_bytes()
+    with temporary_task_kind("traced_probe", _traced_probe,
+                             params=("draws", "idx")):
+        plain = base / "plain.jsonl"
+        run_campaign(specs, plain, workers=1)
+        reference = plain.read_bytes()
 
-    sidecars = []
-    for workers in (1, 4):
-        path = base / f"traced-w{workers}.jsonl"
-        stats = run_campaign(specs, path, workers=workers, trace=True)
-        assert stats.completed == len(specs)
-        assert path.read_bytes() == reference
-        sidecar = trace_path_for(path)
-        assert sidecar.exists()
-        sidecars.append(sidecar.read_bytes())
+        sidecars = []
+        for workers in (1, 4):
+            path = base / f"traced-w{workers}.jsonl"
+            stats = run_campaign(specs, path, workers=workers,
+                                 trace=True)
+            assert stats.completed == len(specs)
+            assert path.read_bytes() == reference
+            sidecar = trace_path_for(path)
+            assert sidecar.exists()
+            sidecars.append(sidecar.read_bytes())
+    assert "traced_probe" not in TASK_REGISTRY  # context cleaned up
     assert sidecars[0] == sidecars[1]
     assert b"probe.draw" in sidecars[0]  # events actually flowed
     assert b'"wall"' not in sidecars[0]  # sim-time only, no wall clock
+
+
+# --- execute-plane backends never move a result byte --------------------------
+
+
+mixed_spec_lists = st.lists(
+    st.tuples(seeds, st.integers(0, 99), st.integers(1, 6)),
+    min_size=1, max_size=4, unique=True,
+).flatmap(lambda items: st.integers(0, 2**31 - 1).map(lambda s: (
+    [ExperimentSpec.make("rng_probe", "mini3", seed, idx=idx, draws=draws)
+     for seed, idx, draws in items]
+    + [ExperimentSpec.make("survey_pair", "mini3", s, src=0, dst=1,
+                           duration_s=1.0, interval_s=0.5)])))
+
+
+@settings(max_examples=3)
+@given(specs=mixed_spec_lists)
+def test_artifacts_identical_across_all_backends(specs, tmp_path_factory):
+    """PR 7's execute-plane contract: whichever
+    :mod:`repro.campaign.backends` mechanism runs a mixed-kind campaign
+    — inline, process pool, thread pool, or chunked batching — and at
+    any worker count, the finalized artifact bytes are identical."""
+    base = tmp_path_factory.mktemp("backends")
+    reference = None
+    for n, (backend, workers) in enumerate(
+            [("inline", 0),
+             ("process", 1), ("process", 4),
+             ("thread", 1), ("thread", 4),
+             ("chunked", 1), ("chunked", 4)]):
+        path = base / f"{n}-{backend}-w{workers}.jsonl"
+        stats = run_campaign(specs, path, workers=workers,
+                             backend=backend, chunk_size=2)
+        assert stats.completed == len(specs)
+        blob = path.read_bytes()
+        if reference is None:
+            reference = blob
+        else:
+            assert blob == reference, f"{backend} w{workers}"

@@ -1,0 +1,169 @@
+"""Task-registry lifecycle and per-kind parameter validation.
+
+PR 7 made the registry a first-class, reversible surface
+(:func:`unregister_task`, :func:`temporary_task_kind`) and gave every
+built-in kind a declared parameter schema so a misspelled key fails the
+campaign up front instead of silently running a default.  The static
+scan at the bottom enforces the compile-plane discipline the ruff
+TID251 ban states for CI: shipping task executors never build testbeds
+from scratch.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import ExperimentSpec, run_campaign
+from repro.campaign.engine import CampaignEngine, EngineConfig
+from repro.campaign.tasks import (
+    TASK_KIND_INFO,
+    TASK_REGISTRY,
+    TaskOutput,
+    execute_spec,
+    register_task,
+    temporary_task_kind,
+    unregister_task,
+    validate_task_params,
+)
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def _noop_task(spec: ExperimentSpec, attempt: int) -> TaskOutput:
+    return TaskOutput(records=[{"ok": True}])
+
+
+# --- registry lifecycle -------------------------------------------------------
+
+
+def test_unregister_task_removes_kind_and_schema():
+    register_task("throwaway_kind", params=("x",))(_noop_task)
+    assert "throwaway_kind" in TASK_REGISTRY
+    assert "throwaway_kind" in TASK_KIND_INFO
+    unregister_task("throwaway_kind")
+    assert "throwaway_kind" not in TASK_REGISTRY
+    assert "throwaway_kind" not in TASK_KIND_INFO
+
+
+def test_unregister_task_is_noop_for_unknown_kind():
+    unregister_task("never_registered_kind")  # must not raise
+
+
+def test_duplicate_registration_still_rejected():
+    with temporary_task_kind("dup_kind", _noop_task):
+        with pytest.raises(ValueError, match="dup_kind"):
+            register_task("dup_kind")(_noop_task)
+
+
+def test_temporary_task_kind_registers_and_cleans_up():
+    assert "scoped_kind" not in TASK_REGISTRY
+    with temporary_task_kind("scoped_kind", _noop_task,
+                             params=("idx",)) as fn:
+        assert fn is _noop_task
+        assert TASK_REGISTRY["scoped_kind"] is _noop_task
+        spec = ExperimentSpec.make("scoped_kind", "mini3", 7, idx=1)
+        out = execute_spec(spec)
+        assert out.records == [{"ok": True}]
+    assert "scoped_kind" not in TASK_REGISTRY
+    assert "scoped_kind" not in TASK_KIND_INFO
+
+
+def test_temporary_task_kind_cleans_up_on_exception():
+    with pytest.raises(RuntimeError):
+        with temporary_task_kind("scoped_kind", _noop_task):
+            raise RuntimeError("boom")
+    assert "scoped_kind" not in TASK_REGISTRY
+
+
+def test_temporary_task_kind_runs_through_engine(tmp_path):
+    with temporary_task_kind("scoped_kind", _noop_task,
+                             params=("idx",)):
+        specs = [ExperimentSpec.make("scoped_kind", "mini3", s, idx=s)
+                 for s in (1, 2)]
+        stats = run_campaign(specs, tmp_path / "scoped.jsonl", workers=0)
+        assert stats.completed == 2
+    assert "scoped_kind" not in TASK_REGISTRY
+
+
+# --- parameter validation -----------------------------------------------------
+
+
+def test_misspelled_durration_s_rejected_with_suggestion():
+    """Regression: a survey sweep once misspelled ``duration_s`` and
+    silently ran the 30 s default per task.  The schema now rejects it
+    up front, naming the intended key."""
+    with pytest.raises(ValueError) as err:
+        validate_task_params(
+            "survey_pair",
+            {"src": 0, "dst": 1, "durration_s": 5.0})
+    message = str(err.value)
+    assert "durration_s" in message
+    assert "did you mean 'duration_s'?" in message
+
+
+def test_unknown_key_without_close_match_lists_recognised_keys():
+    with pytest.raises(ValueError, match="recognised keys"):
+        validate_task_params("rng_probe", {"zzz": 1})
+
+
+def test_missing_required_param_rejected():
+    with pytest.raises(ValueError, match="missing required"):
+        validate_task_params("survey_pair", {"src": 0})
+
+
+def test_undeclared_schema_skips_validation():
+    with temporary_task_kind("adhoc_kind", _noop_task):  # params=None
+        validate_task_params("adhoc_kind", {"anything": "goes"})
+    validate_task_params("totally_unknown_kind", {"x": 1})
+
+
+def test_execute_spec_validates_params():
+    spec = ExperimentSpec.make("rng_probe", "mini3", 7, drawz=3)
+    with pytest.raises(ValueError, match="did you mean 'draws'"):
+        execute_spec(spec)
+
+
+def test_engine_rejects_bad_params_before_running(tmp_path):
+    spec = ExperimentSpec.make("survey_pair", "mini3", 7, src=0, dst=1,
+                               durration_s=5.0)
+    with pytest.raises(ValueError, match="durration_s"):
+        CampaignEngine([spec], tmp_path / "bad.jsonl",
+                       config=EngineConfig(workers=0))
+
+
+def test_engine_leaves_unknown_kinds_to_runtime(tmp_path):
+    """Unknown *kinds* are a runtime failure (quarantined), not an
+    init-time validation error — chaos tests rely on that."""
+    spec = ExperimentSpec.make("no_such_kind", "mini3", 7)
+    stats = run_campaign([spec], tmp_path / "unknown.jsonl", workers=0,
+                         retries=0, max_failures=1)
+    assert stats.failed == 1
+
+
+# --- compile-plane discipline (mirror of the ruff TID251 ban) -----------------
+
+
+def test_no_scratch_testbed_builds_outside_the_compile_plane():
+    """Shipping code checks worlds out of the compile cache; the only
+    legitimate ``build_preset_testbed`` call sites are the compile plane
+    itself, its definition, and the package re-export."""
+    allowed = {
+        SRC / "compile.py",            # the compile plane's build entry
+        SRC / "testbed" / "builder.py",  # the definition
+        SRC / "testbed" / "__init__.py",  # package re-export
+    }
+    pattern = re.compile(r"\bbuild_preset_testbed\b")
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path in allowed:
+            continue
+        for lineno, line in enumerate(
+                path.read_text().splitlines(), start=1):
+            if pattern.search(line) and not line.lstrip().startswith("#"):
+                offenders.append(f"{path.relative_to(SRC)}:{lineno}")
+    assert not offenders, (
+        "direct build_preset_testbed use outside the compile plane "
+        f"(use repro.compile.checkout_testbed): {offenders}")

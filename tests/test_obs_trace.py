@@ -86,6 +86,33 @@ def test_task_trace_disabled_still_scopes():
     assert tracer.events == []
 
 
+def test_task_trace_is_thread_local():
+    """Regression: the ``thread`` execution backend runs tasks
+    concurrently in one process; overlapping installs on a process-
+    global slot captured each other's events (or none)."""
+    import threading
+
+    captured = {}
+    barrier = threading.Barrier(4)
+
+    def worker(name):
+        with task_trace(enabled=True) as tracer:
+            barrier.wait()  # every thread holds its tracer at once
+            assert current_tracer() is tracer
+            tracer.event(name, 1.0)
+            barrier.wait()  # nobody restores until all have emitted
+        captured[name] = [e.name for e in tracer.events]
+        assert current_tracer() is NULL_TRACER
+
+    threads = [threading.Thread(target=worker, args=(f"task-{k}",))
+               for k in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert captured == {f"task-{k}": [f"task-{k}"] for k in range(4)}
+
+
 # --- the sidecar --------------------------------------------------------------
 
 

@@ -12,6 +12,7 @@ from repro.netsim.runner import ScenarioRunner
 from repro.netsim.scenario import FlowRequest, Scenario
 from repro.testbed import build_preset_testbed
 from repro.verify.oracles import (
+    diff_backend_equivalence,
     diff_default_horizon,
     diff_fault_replay,
     diff_inline_vs_pool,
@@ -115,6 +116,21 @@ def test_inline_vs_pool_creates_missing_out_dir(tmp_path):
     nested = tmp_path / "a" / "b" / "c"
     assert diff_inline_vs_pool(_probe_specs(1), nested, workers=2) == []
     assert (nested / "inline.jsonl").exists()
+
+
+def test_backend_equivalence_oracle_passes_on_mixed_kinds(tmp_path):
+    """Every execution backend must produce the same artifact and trace
+    bytes on a campaign mixing testbed-bound and testbed-free kinds."""
+    specs = _probe_specs(2) + [
+        ExperimentSpec.make("survey_pair", "mini3", seed=SEED,
+                            src=0, dst=1, duration_s=1.0,
+                            interval_s=0.5)]
+    assert diff_backend_equivalence(specs, tmp_path / "backends",
+                                    chunk_size=2) == []
+    for backend, workers in [("inline", 0), ("process", 4),
+                             ("thread", 4), ("chunked", 4)]:
+        assert (tmp_path / "backends"
+                / f"{backend}-w{workers}.jsonl").exists()
 
 
 # --- seed relabeling ----------------------------------------------------------
