@@ -1,12 +1,19 @@
-"""Benchmark fixtures.
+"""Benchmark fixtures and the ``bench`` marker.
 
-Every benchmark regenerates one table or figure of the paper. Experiments
-are expensive simulations, so each runs exactly once via
-``benchmark.pedantic(..., rounds=1, iterations=1)``; the pytest-benchmark
-timing then records the cost of regenerating that figure.
+Two benchmark populations live here:
 
-Run with ``pytest benchmarks/ --benchmark-only -s`` to see the printed
-tables/series next to the timings.
+* **figure/table regenerations** — each reruns one paper experiment
+  exactly once via ``benchmark.pedantic(..., rounds=1, iterations=1)``
+  (pytest-benchmark); the timing records the cost of regenerating that
+  figure. Run with ``pytest benchmarks/ --benchmark-only -s``.
+* **harness benchmarks** — thin pytest surfaces over
+  :mod:`repro.bench` (the ``medium.*``/``runner.*``/``obs.*``/
+  ``campaign.*``/``meta.*`` specs), multi-repeat and regression-gated
+  against ``benchmarks/baselines/`` in CI.
+
+Everything collected under ``benchmarks/`` carries the ``bench`` marker
+(registered in ``pyproject.toml`` and here for standalone rootdirs), so
+``pytest -m "not bench"`` deselects the lot from any mixed run.
 """
 
 from __future__ import annotations
@@ -18,9 +25,19 @@ from repro.testbed.experiments import night_start, working_hours_start
 
 
 def pytest_configure(config):
-    # Benchmarks live outside the default testpaths; make sure running
-    # `pytest benchmarks/` without --benchmark-only still works.
-    pass
+    # Benchmarks live outside the default testpaths; register the
+    # marker here too so `pytest benchmarks/` from a bare rootdir never
+    # warns about (or strict-fails on) an unknown marker.
+    config.addinivalue_line(
+        "markers",
+        "bench: performance benchmarks under benchmarks/ "
+        "(figure regenerations and repro.bench harness runs); "
+        "deselect with -m 'not bench'")
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        item.add_marker(pytest.mark.bench)
 
 
 @pytest.fixture(scope="session")

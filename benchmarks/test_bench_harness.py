@@ -1,0 +1,24 @@
+"""The bench plane's own meta-benchmark.
+
+Runs ``meta.noop`` — a near-empty body — through the shared harness, so
+the measurement loop's per-repeat overhead (clock reads, profiler
+stages, the sample histogram) is itself on the trajectory. If a future
+harness change fattens the loop, this is the benchmark that regresses.
+"""
+
+from __future__ import annotations
+
+from repro.bench import check_smoke, run_benchmarks
+
+
+def test_harness_overhead_is_measurable():
+    doc = run_benchmarks(["meta.noop"])
+    result = doc.results["meta.noop"]
+    assert result.repeats == 5
+    assert result.warmup_discarded == 1
+    assert all(s >= 0.0 for s in result.samples_s)
+    assert result.metrics["spin"] == 1000
+    # The harness must stay featherweight: an empty-ish body on any
+    # modern machine is far under a millisecond per repeat.
+    assert result.min_s < 1e-3
+    assert check_smoke(doc) == []

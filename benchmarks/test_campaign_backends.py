@@ -1,132 +1,42 @@
-"""Compile/execute-plane benchmark for the campaign layer.
+"""Compile/execute-plane benchmarks for the campaign layer.
 
-Runs the acceptance workload of the compile-plane PR — a 50-task
-single-world ``survey_pair`` campaign — cold (compile cache disabled,
-no precompilation: the pre-PR behaviour, every task builds its testbed
-from scratch) and warm (content-addressed cache + precompiled template,
-each task forking a private view), then times the warm campaign under
-every execution backend.  Asserts the headline ≥3x cold→warm speedup
-and that the cache compiled exactly one world for the 50 tasks.
-
-Set ``BENCH_CAMPAIGN_JSON=<path>`` to also write the timings as JSON;
-CI uploads that file as the ``BENCH_campaign`` artifact.
+Pytest surface over the shared bench plane: the 50-task cold/warm
+compile-cache pair and the pooled-backend matrix live in
+:mod:`repro.bench.domains.campaign_backends`. This module runs the
+cold/warm pair through the harness and asserts the exact cache
+accounting plus the generous smoke floor; byte-identity across
+backends is the verify suite's ``diff_backend_equivalence`` oracle, and
+wall-time regressions are gated baseline-relative in CI.
 """
 
 from __future__ import annotations
 
-import itertools
-import json
-import os
-import time
-
-from repro.campaign import run_campaign, spec_grid
-from repro.compile import compile_cache_disabled, reset_compile_cache
-from repro.obs.metrics import global_registry
-
-#: The acceptance workload: 50 survey tasks sharing one compiled world.
-N_TASKS = 50
-PRESET = "mini3"
-SEED = 7
-
-#: Acceptance floor for the warm-cache campaign over the cold one.
-MIN_SPEEDUP = 3.0
+from repro.bench import check_smoke, run_benchmarks
+from repro.bench.domains.campaign_backends import N_TASKS
 
 
-def _survey_specs():
-    """50 distinct ``survey_pair`` specs over one ``(preset, seed)``."""
-    pairs = itertools.cycle(
-        [(i, j) for i in range(3) for j in range(3) if i != j])
-    specs = []
-    for k, (src, dst) in zip(range(N_TASKS), pairs):
-        specs.extend(spec_grid(
-            "survey_pair", [PRESET], [SEED],
-            {"hour": [8.0 + k * 0.25]},
-            src=src, dst=dst, duration_s=0.5, interval_s=0.5))
-    assert len(specs) == N_TASKS
-    return specs
+def test_compile_cache_cold_vs_warm():
+    doc = run_benchmarks(["campaign.compile_cold",
+                          "campaign.compile_warm"],
+                         repeats=2, warmup=0)
+    cold = doc.results["campaign.compile_cold"]
+    warm = doc.results["campaign.compile_warm"]
 
-
-def _run(specs, path, *, backend, workers, cold=False):
-    """One timed campaign; returns (elapsed_s, artifact_bytes)."""
-    reset_compile_cache()
-    start = time.perf_counter()
-    if cold:
-        with compile_cache_disabled():
-            stats = run_campaign(specs, path, workers=workers,
-                                 backend=backend, precompile=False,
-                                 resume=False)
-    else:
-        stats = run_campaign(specs, path, workers=workers,
-                             backend=backend, resume=False)
-    elapsed = time.perf_counter() - start
-    assert stats.completed == N_TASKS
-    return elapsed, path.read_bytes()
-
-
-def test_backend_matrix_and_compile_cache_speedup(tmp_path, once):
-    specs = _survey_specs()
-
-    def experiment():
-        timings = {}
-        reg = global_registry()
-
-        # Best-of-2 on the asserted cold/warm pair: one campaign is
-        # short enough that scheduler noise can move the ratio.
-        cold_runs = [_run(specs, tmp_path / f"cold{k}.jsonl",
-                          backend="inline", workers=0, cold=True)
-                     for k in range(2)]
-        cold_s = min(elapsed for elapsed, _ in cold_runs)
-        reference = cold_runs[0][1]
-        timings["inline_cold_cache"] = {"elapsed_s": cold_s}
-
-        builds_before = reg.counter("compile.builds")
-        hits_before = reg.counter("compile.cache.hits")
-        warm_s, warm_bytes = _run(specs, tmp_path / "warm.jsonl",
-                                  backend="inline", workers=0)
-        # Counter deltas cover the first warm run only (each _run
-        # resets the cache, so the repeat would double the build count).
-        warm_builds = reg.counter("compile.builds") - builds_before
-        warm_hits = reg.counter("compile.cache.hits") - hits_before
-        warm_s = min(warm_s, _run(specs, tmp_path / "warm2.jsonl",
-                                  backend="inline", workers=0)[0])
-        timings["inline_warm_cache"] = {
-            "elapsed_s": warm_s,
-            "compile_builds": warm_builds,
-            "compile_cache_hits": warm_hits,
-        }
-        assert warm_bytes == reference  # caching never moves a byte
-
-        for backend, workers in [("process", 4), ("thread", 4),
-                                 ("chunked", 4)]:
-            elapsed, blob = _run(
-                specs, tmp_path / f"{backend}.jsonl",
-                backend=backend, workers=workers)
-            assert blob == reference, backend
-            timings[f"{backend}_w{workers}"] = {"elapsed_s": elapsed}
-
-        timings["speedup_warm_vs_cold"] = cold_s / warm_s
-        timings["n_tasks"] = N_TASKS
-        return timings
-
-    timings = once(experiment)
-
-    out_path = os.environ.get("BENCH_CAMPAIGN_JSON")
-    if out_path:
-        with open(out_path, "w", encoding="utf-8") as fh:
-            json.dump(timings, fh, indent=2, sort_keys=True)
-            fh.write("\n")
-
-    for name in sorted(k for k, v in timings.items()
-                       if isinstance(v, dict)):
-        print(f"{name}: {timings[name]['elapsed_s']:.3f}s")
-    speedup = timings["speedup_warm_vs_cold"]
-    print(f"warm-vs-cold speedup: {speedup:.1f}x over {N_TASKS} tasks")
-
-    warm = timings["inline_warm_cache"]
-    assert warm["compile_builds"] == 1, (
+    assert warm.metrics["compile_builds"] == 1, (
         "expected exactly one compile for the campaign's single "
-        f"(preset, seed, fingerprint) world, got {warm['compile_builds']}")
-    assert warm["compile_cache_hits"] >= N_TASKS
-    assert speedup >= MIN_SPEEDUP, (
-        f"warm compile cache is only {speedup:.1f}x faster than cold "
-        f"(floor: {MIN_SPEEDUP}x)")
+        f"(preset, seed, fingerprint) world, got "
+        f"{warm.metrics['compile_builds']:g}")
+    assert warm.metrics["compile_cache_hits"] >= N_TASKS
+    print(f"cold {cold.min_s:.3f}s warm {warm.min_s:.3f}s "
+          f"speedup {cold.min_s / warm.min_s:.1f}x over {N_TASKS} tasks")
+
+    violations = check_smoke(doc)
+    assert not violations, "\n".join(violations)
+
+
+def test_pooled_backends_complete_the_campaign():
+    doc = run_benchmarks(["campaign.backend_thread"], repeats=1,
+                         warmup=0)
+    result = doc.results["campaign.backend_thread"]
+    assert result.metrics["n_tasks"] == N_TASKS
+    print(f"thread backend, 4 workers: {result.min_s:.3f}s")

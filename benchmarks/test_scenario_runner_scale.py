@@ -1,121 +1,55 @@
-"""Scenario-runner scale benchmark: nine flows, ten minutes.
+"""Scenario-runner scale + observability-overhead benchmarks.
 
-The ROADMAP's north star is serving large multi-flow capacity questions
-fast. This benchmark times the fluid runner's hot path — per-quantum
-link-capacity lookups — on a nine-flow, ten-minute mixed scenario
-(saturated PLC on two boards, CBR, a hybrid bond, WiFi) and asserts the
-shared windowed cache keeps the loop fast and work-conserving. The seed
-runner recomputed every capacity from the channel model each quantum
-(~25 s for this scenario); the cache-backed runner is ~10x faster.
-
-It also guards the observability layer's cost: running the same scenario
-with tracing *and* profiling enabled must stay within
-:data:`MAX_TRACING_OVERHEAD` of the untraced wall time. Set
-``BENCH_OBS_JSON=<path>`` to write the comparison as JSON; CI uploads it
-as the ``BENCH_obs`` artifact.
+Pytest surface over the shared bench plane: the nine-flow ten-minute
+runner workload and the traced/untraced overhead pair live in
+:mod:`repro.bench.domains.runner_scale` and
+:mod:`repro.bench.domains.obs_overhead`. This module runs them through
+the harness (reduced repeats for the local loop) and asserts the
+correctness metrics and generous smoke floors; wall-time regressions
+are gated baseline-relative by ``repro bench compare`` in CI.
 """
 
-import json
-import os
-import time
+from __future__ import annotations
 
-from repro.netsim import FlowRequest, Scenario, ScenarioRunner
-from repro.obs import MetricsRegistry, Profiler, Tracer
+from repro.bench import check_smoke, run_benchmarks
+from repro.bench.domains.obs_overhead import HORIZON_S as OBS_HORIZON_S
 from repro.units import MBPS
 
-#: Acceptance ceiling: tracing + profiling may slow the runner by < 5%.
-MAX_TRACING_OVERHEAD = 0.05
 
-#: Timing reps per variant for the overhead comparison. The paired runs
-#: are interleaved and min-of-reps taken: the minimum converges on the
-#: true compute floor, and interleaving makes scheduler noise and
-#: thermal drift hit both variants alike. Many short runs beat few long
-#: ones for this — the floor estimate tightens with rep count.
-OVERHEAD_REPS = 10
+def test_nine_flows_ten_minutes():
+    doc = run_benchmarks(["runner.nine_flows"], repeats=2, warmup=1)
+    result = doc.results["runner.nine_flows"]
+    metrics = result.metrics
 
-#: Horizon of each overhead rep (240 quanta — long enough that per-run
-#: setup is negligible, short enough to afford OVERHEAD_REPS pairs).
-OVERHEAD_HORIZON_S = 120.0
+    assert metrics["quanta"] == 1200
+    assert metrics["cache_hit_rate"] > 0.8   # 5 s window, 0.5 s quantum
+    assert metrics["invariant_violations"] == 0
+    assert metrics["max_domain_airtime"] <= 1.0 + 1e-6
+    assert metrics["cbr_mean_rate_bps"] <= 2 * MBPS * (1 + 1e-9)
+    assert metrics["min_delivered_bytes"] > 0
+    print(f"nine flows, ten minutes: min {result.min_s:.3f}s over "
+          f"{result.repeats} repeats")
 
-SATURATED_PAIRS = [(0, 1), (2, 3), (4, 5), (6, 7), (8, 9), (13, 14)]
-
-
-def _nine_flow_scenario(t0):
-    scenario = Scenario("bench9")
-    for k, (i, j) in enumerate(SATURATED_PAIRS):
-        scenario.add(FlowRequest(f"sat{k}", i, j, t0, duration_s=600.0))
-    scenario.add(FlowRequest("cbr0", 6, 7, t0, kind="cbr",
-                             rate_bps=2 * MBPS, duration_s=600.0))
-    scenario.add(FlowRequest("hyb", 8, 9, t0, medium="hybrid",
-                             duration_s=600.0))
-    scenario.add(FlowRequest("wifi0", 13, 14, t0, medium="wifi",
-                             duration_s=600.0))
-    return scenario
+    violations = check_smoke(doc)
+    assert not violations, "\n".join(violations)
 
 
-def test_nine_flows_ten_minutes(testbed, t_work, once):
-    def experiment():
-        runner = ScenarioRunner(testbed, check_invariants=True)
-        results = runner.run(_nine_flow_scenario(t_work))
-        return runner, results
-
-    runner, results = once(experiment)
-    stats = runner.stats
-    assert stats.quanta == 1200
-    assert stats.cache.hit_rate > 0.8       # 5 s window, 0.5 s quantum
-    assert stats.invariant_violations == 0
-    assert stats.max_domain_airtime <= 1.0 + 1e-6
-    assert results["cbr0"].mean_rate_bps <= 2 * MBPS * (1 + 1e-9)
-    assert all(r.delivered_bytes > 0 for r in results.values())
-
-
-def test_tracing_overhead_under_ceiling(testbed, t_work, once):
+def test_tracing_overhead_under_smoke_ceiling():
     """Full observability (tracer + profiler) on the nine-flow scenario
-    costs < 5% wall time over the bare runner."""
-    scenario = _nine_flow_scenario(t_work)
-    quanta = int(OVERHEAD_HORIZON_S / 0.5)
+    stays under the generous smoke ceiling; the historical <5% claim is
+    held by the baseline-relative gate on each side's samples."""
+    doc = run_benchmarks(["obs.runner_untraced", "obs.runner_traced"],
+                         repeats=5, warmup=1)
+    untraced = doc.results["obs.runner_untraced"]
+    traced = doc.results["obs.runner_traced"]
+    quanta = OBS_HORIZON_S / 0.5
 
-    def run(observed: bool):
-        tracer = Tracer(enabled=observed)
-        profiler = Profiler(metrics=MetricsRegistry(), enabled=observed)
-        runner = ScenarioRunner(testbed, check_invariants=True,
-                                tracer=tracer, profiler=profiler)
-        runner.run(scenario, horizon_s=OVERHEAD_HORIZON_S)
-        return runner, tracer, profiler
+    overhead = traced.min_s / untraced.min_s - 1.0
+    print(f"untraced {untraced.min_s:.3f}s traced {traced.min_s:.3f}s "
+          f"overhead {overhead * 100:.2f}% "
+          f"({traced.metrics['trace_events']:g} events)")
+    assert traced.metrics["trace_events"] > quanta
+    assert traced.metrics["allocate_calls"] == quanta
 
-    def experiment():
-        run(False)  # warm any lazy channel state in the session testbed
-        best = {"untraced_s": float("inf"), "traced_s": float("inf")}
-        for _ in range(OVERHEAD_REPS):
-            for key, observed in (("untraced_s", False),
-                                  ("traced_s", True)):
-                start = time.perf_counter()
-                run(observed)
-                best[key] = min(best[key],
-                                time.perf_counter() - start)
-        return best
-
-    timings = once(experiment)
-    overhead = timings["traced_s"] / timings["untraced_s"] - 1.0
-    timings["overhead_frac"] = overhead
-
-    runner, tracer, profiler = run(True)
-    events = len(tracer.events)
-    summary = profiler.summary()
-    timings["trace_events"] = events
-    timings["profile"] = summary
-
-    out_path = os.environ.get("BENCH_OBS_JSON")
-    if out_path:
-        with open(out_path, "w", encoding="utf-8") as fh:
-            json.dump(timings, fh, indent=2, sort_keys=True)
-            fh.write("\n")
-
-    print(f"untraced {timings['untraced_s']:.3f}s traced "
-          f"{timings['traced_s']:.3f}s overhead {overhead * 100:.2f}% "
-          f"({events} events, {len(summary)} profiled stages)")
-    assert events > quanta            # >= one event per quantum
-    assert summary["runner.allocate"]["calls"] == quanta
-    assert overhead < MAX_TRACING_OVERHEAD, (
-        f"observability overhead {overhead * 100:.2f}% exceeds "
-        f"{MAX_TRACING_OVERHEAD * 100:.0f}% ceiling")
+    violations = check_smoke(doc)
+    assert not violations, "\n".join(violations)

@@ -1,0 +1,190 @@
+"""Baseline-vs-candidate comparison with noise-aware gates.
+
+The old benchmarks gated on hard single-shot thresholds
+(``MIN_SPEEDUP = 5.0``): one noisy CI run either flaked a healthy build
+red or let a real regression hide under an optimistic floor. The bench
+plane gates *relative to a baseline* instead, and only fails when the
+slowdown is both large and statistically resolved:
+
+* the headline statistic is the **ratio of min-of-repeats**
+  (``min(candidate) / min(baseline)``) — minima estimate the compute
+  floor, so the ratio tracks real cost, not scheduler luck;
+* a seeded **bootstrap** resamples both repeat sets and rebuilds the
+  ratio-of-mins ``BOOTSTRAP_RESAMPLES`` times, yielding a confidence
+  band. ``fail`` requires the *entire band* above the fail threshold;
+  a slow point estimate with a band straddling the threshold is only a
+  ``warn`` — rerun, don't revert;
+* benchmarks present in the baseline but absent from the candidate are
+  ``missing`` and fail the gate (a benchmark silently dropping out of
+  the trajectory is itself a regression); new benchmarks ``pass`` and
+  are listed so the baseline gets refreshed.
+
+The bootstrap RNG is seeded (:data:`BOOTSTRAP_SEED`), so a comparison
+of two fixed documents is a pure function — re-running CI on the same
+artifacts reproduces the same verdicts byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bench.schema import BenchDocument
+
+#: Candidate/baseline min-ratio above which we *suspect* a regression.
+DEFAULT_WARN_RATIO = 1.2
+#: Ratio the whole bootstrap band must clear for a hard ``fail``.
+#: Generous on purpose: checked-in baselines cross machines, and the
+#: per-benchmark smoke floors catch catastrophic breakage regardless.
+DEFAULT_FAIL_RATIO = 1.5
+#: Bootstrap resamples and two-sided confidence for the ratio band.
+BOOTSTRAP_RESAMPLES = 2000
+BOOTSTRAP_CONFIDENCE = 0.95
+#: Fixed RNG seed: comparisons are deterministic, like everything else.
+BOOTSTRAP_SEED = 20151
+
+_STATUS_ORDER = {"fail": 0, "missing": 1, "warn": 2, "new": 3, "pass": 4}
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One benchmark's verdict."""
+
+    name: str
+    status: str                       # pass | warn | fail | new | missing
+    ratio: Optional[float] = None     # candidate min / baseline min
+    band: Optional[Tuple[float, float]] = None
+    baseline_min_s: Optional[float] = None
+    candidate_min_s: Optional[float] = None
+    detail: str = ""
+
+
+@dataclass
+class BenchComparison:
+    """The full verdict set plus the gate decision."""
+
+    rows: List[ComparisonRow]
+    warn_ratio: float
+    fail_ratio: float
+
+    @property
+    def ok(self) -> bool:
+        return not any(r.status in ("fail", "missing") for r in self.rows)
+
+    @property
+    def warnings(self) -> List[ComparisonRow]:
+        return [r for r in self.rows if r.status == "warn"]
+
+    def counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for row in self.rows:
+            counts[row.status] = counts.get(row.status, 0) + 1
+        return counts
+
+
+def bootstrap_ratio_band(
+        baseline_samples: Sequence[float],
+        candidate_samples: Sequence[float],
+        resamples: int = BOOTSTRAP_RESAMPLES,
+        confidence: float = BOOTSTRAP_CONFIDENCE,
+        seed: int = BOOTSTRAP_SEED) -> Tuple[float, float]:
+    """Two-sided bootstrap band for ``min(cand*) / min(base*)``.
+
+    Each resample draws repeats with replacement from both sides and
+    recomputes the ratio of minima; the band is the centred
+    ``confidence`` interval of that distribution. With one sample per
+    side this degenerates to the point ratio, which is exactly right:
+    no repeats, no claimed confidence.
+    """
+    base = np.asarray(baseline_samples, dtype=float)
+    cand = np.asarray(candidate_samples, dtype=float)
+    if base.size == 0 or cand.size == 0:
+        raise ValueError("bootstrap needs at least one sample per side")
+    rng = np.random.default_rng(seed)
+    base_mins = base[rng.integers(0, base.size,
+                                  size=(resamples, base.size))].min(axis=1)
+    cand_mins = cand[rng.integers(0, cand.size,
+                                  size=(resamples, cand.size))].min(axis=1)
+    ratios = cand_mins / base_mins
+    tail = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(ratios, [tail, 1.0 - tail])
+    return float(lo), float(hi)
+
+
+def compare_results(name: str, baseline, candidate,
+                    warn_ratio: float = DEFAULT_WARN_RATIO,
+                    fail_ratio: float = DEFAULT_FAIL_RATIO,
+                    seed: int = BOOTSTRAP_SEED) -> ComparisonRow:
+    """Verdict for one benchmark present on both sides."""
+    ratio = candidate.min_s / baseline.min_s
+    band = bootstrap_ratio_band(baseline.samples_s, candidate.samples_s,
+                                seed=seed)
+    if band[0] > fail_ratio:
+        status = "fail"
+        detail = (f"{ratio:.2f}x slower than baseline with the whole "
+                  f"{BOOTSTRAP_CONFIDENCE:.0%} band "
+                  f"[{band[0]:.2f}, {band[1]:.2f}] above "
+                  f"{fail_ratio:.2f}x")
+    elif ratio > warn_ratio or band[0] > warn_ratio:
+        status = "warn"
+        detail = (f"{ratio:.2f}x vs baseline, band "
+                  f"[{band[0]:.2f}, {band[1]:.2f}] — suspicious but "
+                  f"not resolved above {fail_ratio:.2f}x")
+    else:
+        status = "pass"
+        detail = f"{ratio:.2f}x vs baseline"
+    return ComparisonRow(name=name, status=status, ratio=ratio, band=band,
+                         baseline_min_s=baseline.min_s,
+                         candidate_min_s=candidate.min_s, detail=detail)
+
+
+def compare_documents(baseline: BenchDocument,
+                      candidate: BenchDocument,
+                      warn_ratio: float = DEFAULT_WARN_RATIO,
+                      fail_ratio: float = DEFAULT_FAIL_RATIO,
+                      seed: int = BOOTSTRAP_SEED) -> BenchComparison:
+    rows: List[ComparisonRow] = []
+    for name, base in sorted(baseline.results.items()):
+        cand = candidate.results.get(name)
+        if cand is None:
+            rows.append(ComparisonRow(
+                name=name, status="missing",
+                baseline_min_s=base.min_s,
+                detail="in the baseline but absent from the candidate "
+                       "run — benchmarks may not silently leave the "
+                       "trajectory"))
+            continue
+        rows.append(compare_results(name, base, cand,
+                                    warn_ratio=warn_ratio,
+                                    fail_ratio=fail_ratio, seed=seed))
+    for name, cand in sorted(candidate.results.items()):
+        if name not in baseline.results:
+            rows.append(ComparisonRow(
+                name=name, status="new", candidate_min_s=cand.min_s,
+                detail="not in the baseline — refresh "
+                       "benchmarks/baselines/ to start tracking it"))
+    rows.sort(key=lambda r: (_STATUS_ORDER[r.status], r.name))
+    return BenchComparison(rows=rows, warn_ratio=warn_ratio,
+                           fail_ratio=fail_ratio)
+
+
+def format_comparison(comparison: BenchComparison) -> str:
+    """Human-readable report: one line per benchmark, verdict first."""
+    lines = []
+    for row in comparison.rows:
+        base = (f"{row.baseline_min_s:.4f}s"
+                if row.baseline_min_s is not None else "-")
+        cand = (f"{row.candidate_min_s:.4f}s"
+                if row.candidate_min_s is not None else "-")
+        lines.append(f"{row.status.upper():<7} {row.name:<34} "
+                     f"base {base:>10}  cand {cand:>10}  {row.detail}")
+    counts = comparison.counts()
+    summary = ", ".join(f"{counts[s]} {s}" for s in
+                        ("fail", "missing", "warn", "new", "pass")
+                        if s in counts)
+    lines.append(f"gate: {'OK' if comparison.ok else 'FAIL'} ({summary}; "
+                 f"warn >{comparison.warn_ratio:g}x, fail band "
+                 f">{comparison.fail_ratio:g}x)")
+    return "\n".join(lines)

@@ -1,0 +1,20 @@
+"""Benchmark domain modules.
+
+Each module registers its :class:`~repro.bench.spec.BenchmarkSpec`s (and
+document-level smoke checks) at import time; :func:`load_all` is called
+by :func:`repro.bench.load_default_benchmarks` so the registry, the CLI
+and the manifest-completeness test all see the same population. Keep
+import-time work trivial — worlds compile lazily inside ``setup``.
+"""
+
+from __future__ import annotations
+
+
+def load_all() -> None:
+    from repro.bench.domains import (  # noqa: F401 — import-for-effect
+        campaign_backends,
+        medium,
+        meta,
+        obs_overhead,
+        runner_scale,
+    )

@@ -1,0 +1,79 @@
+"""Medium-contract benchmarks: scalar vs vectorized link sampling.
+
+The §4.1 survey window — 5 minutes of 100 ms reports, 3000 samples —
+timed through the scalar ``sample`` loop and the vectorized
+``sample_series`` path for both media. Scalar and batch are *separate*
+benchmarks so the trajectory tracks each path's absolute cost; the
+scalar/batch speedup is a derived smoke floor (generous 2x, vs the old
+flaky hard 5x) — the real gate is baseline-relative in
+:mod:`repro.bench.compare`. Bit-identity of the two paths is not this
+module's job: ``tests/test_medium_contract.py`` and the verify oracles
+pin that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.spec import benchmark, register_smoke
+from repro.compile import checkout_testbed
+from repro.testbed.experiments import working_hours_start
+
+#: The §4.1 survey window: 5 minutes of 100 ms reports.
+SURVEY_DURATION_S = 300.0
+SURVEY_INTERVAL_S = 0.1
+
+#: Generous absolute floor for batch over scalar (smoke only).
+SMOKE_MIN_SPEEDUP = 2.0
+
+_FIGURE = "§4.1 dual-medium survey"
+
+
+def _setup(medium: str):
+    testbed = checkout_testbed("office", seed=7)
+    ts = working_hours_start() + np.arange(0.0, SURVEY_DURATION_S,
+                                           SURVEY_INTERVAL_S)
+    link = (testbed.plc_link(0, 1) if medium == "plc"
+            else testbed.wifi_link(0, 1))
+    return link, ts
+
+
+def _scalar(ctx, state):
+    link, ts = state
+    samples = [link.sample(float(t), measured=False) for t in ts]
+    return {"n_samples": float(len(samples))}
+
+
+def _series(ctx, state):
+    link, ts = state
+    series = link.sample_series(ts, measured=False)
+    return {"n_samples": float(len(series))}
+
+
+for _medium in ("plc", "wifi"):
+    benchmark(f"medium.{_medium}.sample_scalar",
+              setup=(lambda m=_medium: _setup(m)),
+              repeats=3, warmup=1, tags=("medium", _medium, "scalar"),
+              figure=_FIGURE,
+              description=f"scalar sample() loop, {_medium}, "
+                          f"3000-sample survey window")(_scalar)
+    benchmark(f"medium.{_medium}.sample_series",
+              setup=(lambda m=_medium: _setup(m)),
+              repeats=5, warmup=1, tags=("medium", _medium, "batch"),
+              figure=_FIGURE,
+              description=f"vectorized sample_series(), {_medium}, "
+                          f"3000-sample survey window")(_series)
+
+
+def _smoke_speedup(doc):
+    for medium in ("plc", "wifi"):
+        scalar = doc.results[f"medium.{medium}.sample_scalar"]
+        series = doc.results[f"medium.{medium}.sample_series"]
+        speedup = scalar.min_s / series.min_s
+        if speedup < SMOKE_MIN_SPEEDUP:
+            yield (f"{medium} sample_series is only {speedup:.1f}x "
+                   f"faster than the scalar loop "
+                   f"(smoke floor: {SMOKE_MIN_SPEEDUP}x)")
+
+
+register_smoke("medium.speedup", _smoke_speedup)

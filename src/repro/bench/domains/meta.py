@@ -1,0 +1,27 @@
+"""Harness self-benchmarks.
+
+``meta.noop`` times an (almost) empty body: its samples are the bench
+plane's own per-repeat overhead — clock reads, profiler stages, the
+histogram observe. Keeping it on the trajectory means a future harness
+change that fattens the measurement loop shows up as a regression in
+the one benchmark that measures nothing else. It is also the cheap
+benchmark the CLI tests drive end to end.
+"""
+
+from __future__ import annotations
+
+from repro.bench.spec import benchmark
+
+#: Enough work that the sample is nonzero on any clock, little enough
+#: that the harness dominates.
+_SPIN = 1000
+
+
+@benchmark("meta.noop", repeats=5, warmup=1, tags=("meta",),
+           description="near-empty body: the harness's own per-repeat "
+                       "overhead")
+def _noop(ctx, state):
+    acc = 0
+    for k in range(_SPIN):
+        acc += k
+    return {"spin": float(_SPIN)}

@@ -1,0 +1,91 @@
+"""Observability-overhead benchmarks: the runner with and without
+tracing + profiling.
+
+Two benchmarks over the same nine-flow scenario at a short horizon:
+``obs.runner_untraced`` (bare runner) and ``obs.runner_traced`` (Tracer
+and Profiler enabled). Each is repeat-sampled by the shared harness, so
+the overhead estimate is a ratio of minima over many interleavable
+repeats rather than the old hand-rolled paired loop. The smoke floor is
+a generous 15%; the historical <5% claim is enforced baseline-relative —
+each side is gated against its own baseline samples, which is exactly
+the paired-noise argument the old code rebuilt by hand.
+"""
+
+from __future__ import annotations
+
+from repro.bench.domains.runner_scale import nine_flow_scenario
+from repro.bench.spec import benchmark, register_smoke
+from repro.compile import checkout_testbed
+from repro.netsim import ScenarioRunner
+from repro.obs import MetricsRegistry, Profiler, Tracer
+from repro.testbed.experiments import working_hours_start
+
+#: Horizon of each repeat (240 quanta — long enough that per-run setup
+#: is negligible, short enough to afford many repeats).
+HORIZON_S = 120.0
+
+#: Generous absolute ceiling for full observability (smoke only; the
+#: regression gate on each side's baseline holds the historical <5%).
+SMOKE_MAX_OVERHEAD = 0.15
+
+
+def _setup():
+    testbed = checkout_testbed("office", seed=7)
+    scenario = nine_flow_scenario(working_hours_start(),
+                                  duration_s=HORIZON_S)
+    return testbed, scenario
+
+
+def _run(state, observed: bool):
+    testbed, scenario = state
+    tracer = Tracer(enabled=observed)
+    profiler = Profiler(metrics=MetricsRegistry(), enabled=observed)
+    runner = ScenarioRunner(testbed, check_invariants=True,
+                            tracer=tracer, profiler=profiler)
+    runner.run(scenario, horizon_s=HORIZON_S)
+    return runner, tracer, profiler
+
+
+@benchmark("obs.runner_untraced", setup=_setup, repeats=10, warmup=1,
+           tags=("obs", "overhead"),
+           description="nine-flow runner, observability disabled "
+                       "(240 quanta)")
+def _untraced(ctx, state):
+    _run(state, observed=False)
+    return {"quanta": HORIZON_S / 0.5}
+
+
+@benchmark("obs.runner_traced", setup=_setup, repeats=10, warmup=1,
+           tags=("obs", "overhead"),
+           description="nine-flow runner with Tracer + Profiler enabled "
+                       "(240 quanta)")
+def _traced(ctx, state):
+    _, tracer, profiler = _run(state, observed=True)
+    summary = profiler.summary()
+    return {
+        "trace_events": float(len(tracer.events)),
+        "profiled_stages": float(len(summary)),
+        "allocate_calls": float(
+            summary["runner.allocate"]["calls"]),
+    }
+
+
+def _smoke_overhead(doc):
+    untraced = doc.results["obs.runner_untraced"]
+    traced = doc.results["obs.runner_traced"]
+    overhead = traced.min_s / untraced.min_s - 1.0
+    if overhead >= SMOKE_MAX_OVERHEAD:
+        yield (f"observability overhead {overhead * 100:.1f}% exceeds "
+               f"the {SMOKE_MAX_OVERHEAD * 100:.0f}% smoke ceiling")
+    quanta = HORIZON_S / 0.5
+    if traced.metrics.get("trace_events", 0.0) <= quanta:
+        yield (f"traced run recorded "
+               f"{traced.metrics.get('trace_events'):g} events, "
+               f"expected more than one per quantum ({quanta:g})")
+    if traced.metrics.get("allocate_calls") != quanta:
+        yield (f"profiler saw "
+               f"{traced.metrics.get('allocate_calls')!r} "
+               f"runner.allocate calls, expected {quanta:g}")
+
+
+register_smoke("obs.overhead", _smoke_overhead)

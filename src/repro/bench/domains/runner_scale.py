@@ -1,0 +1,91 @@
+"""Scenario-runner scale benchmark: nine flows, ten minutes.
+
+The fluid runner's hot path — per-quantum link-capacity lookups — on a
+nine-flow mixed scenario (saturated PLC on two boards, CBR, a hybrid
+bond, WiFi). The seed runner recomputed every capacity from the channel
+model each quantum; the windowed cache keeps the loop fast, and this
+benchmark keeps that claim on the trajectory. Correctness figures
+(cache hit rate, invariant violations, CBR rate cap) ride along as
+metrics with smoke floors; wall time is gated baseline-relative.
+"""
+
+from __future__ import annotations
+
+from repro.bench.spec import benchmark, register_smoke
+from repro.compile import checkout_testbed
+from repro.netsim import FlowRequest, Scenario, ScenarioRunner
+from repro.testbed.experiments import working_hours_start
+from repro.units import MBPS
+
+SATURATED_PAIRS = ((0, 1), (2, 3), (4, 5), (6, 7), (8, 9), (13, 14))
+
+#: Full-scale horizon (1200 quanta at the 0.5 s quantum).
+HORIZON_S = 600.0
+
+#: Smoke floor on the windowed cache (5 s window, 0.5 s quantum).
+SMOKE_MIN_HIT_RATE = 0.8
+
+
+def nine_flow_scenario(t0: float,
+                       duration_s: float = HORIZON_S) -> Scenario:
+    """The shared nine-flow workload (also used by the obs domain)."""
+    scenario = Scenario("bench9")
+    for k, (i, j) in enumerate(SATURATED_PAIRS):
+        scenario.add(FlowRequest(f"sat{k}", i, j, t0,
+                                 duration_s=duration_s))
+    scenario.add(FlowRequest("cbr0", 6, 7, t0, kind="cbr",
+                             rate_bps=2 * MBPS, duration_s=duration_s))
+    scenario.add(FlowRequest("hyb", 8, 9, t0, medium="hybrid",
+                             duration_s=duration_s))
+    scenario.add(FlowRequest("wifi0", 13, 14, t0, medium="wifi",
+                             duration_s=duration_s))
+    return scenario
+
+
+def _setup():
+    testbed = checkout_testbed("office", seed=7)
+    return testbed, nine_flow_scenario(working_hours_start())
+
+
+@benchmark("runner.nine_flows", setup=_setup, repeats=3, warmup=1,
+           tags=("runner", "scale"),
+           figure="north star: multi-flow capacity at scale",
+           description="fluid runner, 9 mixed flows over 10 simulated "
+                       "minutes (1200 quanta)")
+def _nine_flows(ctx, state):
+    testbed, scenario = state
+    runner = ScenarioRunner(testbed, check_invariants=True)
+    results = runner.run(scenario, horizon_s=HORIZON_S)
+    stats = runner.stats
+    return {
+        "quanta": float(stats.quanta),
+        "cache_hit_rate": float(stats.cache.hit_rate),
+        "invariant_violations": float(stats.invariant_violations),
+        "max_domain_airtime": float(stats.max_domain_airtime),
+        "cbr_mean_rate_bps": float(results["cbr0"].mean_rate_bps),
+        "min_delivered_bytes": float(
+            min(r.delivered_bytes for r in results.values())),
+    }
+
+
+def _smoke_runner(doc):
+    m = doc.results["runner.nine_flows"].metrics
+    if m.get("quanta") != HORIZON_S / 0.5:
+        yield (f"runner covered {m.get('quanta')} quanta, expected "
+               f"{HORIZON_S / 0.5:g}")
+    if m.get("cache_hit_rate", 0.0) <= SMOKE_MIN_HIT_RATE:
+        yield (f"capacity-cache hit rate {m.get('cache_hit_rate'):.2f} "
+               f"below smoke floor {SMOKE_MIN_HIT_RATE}")
+    if m.get("invariant_violations", 1.0) != 0.0:
+        yield (f"{m.get('invariant_violations'):g} runner invariant "
+               f"violation(s) during the benchmark")
+    if m.get("max_domain_airtime", 2.0) > 1.0 + 1e-6:
+        yield (f"runner over-allocated airtime "
+               f"({m.get('max_domain_airtime')})")
+    if m.get("cbr_mean_rate_bps", 0.0) > 2 * MBPS * (1 + 1e-9):
+        yield "CBR flow exceeded its requested rate"
+    if m.get("min_delivered_bytes", 0.0) <= 0.0:
+        yield "a flow delivered zero bytes"
+
+
+register_smoke("runner.nine_flows", _smoke_runner)

@@ -1,0 +1,126 @@
+"""Multi-repeat benchmark execution with warmup discard.
+
+The runner is the only component that times benchmark bodies. For each
+spec it builds state once (``setup``), throws away ``warmup`` passes
+(JIT-warm caches, lazy channel resolution, OS page faults), then records
+``repeats`` wall-time samples on an injected
+:class:`~repro.obs.clock.Clock`. Repeats are the point: a single-shot
+timing — what the old hand-rolled benchmarks did — cannot distinguish a
+regression from a scheduler hiccup, while min-of-repeats plus the
+bootstrap band in :mod:`repro.bench.compare` can.
+
+Every repeat publishes into :mod:`repro.obs`: a
+:class:`~repro.obs.profile.Profiler` with prefix ``bench.`` accumulates
+``bench.<name>.calls`` / ``.seconds`` / ``.latency`` in the metrics
+registry, and per-repeat samples land in a ``bench.<name>.sample_s``
+histogram — the same observation channel the rest of the stack uses, so
+``repro report --timeline``-style tooling sees benchmark cost like any
+other profiled stage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.bench.schema import BenchDocument, BenchResult, Environment
+from repro.bench.spec import (
+    BenchContext,
+    BenchmarkSpec,
+    get_benchmark,
+    load_default_benchmarks,
+    smoke_checks,
+)
+from repro.obs.clock import Clock, DEFAULT_CLOCK
+from repro.obs.metrics import MetricsRegistry, global_registry
+from repro.obs.profile import STAGE_EDGES, Profiler
+
+
+def run_benchmark(spec: BenchmarkSpec,
+                  clock: Optional[Clock] = None,
+                  metrics: Optional[MetricsRegistry] = None,
+                  repeats: Optional[int] = None,
+                  warmup: Optional[int] = None) -> BenchResult:
+    """Execute one spec: setup once, warm up, record every repeat.
+
+    ``repeats``/``warmup`` override the spec's own schedule (the CLI
+    exposes them so a laptop smoke run can cut the cost). The metrics
+    the benchmark body returns are taken from the *fastest* repeat —
+    the one whose timing the comparison will use.
+    """
+    clock = clock or DEFAULT_CLOCK
+    registry = metrics if metrics is not None else global_registry()
+    profiler = Profiler(metrics=registry, clock=clock, prefix="bench.")
+    ctx = BenchContext(clock=clock)
+    n_repeats = spec.repeats if repeats is None else max(1, repeats)
+    n_warmup = spec.warmup if warmup is None else max(0, warmup)
+
+    state = spec.setup() if spec.setup is not None else None
+    for _ in range(n_warmup):
+        spec.fn(ctx, state)
+
+    samples = []
+    best_metrics: Dict[str, float] = {}
+    best_s = float("inf")
+    for _ in range(n_repeats):
+        with profiler.stage(spec.name):
+            start = clock.now()
+            extra = spec.fn(ctx, state)
+            elapsed = clock.now() - start
+        samples.append(elapsed)
+        registry.observe(f"bench.{spec.name}.sample_s", elapsed,
+                         edges=STAGE_EDGES)
+        if elapsed < best_s:
+            best_s = elapsed
+            best_metrics = dict(extra) if extra else {}
+    registry.inc("bench.runs")
+
+    return BenchResult(name=spec.name, samples_s=tuple(samples),
+                       warmup_discarded=n_warmup, metrics=best_metrics,
+                       tags=spec.tags, figure=spec.figure)
+
+
+def run_benchmarks(names: Optional[Sequence[str]] = None,
+                   clock: Optional[Clock] = None,
+                   metrics: Optional[MetricsRegistry] = None,
+                   repeats: Optional[int] = None,
+                   warmup: Optional[int] = None,
+                   environment: Optional[Environment] = None,
+                   progress=None) -> BenchDocument:
+    """Run ``names`` (default: every registered benchmark) into one
+    :class:`BenchDocument` stamped with the environment fingerprint.
+
+    Unknown names raise ``KeyError`` *before* anything runs — a typo
+    must not cost a half-finished campaign benchmark. ``progress`` is an
+    optional ``fn(name, result)`` callback for CLI feedback.
+    """
+    load_default_benchmarks()
+    if names is None:
+        specs = [get_benchmark(name)
+                 for name in load_default_benchmarks()]
+    else:
+        specs = [get_benchmark(name) for name in names]
+
+    doc = BenchDocument(
+        environment=environment or Environment.capture())
+    for spec in specs:
+        result = run_benchmark(spec, clock=clock, metrics=metrics,
+                               repeats=repeats, warmup=warmup)
+        doc.add(result)
+        if progress is not None:
+            progress(spec.name, result)
+    return doc
+
+
+def check_smoke(doc: BenchDocument) -> list:
+    """Evaluate every registered smoke check whose subject benchmarks
+    ran; returns the violation messages (empty = all floors hold)."""
+    load_default_benchmarks()
+    violations = []
+    for name, fn in sorted(smoke_checks().items()):
+        try:
+            violations.extend(fn(doc))
+        except KeyError:
+            # The check's subject benchmarks were not part of this run
+            # (e.g. a single-domain `repro bench run medium.*` call).
+            continue
+    return violations

@@ -1,0 +1,162 @@
+"""The regression gate: noise-aware baseline-vs-candidate comparison.
+
+The acceptance scenario for the bench plane lives here: a baseline is
+synthesized, a 3x slowdown is injected into a stub benchmark, and
+``compare_documents`` must fail it while a within-noise candidate
+passes — all on a FakeClock, so the verdicts are deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.compare import (
+    DEFAULT_FAIL_RATIO,
+    DEFAULT_WARN_RATIO,
+    bootstrap_ratio_band,
+    compare_documents,
+    format_comparison,
+)
+from repro.bench.runner import run_benchmarks
+from repro.bench.schema import (
+    BenchDocument,
+    BenchResult,
+    Environment,
+    dump_document,
+    load_document,
+)
+from repro.bench.spec import BenchmarkSpec, temporary_benchmark
+from repro.obs.clock import FakeClock
+from repro.obs.metrics import MetricsRegistry
+
+_ENV = Environment(python="3.11.7", platform="linux", cpu_count=4,
+                   numpy="2.0.0", git_sha=None)
+
+#: Baseline repeat samples with realistic ~2% scheduler noise.
+BASE_SAMPLES = (0.102, 0.100, 0.103, 0.101, 0.104)
+
+
+def _doc(**samples_by_name) -> BenchDocument:
+    doc = BenchDocument(environment=_ENV)
+    for name, samples in samples_by_name.items():
+        doc.add(BenchResult(name=name.replace("_", "."),
+                            samples_s=tuple(samples)))
+    return doc
+
+
+def test_injected_3x_slowdown_fails_the_gate():
+    baseline = _doc(stub_work=BASE_SAMPLES)
+    slow = _doc(stub_work=tuple(3.0 * s for s in BASE_SAMPLES))
+    comparison = compare_documents(baseline, slow)
+    (row,) = comparison.rows
+    assert row.status == "fail"
+    assert row.ratio == pytest.approx(3.0)
+    assert row.band[0] > DEFAULT_FAIL_RATIO
+    assert not comparison.ok
+
+
+def test_within_noise_candidate_passes():
+    baseline = _doc(stub_work=BASE_SAMPLES)
+    noisy = _doc(stub_work=tuple(1.03 * s for s in BASE_SAMPLES))
+    comparison = compare_documents(baseline, noisy)
+    (row,) = comparison.rows
+    assert row.status == "pass"
+    assert comparison.ok
+
+
+def test_improvement_passes():
+    baseline = _doc(stub_work=BASE_SAMPLES)
+    faster = _doc(stub_work=tuple(0.5 * s for s in BASE_SAMPLES))
+    comparison = compare_documents(baseline, faster)
+    assert comparison.rows[0].status == "pass"
+    assert comparison.rows[0].ratio == pytest.approx(0.5)
+
+
+def test_suspicious_but_unresolved_slowdown_only_warns():
+    """A point estimate between warn and fail thresholds must not hard-
+    fail: rerun, don't revert."""
+    baseline = _doc(stub_work=BASE_SAMPLES)
+    ratio = (DEFAULT_WARN_RATIO + DEFAULT_FAIL_RATIO) / 2
+    sluggish = _doc(stub_work=tuple(ratio * s for s in BASE_SAMPLES))
+    comparison = compare_documents(baseline, sluggish)
+    (row,) = comparison.rows
+    assert row.status == "warn"
+    assert comparison.ok          # warnings do not trip the gate
+    assert comparison.warnings == [row]
+
+
+def test_missing_benchmark_fails_the_gate():
+    baseline = _doc(stub_work=BASE_SAMPLES, stub_other=BASE_SAMPLES)
+    candidate = _doc(stub_work=BASE_SAMPLES)
+    comparison = compare_documents(baseline, candidate)
+    statuses = {row.name: row.status for row in comparison.rows}
+    assert statuses["stub.other"] == "missing"
+    assert not comparison.ok
+
+
+def test_new_benchmark_passes_but_is_reported():
+    baseline = _doc(stub_work=BASE_SAMPLES)
+    candidate = _doc(stub_work=BASE_SAMPLES, stub_fresh=BASE_SAMPLES)
+    comparison = compare_documents(baseline, candidate)
+    statuses = {row.name: row.status for row in comparison.rows}
+    assert statuses["stub.fresh"] == "new"
+    assert comparison.ok
+
+
+def test_comparison_is_deterministic():
+    baseline = _doc(stub_work=BASE_SAMPLES)
+    candidate = _doc(stub_work=tuple(1.4 * s for s in BASE_SAMPLES))
+    first = compare_documents(baseline, candidate)
+    second = compare_documents(baseline, candidate)
+    assert first.rows == second.rows
+
+
+def test_bootstrap_band_degenerates_with_single_samples():
+    lo, hi = bootstrap_ratio_band([0.2], [0.3])
+    assert lo == pytest.approx(1.5)
+    assert hi == pytest.approx(1.5)
+
+
+def test_bootstrap_band_rejects_empty_sides():
+    with pytest.raises(ValueError):
+        bootstrap_ratio_band([], [0.1])
+
+
+def test_format_comparison_leads_with_the_verdict():
+    baseline = _doc(stub_work=BASE_SAMPLES)
+    slow = _doc(stub_work=tuple(3.0 * s for s in BASE_SAMPLES))
+    text = format_comparison(compare_documents(baseline, slow))
+    assert text.splitlines()[0].startswith("FAIL")
+    assert "gate: FAIL" in text
+    ok_text = format_comparison(compare_documents(baseline, baseline))
+    assert "gate: OK" in ok_text
+
+
+# --- end to end: runner -> schema round trip -> gate --------------------------
+
+
+def _sleepy_spec(sleep_s: float) -> BenchmarkSpec:
+    def fn(ctx, state):
+        ctx.clock.sleep(sleep_s)
+        return None
+    return BenchmarkSpec(name="stub.gated", fn=fn, repeats=5, warmup=1)
+
+
+def _run_doc(sleep_s: float) -> BenchDocument:
+    with temporary_benchmark(_sleepy_spec(sleep_s)):
+        return run_benchmarks(["stub.gated"], clock=FakeClock(),
+                              metrics=MetricsRegistry(),
+                              environment=_ENV)
+
+
+def test_regression_gate_end_to_end_through_the_schema():
+    """Baseline run -> canonical JSON -> reload -> candidate runs: the
+    injected 3x slowdown fails, the within-noise candidate passes."""
+    baseline = load_document(dump_document(_run_doc(0.1)))
+
+    slow = compare_documents(baseline, _run_doc(0.3))
+    assert [r.status for r in slow.rows] == ["fail"]
+
+    fine = compare_documents(baseline, _run_doc(0.1005))
+    assert [r.status for r in fine.rows] == ["pass"]
+    assert fine.ok

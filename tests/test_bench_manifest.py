@@ -1,0 +1,68 @@
+"""The bench manifest stays truthful in both directions.
+
+A new ``benchmarks/test_*.py`` module cannot land without an explicit
+manifest entry, and the manifest cannot claim benchmarks the registry
+does not carry (or vice versa) — so every registered benchmark has a
+pytest surface and the trajectory cannot silently lose coverage.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.manifest import MODULE_MANIFEST, manifest_names, module_for
+from repro.bench.spec import load_default_benchmarks
+
+BENCHMARKS_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+def _modules_on_disk():
+    return {p.stem for p in BENCHMARKS_DIR.glob("test_*.py")}
+
+
+def test_every_benchmark_module_is_in_the_manifest():
+    missing = _modules_on_disk() - set(MODULE_MANIFEST)
+    assert not missing, (
+        f"benchmarks/ modules missing from repro.bench.manifest."
+        f"MODULE_MANIFEST (add an entry — harness benchmark names, or "
+        f"() for a pytest-benchmark figure regeneration): "
+        f"{sorted(missing)}")
+
+
+def test_manifest_names_no_phantom_modules():
+    phantom = set(MODULE_MANIFEST) - _modules_on_disk()
+    assert not phantom, (
+        f"manifest entries without a benchmarks/ module on disk: "
+        f"{sorted(phantom)}")
+
+
+def test_manifest_matches_the_registry_exactly():
+    registered = set(load_default_benchmarks())
+    claimed = set(manifest_names())
+    assert claimed - registered == set(), (
+        "manifest claims benchmarks the registry does not define")
+    assert registered - claimed == set(), (
+        "registered benchmarks unclaimed by any benchmarks/ module — "
+        "they would run in CI but have no pytest surface")
+
+
+def test_harness_backed_modules_claim_at_least_one_benchmark():
+    # The four ported domains plus the harness meta-module must map to
+    # real benchmarks; only figure/table regenerations may map to ().
+    for module in ("test_medium_sampling_scale",
+                   "test_scenario_runner_scale",
+                   "test_campaign_backends",
+                   "test_bench_harness"):
+        assert MODULE_MANIFEST[module], (
+            f"{module} must claim its harness benchmarks")
+
+
+def test_module_for_inverts_the_manifest():
+    load_default_benchmarks()
+    assert module_for("meta.noop") == "test_bench_harness"
+    assert module_for("medium.plc.sample_series") == \
+        "test_medium_sampling_scale"
+    with pytest.raises(KeyError, match="not claimed"):
+        module_for("no.such_benchmark")

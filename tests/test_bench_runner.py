@@ -1,0 +1,168 @@
+"""The bench runner: repeat schedules, warmup discard, obs publishing.
+
+Everything here drives the runner on a FakeClock — benchmark bodies
+"cost" exactly what they sleep, so assertions are exact equalities, not
+timing tolerances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import run_benchmark, run_benchmarks
+from repro.bench.spec import (
+    BenchmarkSpec,
+    get_benchmark,
+    register_benchmark,
+    temporary_benchmark,
+    unregister_benchmark,
+)
+from repro.obs.clock import FakeClock
+from repro.obs.metrics import MetricsRegistry
+
+
+def _stub(name="stub.sleepy", sleeps=(0.5,), extras=None, **kwargs):
+    """A spec whose k-th call sleeps ``sleeps[k % len]`` fake seconds."""
+    calls = {"n": 0}
+
+    def fn(ctx, state):
+        k = calls["n"]
+        calls["n"] += 1
+        ctx.clock.sleep(sleeps[k % len(sleeps)])
+        return extras(k) if extras else None
+
+    spec = BenchmarkSpec(name=name, fn=fn, **kwargs)
+    return spec, calls
+
+
+def test_samples_are_exact_on_a_fake_clock():
+    spec, calls = _stub(sleeps=(0.25,), repeats=4, warmup=2)
+    result = run_benchmark(spec, clock=FakeClock(),
+                           metrics=MetricsRegistry())
+    assert result.samples_s == (0.25, 0.25, 0.25, 0.25)
+    assert result.min_s == 0.25
+    assert result.warmup_discarded == 2
+    assert calls["n"] == 6            # 2 warmup + 4 recorded
+
+
+def test_warmup_passes_are_discarded():
+    # Warmup call sleeps 9.0, recorded calls sleep 0.1: if warmup leaked
+    # into the samples the min would be wrong by two orders.
+    spec, _ = _stub(sleeps=(9.0, 0.1, 0.1, 0.1), repeats=3, warmup=1)
+    result = run_benchmark(spec, clock=FakeClock(),
+                           metrics=MetricsRegistry())
+    assert result.samples_s == pytest.approx((0.1, 0.1, 0.1))
+
+
+def test_metrics_come_from_the_fastest_repeat():
+    spec, _ = _stub(sleeps=(0.3, 0.1, 0.2), repeats=3, warmup=0,
+                    extras=lambda k: {"call": float(k)})
+    result = run_benchmark(spec, clock=FakeClock(),
+                           metrics=MetricsRegistry())
+    assert result.samples_s == pytest.approx((0.3, 0.1, 0.2))
+    assert result.metrics == {"call": 1.0}   # the 0.1 s repeat
+
+
+def test_cli_style_overrides_trump_the_spec_schedule():
+    spec, calls = _stub(sleeps=(0.5,), repeats=5, warmup=3)
+    result = run_benchmark(spec, clock=FakeClock(),
+                           metrics=MetricsRegistry(), repeats=2,
+                           warmup=0)
+    assert result.repeats == 2
+    assert result.warmup_discarded == 0
+    assert calls["n"] == 2
+
+
+def test_repeats_publish_into_the_obs_registry():
+    registry = MetricsRegistry()
+    spec, _ = _stub(name="stub.observed", sleeps=(0.5,), repeats=3,
+                    warmup=1)
+    run_benchmark(spec, clock=FakeClock(), metrics=registry)
+    # Profiler stages under the bench. prefix...
+    assert registry.counter("bench.stub.observed.calls") == 3
+    assert registry.counter("bench.stub.observed.seconds") == \
+        pytest.approx(1.5)
+    # ...and the per-repeat sample histogram.
+    hist = registry.histogram("bench.stub.observed.sample_s")
+    assert hist is not None and hist.total == 3
+    assert registry.counter("bench.runs") == 1
+
+
+def test_setup_runs_once_outside_the_timed_region():
+    built = []
+
+    def setup():
+        built.append(True)
+        return {"payload": 7}
+
+    def fn(ctx, state):
+        assert state == {"payload": 7}
+        ctx.clock.sleep(0.125)
+        return None
+
+    spec = BenchmarkSpec(name="stub.setup", fn=fn, setup=setup,
+                         repeats=3, warmup=1)
+    result = run_benchmark(spec, clock=FakeClock(),
+                           metrics=MetricsRegistry())
+    assert built == [True]
+    assert result.samples_s == (0.125,) * 3   # setup cost not sampled
+
+
+def test_run_benchmarks_rejects_unknown_names_before_running():
+    spec, calls = _stub(name="stub.nevermind", repeats=1, warmup=0)
+    with temporary_benchmark(spec):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            run_benchmarks(["stub.nevermind", "stub.doesnotexist"],
+                           clock=FakeClock(), metrics=MetricsRegistry())
+    assert calls["n"] == 0
+
+
+def test_run_benchmarks_builds_a_stamped_document():
+    spec, _ = _stub(name="stub.documented", sleeps=(0.5,), repeats=2,
+                    warmup=0, tags=("stub",))
+    with temporary_benchmark(spec):
+        doc = run_benchmarks(["stub.documented"], clock=FakeClock(),
+                             metrics=MetricsRegistry())
+    assert set(doc.results) == {"stub.documented"}
+    assert doc.results["stub.documented"].tags == ("stub",)
+    assert doc.environment.cpu_count >= 1
+    assert doc.environment.python
+
+
+# --- registry hygiene ---------------------------------------------------------
+
+
+def test_duplicate_registration_is_a_bug():
+    spec, _ = _stub(name="stub.twice", repeats=1)
+    register_benchmark(spec)
+    try:
+        with pytest.raises(ValueError, match="already registered"):
+            register_benchmark(spec)
+    finally:
+        unregister_benchmark("stub.twice")
+
+
+def test_unknown_lookup_suggests_close_names():
+    spec, _ = _stub(name="stub.sampling", repeats=1)
+    with temporary_benchmark(spec):
+        with pytest.raises(KeyError, match="did you mean"):
+            get_benchmark("stub.sampilng")
+
+
+def test_temporary_benchmark_cleans_up():
+    spec, _ = _stub(name="stub.transient", repeats=1)
+    with temporary_benchmark(spec):
+        assert get_benchmark("stub.transient") is spec
+    with pytest.raises(KeyError):
+        get_benchmark("stub.transient")
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError, match="dotted"):
+        BenchmarkSpec(name="nodots", fn=lambda ctx, state: None)
+    with pytest.raises(ValueError, match="repeats"):
+        BenchmarkSpec(name="a.b", fn=lambda ctx, state: None, repeats=0)
+    with pytest.raises(ValueError, match="warmup"):
+        BenchmarkSpec(name="a.b", fn=lambda ctx, state: None, warmup=-1)
+    assert BenchmarkSpec(name="a.b.c",
+                         fn=lambda ctx, state: None).domain == "a"

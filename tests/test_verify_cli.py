@@ -7,6 +7,7 @@ import json
 
 import pytest
 
+from repro.bench.schema import read_document
 from repro.campaign.spec import ExperimentSpec
 from repro.cli import main
 from repro.verify.fuzzer import ScenarioFuzzer
@@ -92,10 +93,12 @@ def test_smoke_suite_writes_report_and_bench(tmp_path, capsys,
     assert header["suite"] == "smoke"
     assert results and all(r.passed for r in results)
 
-    bench = json.loads(bench_path.read_text(encoding="utf-8"))
-    assert bench["suite"] == "smoke"
-    assert bench["failed"] == 0
-    assert bench["wall_s"] > 0
+    # The timing record rides in the unified repro-bench schema.
+    doc = read_document(bench_path)
+    result = doc.results["verify.smoke"]
+    assert result.min_s > 0
+    assert result.metrics["failed"] == 0.0
+    assert "verify" in result.tags
 
 
 @pytest.mark.fuzz
