@@ -1,0 +1,37 @@
+"""Snapshot-plane benchmarks: checkpoint codec cost + slice pipelining.
+
+Pytest surface over the shared bench plane: the paused-runner roundtrip
+and the Fig. 13 straight/sliced campaign pair live in
+:mod:`repro.bench.domains.snapshot`. This module runs them through the
+harness and asserts the discrete facts (tasks complete, blobs encode)
+plus the document-level smoke bounds; byte-identity of sliced artifacts
+is the verify suite's ``diff_slice_equivalence`` oracle, and wall-time
+regressions are gated baseline-relative in CI.
+"""
+
+from __future__ import annotations
+
+from repro.bench import check_smoke, run_benchmarks
+from repro.bench.domains.snapshot import N_TASKS, SLICES
+
+
+def test_snapshot_roundtrip_codec():
+    doc = run_benchmarks(["snapshot.roundtrip"], repeats=3, warmup=1)
+    result = doc.results["snapshot.roundtrip"]
+    assert result.metrics["blob_bytes"] > 0
+    print(f"checkpoint roundtrip {result.min_s * 1e3:.2f} ms, "
+          f"{result.metrics['blob_bytes']:.0f} bytes")
+
+
+def test_fig13_sliced_vs_straight():
+    doc = run_benchmarks(["snapshot.fig13_straight",
+                          "snapshot.fig13_sliced"], repeats=1, warmup=0)
+    straight = doc.results["snapshot.fig13_straight"]
+    sliced = doc.results["snapshot.fig13_sliced"]
+    assert straight.metrics["n_tasks"] == N_TASKS
+    assert sliced.metrics["slices_per_task"] == SLICES
+    print(f"straight {straight.min_s:.2f}s sliced {sliced.min_s:.2f}s "
+          f"ratio {sliced.min_s / straight.min_s:.2f}")
+
+    violations = check_smoke(doc)
+    assert not violations, "\n".join(violations)

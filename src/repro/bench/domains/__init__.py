@@ -17,4 +17,5 @@ def load_all() -> None:
         meta,
         obs_overhead,
         runner_scale,
+        snapshot,
     )

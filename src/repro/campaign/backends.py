@@ -55,7 +55,7 @@ def run_task_payload(spec_dict: Dict[str, object], attempt: int,
         out = execute_spec(spec, attempt)
     return {"task_key": spec.task_key(), "spec": spec.to_dict(),
             "task_seed": spec.task_seed(), "records": out.records,
-            "stats": out.stats,
+            "stats": out.stats, "control": out.control,
             "trace": tracer.to_dicts() if trace else None,
             "elapsed_s": _WORKER_CLOCK.now() - t0}
 

@@ -107,6 +107,15 @@ class EngineConfig:
     #: Compile the spec list's distinct testbed worlds into the process-
     #: wide cache before the backend starts (fork-inherited by workers).
     precompile: bool = True
+    #: Time-sliced execution: split every ``scenario`` task whose horizon
+    #: exceeds this many simulated seconds into chained slices — each
+    #: slice checkpoints the simulation world (``repro.snapshot``) and
+    #: the next one restores it. Slicing pipelines long tasks across
+    #: workers and makes them crash-resumable mid-task, while the
+    #: finalized artifact stays byte-identical to a straight run (the
+    #: ``diff_slice_equivalence`` oracle enforces this). ``None``
+    #: disables slicing.
+    slice_horizon_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -121,6 +130,8 @@ class EngineConfig:
                 f"(known: {', '.join(BACKEND_NAMES)})")
         if self.chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
+        if self.slice_horizon_s is not None and self.slice_horizon_s <= 0:
+            raise ValueError("slice horizon must be positive")
 
 
 class CampaignEngine:
@@ -150,6 +161,9 @@ class CampaignEngine:
         self._quarantine: Optional[QuarantineWriter] = None
         #: task_key -> sim-time trace events, gathered when tracing.
         self._traces: Dict[str, List[Dict[str, object]]] = {}
+        #: slice task_key -> {"spec": original spec, "num_slices": K}
+        #: for every in-play slice of a time-sliced scenario task.
+        self._slice_origins: Dict[str, Dict[str, object]] = {}
 
     @property
     def quarantine_path(self) -> Path:
@@ -189,6 +203,7 @@ class CampaignEngine:
             if len(self.specs) > len(pending):
                 stats.note_resumed(len(self.specs) - len(pending))
                 self.progress("resumed", f"{stats.resumed} tasks", stats)
+            pending = self._expand_slices(pending)
             if cfg.precompile and pending:
                 # Before the backend exists: a fork-started pool spawned
                 # after this point inherits the compiled worlds.
@@ -209,6 +224,119 @@ class CampaignEngine:
             stats.set_wall_seconds(self.clock.now() - start)
             stats.check_accounting()
         return stats
+
+    # --- time-sliced execution ------------------------------------------------
+
+    def _expand_slices(self, pending: Sequence[ExperimentSpec]
+                       ) -> List[ExperimentSpec]:
+        """Replace sliceable ``scenario`` specs with their first slice.
+
+        A spec is sliceable when ``slice_horizon_s`` is configured and
+        its horizon spans more than one slice. Later slices are enqueued
+        by :meth:`_finish_result` as each checkpoint lands. Crash
+        resume: if a valid checkpoint chain for the same slicing plan
+        already sits in the snapshot store, the expansion starts at the
+        slice *after* the newest checkpoint instead of at 0.
+        """
+        import math
+
+        cfg = self.config
+        if cfg.slice_horizon_s is None:
+            return list(pending)
+        from repro.snapshot.store import SnapshotStore, snapshot_dir_for
+
+        store = SnapshotStore(snapshot_dir_for(self.out_path))
+        expanded: List[ExperimentSpec] = []
+        for spec in pending:
+            horizon = float(spec.params_dict.get("horizon_s", 900.0)) \
+                if spec.kind == "scenario" else 0.0
+            num_slices = (math.ceil(horizon / cfg.slice_horizon_s)
+                          if horizon > 0 else 0)
+            if spec.kind != "scenario" or num_slices <= 1:
+                expanded.append(spec)
+                continue
+            start = self._resume_slice_index(store, spec, num_slices)
+            slice_spec = self._slice_spec(spec, start, num_slices)
+            self._slice_origins[slice_spec.task_key()] = {
+                "spec": spec, "num_slices": num_slices}
+            expanded.append(slice_spec)
+        return expanded
+
+    def _slice_spec(self, original: ExperimentSpec, index: int,
+                    num_slices: int) -> ExperimentSpec:
+        from repro.snapshot.store import snapshot_dir_for
+
+        params = dict(original.params_dict)
+        params.update(
+            slice_index=index, num_slices=num_slices,
+            slice_horizon_s=float(self.config.slice_horizon_s),
+            store=str(snapshot_dir_for(self.out_path)),
+            original_key=original.task_key())
+        return ExperimentSpec.make("scenario_slice", original.preset,
+                                   original.seed, **params)
+
+    def _resume_slice_index(self, store, original: ExperimentSpec,
+                            num_slices: int) -> int:
+        """First slice still to run, given checkpoints already on disk.
+
+        Only checkpoints that load cleanly *and* belong to the same
+        slicing plan count; anything corrupt, foreign or left over from
+        a different ``--slice-horizon`` is ignored (the chain restarts
+        at 0 rather than restoring the wrong world)."""
+        from repro.campaign.tasks import SLICE_CHECKPOINT_KIND
+
+        horizon = float(original.params_dict.get("horizon_s", 900.0))
+        key = original.task_key()
+        for index in range(num_slices - 2, -1, -1):
+            path = store.path_for(key, index)
+            if not path.exists():
+                continue
+            try:
+                checkpoint = store.load(key, index)
+            except (ValueError, OSError):
+                continue
+            chain = checkpoint.payload.get("chain", {})
+            if (checkpoint.kind == SLICE_CHECKPOINT_KIND
+                    and chain.get("slice_horizon_s")
+                    == float(self.config.slice_horizon_s)
+                    and chain.get("num_slices") == num_slices
+                    and chain.get("horizon_s") == horizon):
+                return index + 1
+        return 0
+
+    def _finish_result(self, result: Dict[str, object], queue,
+                       writer: ArtifactWriter,
+                       stats: CampaignStats) -> None:
+        """Record a successful payload, chaining slice continuations.
+
+        Intermediate slices book their wall-clock into the accounting
+        (``add_task_seconds``) but do not complete anything; the final
+        slice is rewritten to the original task's identity before it is
+        recorded, so the artifact carries no trace of the slicing."""
+        origin = self._slice_origins.pop(result["task_key"], None)
+        if origin is None:
+            self._record_success(result, writer, stats)
+            return
+        control = result.get("control") or {}
+        original: ExperimentSpec = origin["spec"]
+        if control.get("slice_paused"):
+            stats.add_task_seconds(float(result.get("elapsed_s", 0.0)))
+            next_index = int(control["slice_index"]) + 1
+            next_spec = self._slice_spec(original, next_index,
+                                         origin["num_slices"])
+            self._slice_origins[next_spec.task_key()] = origin
+            queue.appendleft((next_spec, 0))
+            self.progress(
+                "slice",
+                f"{original.task_key()} {next_index}/"
+                f"{origin['num_slices']}", stats)
+            return
+        result = dict(result)
+        result.pop("control", None)
+        result["task_key"] = original.task_key()
+        result["spec"] = original.to_dict()
+        result["task_seed"] = original.task_seed()
+        self._record_success(result, writer, stats)
 
     # --- shared bookkeeping ---------------------------------------------------
 
@@ -323,7 +451,8 @@ class CampaignEngine:
                                                  task_error, retry_heap,
                                                  tiebreak, stats)
                         else:
-                            self._record_success(result, writer, stats)
+                            self._finish_result(result, queue, writer,
+                                                stats)
                 abandoned += self._expire_timeouts(
                     in_flight, retry_heap, tiebreak, stats)
         except BaseException:

@@ -37,10 +37,17 @@ from repro.testbed.builder import Testbed
 
 @dataclass
 class TaskOutput:
-    """What an executor hands back across the process boundary."""
+    """What an executor hands back across the process boundary.
+
+    ``control`` is an executor→engine side channel that never reaches
+    the artifact: the time-sliced scenario kind uses it to report "this
+    slice paused at a checkpoint, schedule the next one". ``None`` (the
+    overwhelmingly common case) means the task simply completed.
+    """
 
     records: List[dict]
     stats: Dict[str, object] = field(default_factory=dict)
+    control: Optional[Dict[str, object]] = None
 
 
 TaskFn = Callable[[ExperimentSpec, int], TaskOutput]
@@ -232,7 +239,7 @@ def _survey_pair(spec: ExperimentSpec, attempt: int) -> TaskOutput:
 
 
 @register_task("scenario", uses_testbed=True,
-               params=("day", "hour", "horizon_s"),
+               params=("day", "hour", "horizon_s", "quantum_s"),
                required=("scenario",))
 def _scenario(spec: ExperimentSpec, attempt: int) -> TaskOutput:
     """Run a named library scenario through the fluid runner.
@@ -248,10 +255,104 @@ def _scenario(spec: ExperimentSpec, attempt: int) -> TaskOutput:
     p = spec.params_dict
     testbed = checkout_testbed(spec.preset, seed=spec.seed)
     scenario = build_scenario(str(p["scenario"]), _start_time(p))
-    runner = ScenarioRunner(testbed, check_invariants=True,
+    runner = ScenarioRunner(testbed,
+                            quantum_s=float(p.get("quantum_s", 0.5)),
+                            check_invariants=True,
                             tracer=current_tracer())
     results = runner.run(scenario,
                          horizon_s=float(p.get("horizon_s", 900.0)))
+    records = [results[name].to_dict() for name in sorted(results)]
+    return TaskOutput(records=records, stats=runner.stats.to_dict())
+
+
+#: ``Snapshot.kind`` of the checkpoint one scenario slice leaves behind.
+SLICE_CHECKPOINT_KIND = "scenario-slice"
+
+
+@register_task("scenario_slice", uses_testbed=True,
+               params=("day", "hour", "horizon_s", "quantum_s"),
+               required=("scenario", "slice_index", "num_slices",
+                         "slice_horizon_s", "store", "original_key"))
+def _scenario_slice(spec: ExperimentSpec, attempt: int) -> TaskOutput:
+    """One time slice of a long-horizon ``scenario`` task.
+
+    Slice 0 starts the run and pauses at the first slice boundary;
+    slice ``k`` restores checkpoint ``k-1`` from the snapshot ``store``
+    and continues. The *final* slice (``num_slices - 1``, or any slice
+    in which the scenario ends early) returns exactly the records and
+    stats the straight ``scenario`` kind would have returned — the
+    engine rewrites its identity back to ``original_key``, so the
+    artifact is byte-identical to an unsliced run. Intermediate slices
+    checkpoint and report back through ``TaskOutput.control``.
+
+    Determinism across crash-resume comes for free: a re-run slice
+    restores the same immutable checkpoint into a fresh testbed.
+    """
+    from pathlib import Path
+
+    from repro.netsim.runner import ScenarioRunner
+    from repro.netsim.scenario import build_scenario
+    from repro.obs.trace import TraceEvent, current_tracer
+    from repro.snapshot.codec import Snapshot
+    from repro.snapshot.store import SnapshotStore
+
+    p = spec.params_dict
+    index = int(p["slice_index"])
+    num_slices = int(p["num_slices"])
+    slice_horizon = float(p["slice_horizon_s"])
+    horizon = float(p.get("horizon_s", 900.0))
+    original_key = str(p["original_key"])
+    store = SnapshotStore(Path(str(p["store"])))
+
+    testbed = checkout_testbed(spec.preset, seed=spec.seed)
+    scenario = build_scenario(str(p["scenario"]), _start_time(p))
+    tracer = current_tracer()
+    runner = ScenarioRunner(testbed,
+                            quantum_s=float(p.get("quantum_s", 0.5)),
+                            check_invariants=True, tracer=tracer)
+    t0 = min(f.start_s for f in scenario.flows)
+    until = (None if index >= num_slices - 1
+             else t0 + (index + 1) * slice_horizon)
+    if index == 0:
+        results = runner.run(scenario, horizon_s=horizon, until_s=until)
+    else:
+        checkpoint = store.load(original_key, index - 1)
+        if checkpoint.kind != SLICE_CHECKPOINT_KIND:
+            raise ValueError(
+                f"checkpoint {index - 1} for {original_key} has kind "
+                f"{checkpoint.kind!r}, expected "
+                f"{SLICE_CHECKPOINT_KIND!r}")
+        chain = checkpoint.payload.get("chain", {})
+        if (chain.get("slice_horizon_s") != slice_horizon
+                or chain.get("num_slices") != num_slices
+                or chain.get("horizon_s") != horizon):
+            raise ValueError(
+                f"checkpoint {index - 1} for {original_key} belongs to "
+                f"a different slicing plan ({chain}); re-run from "
+                f"slice 0")
+        stored_trace = checkpoint.payload.get("trace")
+        if tracer.enabled and stored_trace:
+            # Prepend the earlier slices' sim-time events so the final
+            # sidecar is byte-identical to the straight run's.
+            tracer.events.extend(TraceEvent.from_dict(event)
+                                 for event in stored_trace)
+        results = runner.resume(
+            scenario,
+            Snapshot(kind="scenario-runner",
+                     payload=checkpoint.payload["runner"]),
+            until_s=until)
+    if runner.paused:
+        payload = {
+            "runner": runner.snapshot(scenario, results).payload,
+            "chain": {"slice_horizon_s": slice_horizon,
+                      "num_slices": num_slices, "horizon_s": horizon},
+            "trace": tracer.to_dicts() if tracer.enabled else None,
+        }
+        store.save(original_key, index,
+                   Snapshot(kind=SLICE_CHECKPOINT_KIND, payload=payload))
+        return TaskOutput(records=[],
+                          control={"slice_paused": True,
+                                   "slice_index": index})
     records = [results[name].to_dict() for name in sorted(results)]
     return TaskOutput(records=records, stats=runner.stats.to_dict())
 

@@ -244,7 +244,8 @@ def cmd_campaign(args) -> int:
             backend=args.backend, chunk_size=args.chunk_size,
             timeout_s=args.timeout, retries=args.retries,
             max_failures=args.max_failures, resume=not args.no_resume,
-            quarantine=args.quarantine, trace=args.trace)
+            quarantine=args.quarantine, trace=args.trace,
+            slice_horizon_s=args.slice_horizon)
     except OSError as exc:
         print(f"error: cannot write {args.out}: {exc}", file=sys.stderr)
         return 1
@@ -720,6 +721,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_campaign.add_argument("--horizon", type=float, default=900.0,
                             help="scenario: runner horizon (default "
                                  "900)")
+    p_campaign.add_argument("--slice-horizon", type=float, default=None,
+                            help="scenario: split long tasks into "
+                                 "checkpointed slices of this many "
+                                 "simulated seconds (time-sliced "
+                                 "execution; artifacts stay "
+                                 "byte-identical to a straight run)")
     p_campaign.add_argument("--timeout", type=float, default=None,
                             help="per-task timeout in seconds")
     p_campaign.add_argument("--retries", type=int, default=2)

@@ -41,6 +41,16 @@ from repro.netsim.scenario import FlowRequest, FlowResult, Scenario
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import NULL_PROFILER, Profiler
 from repro.obs.trace import NULL_TRACER, Tracer
+from repro.snapshot.codec import Snapshot
+from repro.snapshot.world import (
+    restore_cache,
+    restore_streams,
+    snapshot_cache,
+    snapshot_streams,
+)
+
+#: ``Snapshot.kind`` for a paused :class:`ScenarioRunner`.
+RUNNER_SNAPSHOT_KIND = "scenario-runner"
 
 
 def results_to_campaign(results: Dict[str, "FlowResult"],
@@ -246,6 +256,10 @@ class ScenarioRunner:
         self.log: List[QuantumLog] = []
         self.stats = RunnerStats(cache=self._capacity_cache.stats,
                                  registry=self._metrics)
+        #: Set while a run is paused at an ``until_s`` boundary:
+        #: ``{"t0", "t", "deadline"}``. ``None`` once the run completes
+        #: (so callers can tell "paused" from "done").
+        self._paused: Optional[Dict[str, object]] = None
 
     # --- per-flow capacity on one medium at time t ------------------------------
 
@@ -273,8 +287,8 @@ class ScenarioRunner:
 
     # --- main loop -----------------------------------------------------------------
 
-    def run(self, scenario: Scenario, horizon_s: Optional[float] = None
-            ) -> Dict[str, FlowResult]:
+    def run(self, scenario: Scenario, horizon_s: Optional[float] = None,
+            until_s: Optional[float] = None) -> Dict[str, FlowResult]:
         """Run the scenario and return per-flow results.
 
         ``horizon_s`` is **relative**: the maximum simulated duration
@@ -283,6 +297,16 @@ class ScenarioRunner:
         deadline of "last scheduled flow end plus 60 s slack", which
         bounds file flows that never complete (e.g. on a dead link)
         without double-counting a late scenario start.
+
+        ``until_s`` is an **absolute** pause point: the loop stops
+        *before* executing the first quantum at ``t >= until_s``,
+        records the paused position, and returns the partial results.
+        A paused runner can be serialised with :meth:`snapshot` and the
+        run continued — on this runner or a freshly built twin — with
+        :meth:`resume`. The final ``runner.run`` trace span is emitted
+        only when the run actually completes, with the *original* start
+        time, so a sliced run's trace is byte-identical to a straight
+        one.
 
         Each call resets :attr:`log` and :attr:`stats` (when no shared
         ``metrics`` registry was injected — an injected registry keeps
@@ -302,10 +326,20 @@ class ScenarioRunner:
         self._capacity_cache.stats.reset()
         self.stats = RunnerStats(cache=self._capacity_cache.stats,
                                  registry=self._metrics)
-        tracer = self.tracer
+        self._paused = None
         results = {f.name: FlowResult(request=f) for f in scenario.flows}
-        t = t0
+        return self._loop(scenario, results, t0, t0, deadline, until_s)
+
+    def _loop(self, scenario: Scenario,
+              results: Dict[str, FlowResult], t0: float, t: float,
+              deadline: float,
+              until_s: Optional[float]) -> Dict[str, FlowResult]:
+        """The quantum loop, resumable at any quantum boundary."""
+        tracer = self.tracer
         while t < deadline:
+            if until_s is not None and t >= until_s:
+                self._paused = {"t0": t0, "t": t, "deadline": deadline}
+                return results
             active = [f for f in scenario.flows
                       if f.start_s <= t and not self._done(results[f.name],
                                                            f, t)]
@@ -321,10 +355,114 @@ class ScenarioRunner:
                 time=t, active_flows=len(active),
                 domain_load=self._domain_census(active)))
             t += self.quantum_s
+        self._paused = None
         if tracer.enabled:
             tracer.span("runner.run", t0, t, quanta=self.stats.quanta,
                         flows=len(scenario.flows))
         return results
+
+    # --- snapshot / resume ---------------------------------------------------------
+
+    @property
+    def paused(self) -> bool:
+        """Whether the last :meth:`run`/:meth:`resume` stopped at an
+        ``until_s`` boundary rather than completing."""
+        return self._paused is not None
+
+    def snapshot(self, scenario: Scenario,
+                 results: Dict[str, FlowResult]) -> Snapshot:
+        """Serialise a paused run into a restorable :class:`Snapshot`.
+
+        Captures everything the continued loop can observe: the paused
+        position, per-flow progress, the quantum log, the testbed's RNG
+        stream states, the windowed capacity cache *including its LRU
+        order and counters*, and the metrics registry. Restoring into a
+        freshly built testbed of the same preset+seed and calling
+        :meth:`resume` continues bit-identically.
+        """
+        if self._paused is None:
+            raise RuntimeError(
+                "snapshot() requires a paused run — call "
+                "run(..., until_s=...) first and only snapshot when "
+                "`paused` is True")
+        flows: Dict[str, Dict[str, object]] = {}
+        for name in sorted(results):
+            result = results[name]
+            flows[name] = {
+                "delivered_bytes": float(result.delivered_bytes),
+                "active_time_s": float(result.active_time_s),
+                "completed_at": (None if result.completed_at is None
+                                 else float(result.completed_at)),
+                "starved_quanta": int(result.starved_quanta),
+            }
+        payload = {
+            "quantum_s": float(self.quantum_s),
+            "t0": float(self._paused["t0"]),
+            "t": float(self._paused["t"]),
+            "deadline": float(self._paused["deadline"]),
+            "flows": flows,
+            "log": [
+                {"time": float(entry.time),
+                 "active_flows": int(entry.active_flows),
+                 "domain_load": {d: int(n) for d, n
+                                 in entry.domain_load.items()}}
+                for entry in self.log
+            ],
+            "streams": snapshot_streams(self.testbed.streams),
+            "cache": snapshot_cache(self._capacity_cache),
+            "registry": self.stats.registry.to_dict(),
+        }
+        return Snapshot(kind=RUNNER_SNAPSHOT_KIND, payload=payload)
+
+    def resume(self, scenario: Scenario, snap: Snapshot,
+               until_s: Optional[float] = None) -> Dict[str, FlowResult]:
+        """Continue a snapshotted run on this runner.
+
+        The runner must wrap a *fresh* testbed built from the same
+        preset and seed as the one snapshotted (its stream states are
+        overwritten wholesale), and ``scenario`` must be the same
+        scenario. The injected ``metrics`` registry, if any, is ignored
+        for the resumed stats: the snapshot's registry is restored so
+        cumulative counters continue exactly.
+        """
+        if snap.kind != RUNNER_SNAPSHOT_KIND:
+            raise ValueError(
+                f"cannot resume a {snap.kind!r} snapshot on a "
+                f"ScenarioRunner (need {RUNNER_SNAPSHOT_KIND!r})")
+        payload = snap.payload
+        if float(payload["quantum_s"]) != self.quantum_s:
+            raise ValueError(
+                f"snapshot was taken at quantum_s="
+                f"{payload['quantum_s']}, runner has {self.quantum_s}")
+        names = {f.name for f in scenario.flows}
+        if names != set(payload["flows"]):
+            raise ValueError(
+                "snapshot flow set does not match the scenario: "
+                f"snapshot has {sorted(payload['flows'])}, scenario "
+                f"has {sorted(names)}")
+        restore_streams(self.testbed.streams, payload["streams"])
+        restore_cache(self._capacity_cache, payload["cache"])
+        self.stats = RunnerStats(
+            cache=self._capacity_cache.stats,
+            registry=MetricsRegistry.from_dict(payload["registry"]))
+        self.log = [
+            QuantumLog(time=entry["time"],
+                       active_flows=int(entry["active_flows"]),
+                       domain_load=dict(entry["domain_load"]))
+            for entry in payload["log"]
+        ]
+        results = {}
+        for flow in scenario.flows:
+            state = payload["flows"][flow.name]
+            results[flow.name] = FlowResult(
+                request=flow,
+                delivered_bytes=state["delivered_bytes"],
+                active_time_s=state["active_time_s"],
+                completed_at=state["completed_at"],
+                starved_quanta=int(state["starved_quanta"]))
+        self._paused = None
+        return self._loop(scenario, results, payload["t0"],
+                          payload["t"], payload["deadline"], until_s)
 
     def _done(self, result: FlowResult, flow: FlowRequest,
               t: float) -> bool:

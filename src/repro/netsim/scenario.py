@@ -196,3 +196,22 @@ def _mini3_mixed(t: float) -> Scenario:
         .add(FlowRequest("wifi", 2, 0, t, kind="saturated", medium="wifi",
                          duration_s=60))
     )
+
+
+@register_scenario("mini3-longhaul")
+def _mini3_longhaul(t: float) -> Scenario:
+    """The §6 temporal-study workload on stations 0-2: two weeks of
+    continuous traffic (the Fig. 13/14 long-run shape) as three
+    always-on flows. Pair it with a coarse runner quantum and
+    ``--slice-horizon`` — a single monolithic run of this scenario is
+    exactly the slow path time-sliced execution exists to break up."""
+    two_weeks = 14 * 24 * 3600.0
+    return (
+        Scenario("mini3-longhaul")
+        .add(FlowRequest("plc-sat", 0, 1, t, kind="saturated",
+                         medium="plc", duration_s=two_weeks))
+        .add(FlowRequest("cbr", 1, 2, t, kind="cbr", rate_bps=8 * MBPS,
+                         duration_s=two_weeks))
+        .add(FlowRequest("wifi-sat", 2, 0, t, kind="saturated",
+                         medium="wifi", duration_s=two_weeks))
+    )

@@ -213,6 +213,53 @@ def diff_backend_equivalence(specs: Sequence, out_dir: Path,
     return diffs
 
 
+def diff_slice_equivalence(specs: Sequence, out_dir: Path,
+                           slice_counts: Sequence[int] = (1, 4, 16),
+                           backends: Sequence[Tuple[str, int]] = (
+                               ("inline", 0), ("process", 4)),
+                           name: str = "verify",
+                           trace: bool = True) -> List[str]:
+    """Time-sliced execution's headline guarantee: a campaign whose long
+    scenario tasks are split into K checkpointed slices produces an
+    artifact (and trace sidecar) byte-identical to the straight run, at
+    any K and on any backend.
+
+    The straight reference runs inline without slicing; each comparison
+    run slices at ``horizon / K`` where ``horizon`` is the largest
+    scenario horizon among ``specs`` (K=1 therefore exercises the
+    "slicing configured but below threshold" no-op path). Non-scenario
+    specs ride along untouched in every run.
+    """
+    from repro.campaign.engine import run_campaign
+    from repro.obs.trace import trace_path_for
+
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    horizons = [float(spec.params_dict.get("horizon_s", 900.0))
+                for spec in specs if spec.kind == "scenario"]
+    if not horizons:
+        return ["no scenario specs to slice"]
+    horizon = max(horizons)
+    ref_path = out_dir / "straight.jsonl"
+    run_campaign(specs, ref_path, name=name, workers=0, resume=False,
+                 trace=trace)
+    diffs: List[str] = []
+    for count in slice_counts:
+        for backend, workers in backends:
+            label = f"sliced(K={count},{backend},w{workers})"
+            path = out_dir / f"sliced-k{count}-{backend}-w{workers}.jsonl"
+            run_campaign(specs, path, name=name, workers=workers,
+                         backend=backend, resume=False, trace=trace,
+                         slice_horizon_s=horizon / count)
+            diffs.extend(_artifact_bytes_delta(ref_path, path,
+                                               "straight", label))
+            if trace:
+                diffs.extend(_artifact_bytes_delta(
+                    trace_path_for(ref_path), trace_path_for(path),
+                    "straight trace", f"{label} trace"))
+    return diffs
+
+
 def diff_traced_vs_untraced(specs: Sequence, out_dir: Path,
                             name: str = "verify") -> List[str]:
     """Tracing must never change a campaign artifact's bytes."""

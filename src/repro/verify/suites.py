@@ -6,8 +6,9 @@
 * ``full``  — the complete deterministic battery on the paper's full
   testbed (default ``office``): everything in smoke on office links,
   plus the campaign-engine equivalences (inline vs process pool, traced
-  vs untraced, and byte-identity across all four execution backends)
-  and a library-scenario invariant run.
+  vs untraced, byte-identity across all four execution backends, and
+  time-sliced vs straight execution) and a library-scenario invariant
+  run.
 * ``fuzz``  — the :class:`~repro.verify.fuzzer.ScenarioFuzzer`, bounded
   by a case budget and a wall-clock budget.
 
@@ -232,6 +233,9 @@ def _campaign_checks(report: VerifyReport, preset: str,
             "oracle.backend_equivalence", f"campaign:{preset}",
             oracles.diff_backend_equivalence(specs,
                                              Path(tmp) / "backends")))
+        report.add(from_messages(
+            "oracle.slice_equivalence", f"campaign:{preset}",
+            oracles.diff_slice_equivalence(specs, Path(tmp) / "slices")))
 
 
 def _library_scenario_checks(report: VerifyReport, preset: str,

@@ -12,7 +12,13 @@ from pathlib import Path
 
 import pytest
 
-from repro.bench.manifest import MODULE_MANIFEST, manifest_names, module_for
+from repro.bench.manifest import (
+    FIGURE_REGENERATIONS,
+    HARNESS_MANIFEST,
+    MODULE_MANIFEST,
+    manifest_names,
+    module_for,
+)
 from repro.bench.spec import load_default_benchmarks
 
 BENCHMARKS_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
@@ -49,14 +55,34 @@ def test_manifest_matches_the_registry_exactly():
 
 
 def test_harness_backed_modules_claim_at_least_one_benchmark():
-    # The four ported domains plus the harness meta-module must map to
+    # The five ported domains plus the harness meta-module must map to
     # real benchmarks; only figure/table regenerations may map to ().
     for module in ("test_medium_sampling_scale",
                    "test_scenario_runner_scale",
                    "test_campaign_backends",
+                   "test_snapshot_slicing",
                    "test_bench_harness"):
         assert MODULE_MANIFEST[module], (
             f"{module} must claim its harness benchmarks")
+
+
+def test_harness_and_regeneration_split_is_disjoint_and_exhaustive():
+    # A module is either harness-backed (non-empty names) or a declared
+    # figure regeneration — never both, never silently neither.
+    overlap = set(HARNESS_MANIFEST) & FIGURE_REGENERATIONS
+    assert not overlap, (
+        f"modules declared both harness-backed and figure "
+        f"regenerations: {sorted(overlap)}")
+    assert set(MODULE_MANIFEST) == \
+        set(HARNESS_MANIFEST) | FIGURE_REGENERATIONS
+    for module, names in HARNESS_MANIFEST.items():
+        assert names, (
+            f"{module} is in HARNESS_MANIFEST but claims no benchmarks "
+            f"— move it to FIGURE_REGENERATIONS or list its names")
+    for module in FIGURE_REGENERATIONS:
+        assert MODULE_MANIFEST[module] == (), (
+            f"{module} is a declared regeneration but the manifest "
+            f"maps it to benchmark names")
 
 
 def test_module_for_inverts_the_manifest():
